@@ -1,0 +1,67 @@
+// Command ursa-bench regenerates the paper's evaluation tables and
+// figures. Each figure builds its systems in-process (simulated disks and
+// network) and prints the same rows/series the paper plots.
+//
+// Usage:
+//
+//	ursa-bench -list
+//	ursa-bench -fig 6a
+//	ursa-bench -all [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"ursa/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure/table id to run (1, 2, t1, 6a..16)")
+		all   = flag.Bool("all", false, "run every figure and table")
+		list  = flag.Bool("list", false, "list available figures")
+		quick = flag.Bool("quick", false, "reduced op counts")
+		seed  = flag.Uint64("seed", 42, "randomness seed")
+	)
+	flag.Parse()
+
+	entries := bench.All()
+	if *list {
+		for _, e := range entries {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	run := func(e bench.Entry) {
+		start := time.Now()
+		tab := e.Run(cfg)
+		fmt.Print(tab.String())
+		fmt.Printf("(%s in %v)\n\n", tab.ID, time.Since(start).Round(time.Millisecond))
+		// Figures allocate multi-GB simulated device stores; hand the
+		// garbage back to the OS before building the next system.
+		debug.FreeOSMemory()
+	}
+	switch {
+	case *all:
+		for _, e := range entries {
+			run(e)
+		}
+	case *fig != "":
+		for _, e := range entries {
+			if e.ID == *fig {
+				run(e)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+		os.Exit(1)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

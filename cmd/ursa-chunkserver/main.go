@@ -1,0 +1,117 @@
+// Command ursa-chunkserver runs one chunk-server process over real TCP,
+// backed by simulated devices (this reproduction's stand-in for raw SSDs
+// and HDDs). A primary server stores chunks on a simulated SSD; a backup
+// server stores them on a simulated HDD behind an SSD journal with an HDD
+// overflow journal (§3.2).
+//
+// Usage:
+//
+//	ursa-chunkserver -listen 127.0.0.1:7101 -master 127.0.0.1:7000 \
+//	    -machine m1 -role primary
+//	ursa-chunkserver -listen 127.0.0.1:7102 -master 127.0.0.1:7000 \
+//	    -machine m1 -role backup
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/chunkserver"
+	"ursa/internal/clock"
+	"ursa/internal/journal"
+	"ursa/internal/master"
+	"ursa/internal/proto"
+	"ursa/internal/simdisk"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7101", "address to listen on")
+		masterAddr = flag.String("master", "127.0.0.1:7000", "master address")
+		machine    = flag.String("machine", "m0", "machine name for placement")
+		role       = flag.String("role", "primary", "primary (SSD) or backup (HDD+journal)")
+		capacity   = flag.Int64("capacity", 32*util.GiB, "device capacity in bytes")
+	)
+	flag.Parse()
+
+	clk := clock.Realtime
+	dialer := transport.TCPDialer{}
+
+	var srv *chunkserver.Server
+	switch *role {
+	case "primary":
+		m := simdisk.DefaultSSD()
+		m.Capacity = *capacity
+		ssd := simdisk.NewSSD(m, clk)
+		srv = chunkserver.New(chunkserver.Config{
+			Addr: *listen, Role: chunkserver.RolePrimary,
+			Clock: clk, Dialer: dialer,
+		}, blockstore.New(ssd, 0), nil)
+	case "backup":
+		hm := simdisk.DefaultHDD()
+		hm.Capacity = *capacity
+		hdd := simdisk.NewHDD(hm, clk)
+		// Journal SSD sized at 1/10 of the HDD it fronts (§3.2's quota,
+		// applied to the single-device layout of a standalone process).
+		sm := simdisk.DefaultSSD()
+		sm.Capacity = util.AlignUp(*capacity/10, util.SectorSize)
+		jssd := simdisk.NewSSD(sm, clk)
+
+		hddJournalSize := util.AlignDown(*capacity/16, util.SectorSize)
+		storeLimit := util.AlignDown(*capacity-hddJournalSize, util.ChunkSize)
+		store := blockstore.New(hdd, storeLimit)
+		jset := journal.NewSet(clk, store, journal.DefaultConfig())
+		jset.AddSSDJournal("jssd", jssd, 0, util.AlignDown(sm.Capacity, util.SectorSize))
+		jset.AddHDDJournal("jhdd", hdd, storeLimit, hddJournalSize)
+		jset.Start()
+		srv = chunkserver.New(chunkserver.Config{
+			Addr: *listen, Role: chunkserver.RoleBackup,
+			Clock: clk, Dialer: dialer,
+		}, store, jset)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+
+	l, err := transport.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	srv.Serve(l)
+
+	// Register with the master.
+	conn, err := dialer.Dial(*masterAddr)
+	if err != nil {
+		log.Fatalf("dial master %s: %v", *masterAddr, err)
+	}
+	cli := transport.NewClient(conn, clk)
+	payload, _ := json.Marshal(master.RegisterReq{
+		Addr: l.Addr(), Machine: *machine, SSD: *role == "primary",
+	})
+	resp, err := cli.Call(&proto.Message{Op: proto.MOpRegister, Payload: payload}, 0)
+	if err != nil || resp.Status != proto.StatusOK {
+		log.Fatalf("register with master: %v (%v)", err, resp)
+	}
+	cli.Close()
+	log.Printf("ursa-chunkserver %s (%s on %s) registered with %s",
+		l.Addr(), *role, *machine, *masterAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			log.Printf("hot upgrade requested")
+			srv.Upgrade()
+			continue
+		}
+		break
+	}
+	log.Printf("shutting down")
+	srv.Close()
+}

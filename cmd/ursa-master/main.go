@@ -1,0 +1,53 @@
+// Command ursa-master runs the URSA master daemon over real TCP. Chunk
+// servers register themselves via the register RPC (see ursa-chunkserver);
+// clients create and open virtual disks through it.
+//
+// Usage:
+//
+//	ursa-master -listen 127.0.0.1:7000 [-replication 3] [-hybrid]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/master"
+	"ursa/internal/transport"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7000", "address to listen on")
+		replication = flag.Int("replication", 3, "replicas per chunk")
+		hybrid      = flag.Bool("hybrid", true, "place backups on HDD servers")
+		leaseTTL    = flag.Duration("lease", 30*time.Second, "client lease duration")
+	)
+	flag.Parse()
+
+	l, err := transport.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	m := master.New(master.Config{
+		Addr:        *listen,
+		Clock:       clock.Realtime,
+		Dialer:      transport.TCPDialer{},
+		Replication: *replication,
+		LeaseTTL:    *leaseTTL,
+		HybridMode:  *hybrid,
+	})
+	m.Serve(l)
+	log.Printf("ursa-master listening on %s (replication=%d hybrid=%v)",
+		l.Addr(), *replication, *hybrid)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	m.Close()
+}

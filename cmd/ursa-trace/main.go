@@ -1,0 +1,88 @@
+// Command ursa-trace analyzes block traces: the block-size CDF of Fig 1
+// and the cache-hit study of Fig 2, over either real MSR Cambridge CSV
+// files or the calibrated synthetic catalog.
+//
+// Usage:
+//
+//	ursa-trace -cdf [-n 200000]            # synthetic Fig 1 CDF
+//	ursa-trace -cdf -msr volume.csv        # CDF of a real trace
+//	ursa-trace -cachehit [-n 30000]        # Fig 2 across the catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ursa/internal/cachesim"
+	"ursa/internal/trace"
+	"ursa/internal/util"
+)
+
+func main() {
+	var (
+		cdf      = flag.Bool("cdf", false, "print the block-size CDF (Fig 1)")
+		cachehit = flag.Bool("cachehit", false, "print per-trace cache hit ratios (Fig 2)")
+		msr      = flag.String("msr", "", "MSR Cambridge CSV file (default: synthetic)")
+		n        = flag.Int("n", 200000, "synthetic records per trace")
+		seed     = flag.Uint64("seed", 42, "randomness seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *cdf:
+		records, err := load(*msr, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		sizes, cum := trace.SizeCDFOf(records)
+		fmt.Printf("%-10s %s\n", "size", "cumulative")
+		for i, s := range sizes {
+			fmt.Printf("%-10s %.2f%%\n", util.FormatBytes(int64(s)), 100*cum[i])
+		}
+	case *cachehit:
+		if *msr != "" {
+			records, err := load(*msr, *n, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			res := cachesim.Replay(*msr, records)
+			fmt.Printf("%s: reads=%d hit=%.1f%%\n", *msr, res.Reads, 100*res.HitRatio)
+			return
+		}
+		fmt.Printf("%-10s %-10s %s\n", "trace", "hit-ratio", "below-75%")
+		low := 0
+		for i, e := range trace.Catalog() {
+			records := e.Profile.Generate(*seed+uint64(100+i), *n)
+			res := cachesim.Replay(e.Name, records)
+			flag := ""
+			if res.HitRatio < cachesim.LowHitThreshold {
+				flag = "LOW"
+				low++
+			}
+			fmt.Printf("%-10s %-10.1f %s\n", e.Name, 100*res.HitRatio, flag)
+		}
+		fmt.Printf("%d of 36 traces below 75%% (paper: 17)\n", low)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string, n int, seed uint64) ([]trace.Record, error) {
+	if path == "" {
+		p := trace.Profile{Name: "synthetic", ReadFraction: 0.45, VolumeSize: 16 * util.GiB}
+		return p.Generate(seed, n), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ParseMSR(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

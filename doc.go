@@ -1,0 +1,14 @@
+// Package ursa is a from-scratch Go reproduction of "Ursa: Hybrid Block
+// Storage for Cloud-Scale Virtual Disks" (EuroSys 2019): a distributed
+// block store that keeps primary replicas on SSDs and backup replicas on
+// HDDs, bridging the device gap with per-HDD journals indexed by a
+// composite-key range index, under a linearizable single-client
+// replication protocol.
+//
+// The public surface lives in the internal packages by design — this
+// module is a research artifact whose entry points are the executables
+// (cmd/ursa-master, cmd/ursa-chunkserver, cmd/ursa-nbd, cmd/ursa-bench,
+// cmd/ursa-trace), the runnable examples (examples/...), and the
+// benchmark suite (bench_test.go), which regenerates every table and
+// figure of the paper's evaluation. See README.md and DESIGN.md.
+package ursa

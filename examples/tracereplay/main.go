@@ -1,0 +1,97 @@
+// Tracereplay: replay an MSR-style block trace (synthetic by default, or a
+// real MSR Cambridge CSV via -msr) against URSA in hybrid AND SSD-only
+// modes, printing the paper's headline result (§6.1, §6.4): the hybrid
+// layout keeps up with all-flash because journals absorb the random small
+// backup writes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ursa/internal/client"
+	"ursa/internal/clock"
+	"ursa/internal/core"
+	"ursa/internal/master"
+	"ursa/internal/simdisk"
+	"ursa/internal/trace"
+	"ursa/internal/util"
+	"ursa/internal/workload"
+)
+
+func main() {
+	var (
+		msr     = flag.String("msr", "", "MSR Cambridge CSV file (default: synthetic prxy_0)")
+		ops     = flag.Int("n", 4000, "synthetic records")
+		qd      = flag.Int("qd", 16, "replay queue depth")
+		volSize = flag.Int64("size", util.GiB, "vdisk size")
+	)
+	flag.Parse()
+
+	var records []trace.Record
+	if *msr != "" {
+		f, err := os.Open(*msr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var perr error
+		records, perr = trace.ParseMSR(f)
+		f.Close()
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		fmt.Printf("loaded %d records from %s\n", len(records), *msr)
+	} else {
+		p := trace.Fig14Profiles()[0] // prxy_0: write-dominated small I/O
+		p.VolumeSize = *volSize
+		records = p.Generate(42, *ops)
+		fmt.Printf("generated %d synthetic records (%s profile)\n", len(records), p.Name)
+	}
+
+	for _, mode := range []core.Mode{core.Hybrid, core.SSDOnly} {
+		res, err := replay(mode, *volSize, records, *qd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s: %s IOPS, %.1f MB/s, mean latency %v (reads %d, writes %d)\n",
+			mode, util.FormatCount(res.IOPS()), res.MBps(),
+			res.Lat.Mean().Round(time.Microsecond), res.Reads, res.Writes)
+	}
+}
+
+func replay(mode core.Mode, volSize int64, records []trace.Record, qd int) (workload.ReplayResult, error) {
+	c, err := core.New(core.Options{
+		Machines:       4,
+		SSDsPerMachine: 2,
+		HDDsPerMachine: 4,
+		Mode:           mode,
+		Clock:          clock.Realtime,
+		SSDModel: simdisk.SSDModel{
+			Capacity: 8 * util.GiB, Parallelism: 32,
+			ReadLatency: 80 * time.Microsecond, WriteLatency: 140 * time.Microsecond,
+			ReadBandwidth: 2.2e9, WriteBandwidth: 1.2e9,
+		},
+		HDDModel:   simdisk.DefaultHDD(),
+		HDDJournal: true,
+		NetLatency: 50 * time.Microsecond,
+	})
+	if err != nil {
+		return workload.ReplayResult{}, err
+	}
+	defer c.Close()
+	cl := c.NewClient("trace-replay")
+	defer cl.Close()
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{Name: "t", Size: volSize}); err != nil {
+		return workload.ReplayResult{}, err
+	}
+	vd, err := cl.Open("t")
+	if err != nil {
+		return workload.ReplayResult{}, err
+	}
+	defer vd.Close()
+	var dev client.Device = vd
+	return workload.Replay(clock.Realtime, dev, records, qd), nil
+}

@@ -1,0 +1,149 @@
+package cephlike
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/clock"
+	"ursa/internal/simdisk"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+func fastModel() simdisk.SSDModel {
+	return simdisk.SSDModel{
+		Capacity:       util.GiB,
+		Parallelism:    32,
+		ReadLatency:    2 * time.Microsecond,
+		WriteLatency:   4 * time.Microsecond,
+		ReadBandwidth:  20e9,
+		WriteBandwidth: 12e9,
+	}
+}
+
+func testPool(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Machines:       3,
+		SSDsPerMachine: 1,
+		Clock:          clock.Realtime,
+		SSDModel:       fastModel(),
+		Net:            transport.NewSimNet(clock.Realtime, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestVolumeRoundTrip(t *testing.T) {
+	c := testPool(t)
+	v, err := c.CreateVolume("vol1", 128*util.MiB, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	data := make([]byte, 8*util.KiB)
+	util.NewRand(1).Fill(data)
+	if err := v.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := v.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestVolumeCrossChunk(t *testing.T) {
+	c := testPool(t)
+	v, err := c.CreateVolume("vol2", 2*util.ChunkSize, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	data := make([]byte, 64*util.KiB)
+	util.NewRand(2).Fill(data)
+	off := int64(util.ChunkSize) - 32*util.KiB
+	if err := v.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := v.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-chunk round trip mismatch")
+	}
+}
+
+func TestVolumeBounds(t *testing.T) {
+	c := testPool(t)
+	v, err := c.CreateVolume("vol3", 64*util.MiB, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if err := v.WriteAt(make([]byte, 4096), v.Size()); !errors.Is(err, util.ErrOutOfRange) {
+		t.Errorf("write past end: %v", err)
+	}
+}
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	in := &wireMsg{Type: "write", Object: 42, Off: 512, Len: 1024, Data: "QUJD", Status: "ok"}
+	out, err := decode(encode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Errorf("codec round trip: %+v != %+v", out, in)
+	}
+	if _, err := decode([]byte("{broken")); err == nil {
+		t.Error("bad json decoded")
+	}
+}
+
+func TestReplicationReachesAllOSDs(t *testing.T) {
+	c := testPool(t)
+	v, err := c.CreateVolume("vol4", 64*util.MiB, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	data := bytes.Repeat([]byte{0x5a}, 4096)
+	if err := v.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Each replica's store must hold the object data (read directly).
+	obj := v.objects[0]
+	for i, addr := range obj.replicas {
+		var osd *OSD
+		for _, o := range c.osds {
+			if o.addr == addr {
+				osd = o
+				break
+			}
+		}
+		if osd == nil {
+			t.Fatalf("replica %d (%s) has no OSD", i, addr)
+		}
+		got := make([]byte, len(data))
+		if err := osd.store.ReadAt(blockstoreID(obj.id), got, 0); err != nil {
+			t.Fatalf("replica %d read: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("replica %d not written", i)
+		}
+	}
+}
+
+func blockstoreID(id uint64) blockstore.ChunkID { return blockstore.ChunkID(id) }

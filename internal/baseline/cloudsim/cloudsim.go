@@ -1,0 +1,165 @@
+// Package cloudsim provides latency-profile block devices standing in for
+// the commercial services of §6.5 (Amazon EBS, Tencent QCloud CBS). The
+// production comparison (Fig 15) uses only the services' latency
+// distributions — mean, p1, p99 over two days of probes — so a device that
+// reproduces those envelopes exercises the same experiment.
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/util"
+)
+
+// Profile describes a service's latency distribution per op kind, modeled
+// as lognormal bodies with a heavy p99 tail.
+type Profile struct {
+	Name string
+	// Median and Sigma parameterize the lognormal body.
+	ReadMedian  time.Duration
+	WriteMedian time.Duration
+	Sigma       float64
+	// TailProb and TailScale inject the long tail: with TailProb a sample
+	// is multiplied by TailScale (queueing/oversell spikes, §6.5's note
+	// that all tests are affected by background workloads).
+	TailProb  float64
+	TailScale float64
+}
+
+// AWSProfile approximates the paper's AWS AP-NorthEast-1a measurements:
+// sub-millisecond means with a moderate p99.
+func AWSProfile() Profile {
+	return Profile{
+		Name:       "aws",
+		ReadMedian: 550 * time.Microsecond, WriteMedian: 850 * time.Microsecond,
+		Sigma: 0.35, TailProb: 0.01, TailScale: 2.5,
+	}
+}
+
+// QCloudProfile approximates the paper's QCloud Beijing-1 measurements:
+// higher medians and a much heavier tail.
+func QCloudProfile() Profile {
+	return Profile{
+		Name:       "qcloud",
+		ReadMedian: 900 * time.Microsecond, WriteMedian: 1600 * time.Microsecond,
+		Sigma: 0.5, TailProb: 0.02, TailScale: 3.5,
+	}
+}
+
+// Device is a block device whose ops cost sampled latencies. Data is held
+// in a sparse in-memory store so reads return what was written.
+type Device struct {
+	profile Profile
+	clk     clock.Clock
+	size    int64
+
+	mu    sync.Mutex
+	rnd   *util.Rand
+	data  map[int64][]byte // 64 KiB pages
+	close bool
+}
+
+const pageSize = 64 * util.KiB
+
+// New creates a profile device of the given size.
+func New(profile Profile, size int64, clk clock.Clock, seed uint64) *Device {
+	return &Device{
+		profile: profile,
+		clk:     clk,
+		size:    size,
+		rnd:     util.NewRand(seed),
+		data:    make(map[int64][]byte),
+	}
+}
+
+// sample draws one latency for an op with the given median.
+func (d *Device) sample(median time.Duration) time.Duration {
+	d.mu.Lock()
+	// Lognormal via Box-Muller on two uniforms.
+	u1, u2 := d.rnd.Float64(), d.rnd.Float64()
+	tail := d.rnd.Float64() < d.profile.TailProb
+	d.mu.Unlock()
+	if u1 <= 0 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	lat := float64(median) * math.Exp(d.profile.Sigma*z)
+	if tail {
+		lat *= d.profile.TailScale
+	}
+	return time.Duration(lat)
+}
+
+func (d *Device) check(off int64, n int) error {
+	if off < 0 || n <= 0 || off%util.SectorSize != 0 || n%util.SectorSize != 0 ||
+		off+int64(n) > d.size {
+		return fmt.Errorf("cloudsim: bad range [%d,%d): %w", off, off+int64(n), util.ErrOutOfRange)
+	}
+	return nil
+}
+
+// ReadAt implements the device read with a sampled service latency.
+func (d *Device) ReadAt(p []byte, off int64) error {
+	if err := d.check(off, len(p)); err != nil {
+		return err
+	}
+	d.clk.Sleep(d.sample(d.profile.ReadMedian))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for done := 0; done < len(p); {
+		page := (off + int64(done)) / pageSize
+		pageOff := (off + int64(done)) % pageSize
+		n := int(pageSize - pageOff)
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		if b, ok := d.data[page]; ok {
+			copy(p[done:done+n], b[pageOff:])
+		} else {
+			for i := done; i < done+n; i++ {
+				p[i] = 0
+			}
+		}
+		done += n
+	}
+	return nil
+}
+
+// WriteAt implements the device write with a sampled service latency.
+func (d *Device) WriteAt(p []byte, off int64) error {
+	if err := d.check(off, len(p)); err != nil {
+		return err
+	}
+	d.clk.Sleep(d.sample(d.profile.WriteMedian))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for done := 0; done < len(p); {
+		page := (off + int64(done)) / pageSize
+		pageOff := (off + int64(done)) % pageSize
+		n := int(pageSize - pageOff)
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		b, ok := d.data[page]
+		if !ok {
+			b = make([]byte, pageSize)
+			d.data[page] = b
+		}
+		copy(b[pageOff:], p[done:done+n])
+		done += n
+	}
+	return nil
+}
+
+// Size returns the device capacity.
+func (d *Device) Size() int64 { return d.size }
+
+// Flush is a no-op.
+func (d *Device) Flush() error { return nil }
+
+// Close releases the device.
+func (d *Device) Close() error { return nil }

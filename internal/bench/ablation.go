@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/client"
+	"ursa/internal/clock"
+	"ursa/internal/core"
+	"ursa/internal/jindex"
+	"ursa/internal/journal"
+	"ursa/internal/master"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+	"ursa/internal/workload"
+)
+
+// Ablations: design-choice experiments beyond the paper's figures, probing
+// the decisions DESIGN.md calls out. Same ×10 slow-motion scale as the
+// main suite.
+
+// AblJournalMedia isolates §3.2's journal placement choice: small backup
+// writes absorbed by an SSD journal vs an HDD journal vs no journal at all
+// (every write random directly to the backup HDD).
+func AblJournalMedia(cfg Config) Table {
+	t := Table{
+		ID:     "Abl 1",
+		Title:  "Backup small-write absorption: SSD journal vs HDD journal vs none",
+		Header: []string{"configuration", "appends/s", "mean latency"},
+	}
+	clk := clock.Realtime
+	run := func(name string, setup func(hdd *simdisk.HDD, store *blockstore.Store, set *journal.Set)) {
+		hdd := simdisk.NewHDD(benchHDD(), clk)
+		defer hdd.Close()
+		store := blockstore.New(hdd, util.AlignDown(hdd.Size()/2, util.ChunkSize))
+		set := journal.NewSet(clk, store, journal.DefaultConfig())
+		setup(hdd, store, set)
+		set.Start()
+		defer set.Close()
+
+		id := blockstore.MakeChunkID(1, 0)
+		if err := store.Create(id); err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			return
+		}
+		r := util.NewRand(cfg.Seed)
+		data := make([]byte, 4*util.KiB)
+		lat := util.NewHist()
+		deadline := clk.Now().Add(cfg.cellTime() / 2)
+		ops := 0
+		for version := uint64(1); clk.Now().Before(deadline); version++ {
+			off := util.AlignDown(r.Int63n(util.ChunkSize-4096), util.SectorSize)
+			t0 := clk.Now()
+			err := set.Append(id, off, data, version)
+			if err != nil {
+				// Quota exhausted or no journal: direct backup write.
+				if werr := set.WriteDirect(id, data, off); werr != nil {
+					t.Notes = append(t.Notes, werr.Error())
+					return
+				}
+			}
+			lat.Observe(clk.Now().Sub(t0))
+			ops++
+		}
+		elapsed := cfg.cellTime() / 2
+		t.Rows = append(t.Rows, []string{
+			name, f0(float64(ops) / elapsed.Seconds()), us(lat.Mean()),
+		})
+	}
+
+	run("SSD journal", func(hdd *simdisk.HDD, store *blockstore.Store, set *journal.Set) {
+		ssd := simdisk.NewSSD(benchSSD(), clk)
+		set.AddSSDJournal("jssd", ssd, 0, util.GiB)
+	})
+	run("HDD journal", func(hdd *simdisk.HDD, store *blockstore.Store, set *journal.Set) {
+		// The journal lives at the backup HDD's own tail (idle-replayed).
+		base := util.AlignDown(hdd.Size()/2, util.ChunkSize)
+		set.AddHDDJournal("jhdd", hdd, base, util.GiB)
+	})
+	run("no journal", func(*simdisk.HDD, *blockstore.Store, *journal.Set) {})
+	t.Notes = append(t.Notes,
+		"short-term append rates: both journals absorb small writes; without one, the backup runs",
+		"at the HDD's random-write rate. HDD journals defer ALL replay to idle periods, so their",
+		"long-term sustainable rate is lower than SSD journals', which replay concurrently (§3.2)")
+	return t
+}
+
+// AblClientDirected isolates §3.2's tiny-write optimization: 4 KB write
+// latency with client-directed replication (Tc=8 KB) vs everything routed
+// through the primary (Tc=0).
+func AblClientDirected(cfg Config) Table {
+	t := Table{
+		ID:     "Abl 2",
+		Title:  "Client-directed replication: 4KB write latency (QD=1)",
+		Header: []string{"configuration", "mean", "p99"},
+	}
+	for _, mode := range []struct {
+		name string
+		tc   int
+	}{
+		{"client-directed (Tc=8KB)", 8 * util.KiB},
+		{"primary-relay only (Tc=0)", 1}, // 1 byte: nothing qualifies as tiny
+	} {
+		c, err := core.New(core.Options{
+			Machines: 3, SSDsPerMachine: 2, HDDsPerMachine: 4,
+			Mode: core.Hybrid, Clock: clock.Realtime,
+			SSDModel: benchSSD(), HDDModel: benchHDD(), HDDJournal: true,
+			NetLatency: netLatency, TinyThreshold: mode.tc,
+			ReplTimeout: 5 * time.Second, CallTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			continue
+		}
+		cl := c.NewClient("abl")
+		vd, err := openBenchVDisk(cl, 2*util.GiB)
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			c.Close()
+			continue
+		}
+		res := workload.Run(clock.Realtime, vd, workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 4 * util.KiB,
+			QueueDepth: 1, Ops: 20000, Seed: cfg.Seed,
+			MaxTime: cfg.cellTime() / 2,
+		})
+		t.Rows = append(t.Rows, []string{mode.name, us(res.Lat.Mean()), us(res.Lat.Quantile(0.99))})
+		vd.Close()
+		cl.Close()
+		c.Close()
+	}
+	t.Notes = append(t.Notes,
+		"client-directed writes reach all replicas in one hop instead of two (§3.2)")
+	return t
+}
+
+// AblIndexLevels isolates §3.3's two-level index store: query and memory
+// cost with everything merged into the sorted array, a balanced 1:6 split,
+// and everything left in the red-black tree.
+func AblIndexLevels(cfg Config) Table {
+	t := Table{
+		ID:     "Abl 3",
+		Title:  "Index levels: query rate and memory vs tree/array split",
+		Header: []string{"configuration", "queries/s", "memory"},
+	}
+	n := cfg.ops(700000)
+	build := func(treeFrac float64) *jindex.Index {
+		ix := jindex.New(0)
+		r := util.NewRand(cfg.Seed + 7)
+		mergePoint := int(float64(n) * (1 - treeFrac))
+		for i := 0; i < n; i++ {
+			ix.Insert(uint32(r.Intn(jindex.MaxOff-64)), uint32(r.Intn(64)+1), uint64(i))
+			if treeFrac < 1 && i == mergePoint {
+				ix.MergeNow() // everything so far to the array
+			}
+		}
+		if treeFrac == 0 {
+			ix.MergeNow() // array-only: nothing left in the tree
+		}
+		return ix
+	}
+	for _, cfgRow := range []struct {
+		name     string
+		treeFrac float64
+	}{
+		{"array only (fully merged)", 0},
+		{"paper split (1/7 in tree)", 1.0 / 7},
+		{"tree only (never merged)", 1},
+	} {
+		ix := build(cfgRow.treeFrac)
+		r := util.NewRand(cfg.Seed + 8)
+		nq := cfg.ops(100000)
+		t0 := time.Now()
+		for i := 0; i < nq; i++ {
+			ix.Query(uint32(r.Intn(jindex.MaxOff-64)), uint32(r.Intn(64)+1))
+		}
+		rate := float64(nq) / time.Since(t0).Seconds()
+		t.Rows = append(t.Rows, []string{
+			cfgRow.name,
+			util.FormatCount(rate),
+			util.FormatBytes(ix.Stats().MemoryBytes),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the sorted array stores 8B/entry vs ~3x node overhead in the tree (§3.3)")
+	return t
+}
+
+// AblBypassThreshold sweeps Tj (§3.2): mixed-size writes with varying
+// journal bypass thresholds. Too low sends small randoms to the HDD; too
+// high burns journal space and replay work on large sequential data.
+func AblBypassThreshold(cfg Config) Table {
+	t := Table{
+		ID:     "Abl 4",
+		Title:  "Journal bypass threshold Tj: mixed-size write IOPS",
+		Header: []string{"Tj", "IOPS", "journal-bytes", "bypass-bytes"},
+	}
+	for _, tj := range []int{4 * util.KiB, 64 * util.KiB, 16 * util.MiB} {
+		c, err := core.New(core.Options{
+			Machines: 3, SSDsPerMachine: 2, HDDsPerMachine: 4,
+			Mode: core.Hybrid, Clock: clock.Realtime,
+			SSDModel: benchSSD(), HDDModel: benchHDD(), HDDJournal: true,
+			NetLatency: netLatency, BypassThreshold: tj,
+			ReplTimeout: 5 * time.Second, CallTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			continue
+		}
+		cl := c.NewClient("abl")
+		vd, err := openBenchVDisk(cl, 2*util.GiB)
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			c.Close()
+			continue
+		}
+		// Mixed sizes per the Fig 1 distribution: mostly ≤8 KB with a
+		// large tail.
+		res := workload.Run(clock.Realtime, vd, workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 16 * util.KiB,
+			QueueDepth: 16, Ops: 100000, Seed: cfg.Seed,
+			MaxTime: cfg.cellTime() / 2,
+		})
+		var jBytes, total int64
+		for _, m := range c.Machines {
+			for _, js := range m.JournalSets() {
+				st := js.Stats()
+				for _, j := range st.Journals {
+					jBytes += j.Bytes
+				}
+			}
+			for _, s := range m.Servers {
+				total += s.Stats().BytesWritten
+			}
+		}
+		bypass := total - jBytes
+		if bypass < 0 {
+			bypass = 0
+		}
+		t.Rows = append(t.Rows, []string{
+			util.FormatBytes(int64(tj)),
+			util.FormatCount(res.IOPS()),
+			util.FormatBytes(jBytes),
+			util.FormatBytes(bypass),
+		})
+		vd.Close()
+		cl.Close()
+		c.Close()
+	}
+	t.Notes = append(t.Notes,
+		"writes at 16KB: Tj=4KB forces them to random HDD writes; Tj≥64KB journals them (§3.2)")
+	return t
+}
+
+// openBenchVDisk creates and opens a bench vdisk through a client portal.
+func openBenchVDisk(cl *client.Client, size int64) (*client.VDisk, error) {
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{Name: "abl", Size: size}); err != nil {
+		return nil, fmt.Errorf("create: %w", err)
+	}
+	return cl.Open("abl")
+}

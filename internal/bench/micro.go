@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"syscall"
+
+	"ursa/internal/clock"
+	"ursa/internal/core"
+	"ursa/internal/util"
+	"ursa/internal/workload"
+)
+
+// volumeSize for the micro-benchmarks: a few GB so random 4 KB I/O spreads
+// over many chunks.
+const microVolume = 4 * util.GiB
+
+// Fig06a regenerates random IOPS (BS=4KB, QD=16) for the four systems.
+func Fig06a(cfg Config) Table {
+	return microCompare(cfg, Table{
+		ID:    "Fig 6a",
+		Title: "Random IOPS (BS=4KB, QD=16)",
+	}, workload.Spec{
+		BlockSize: 4 * util.KiB, QueueDepth: 16, Ops: 200000,
+		WorkingSet: microVolume / 2, MaxTime: cfg.cellTime(),
+	}, func(r workload.Result) string { return util.FormatCount(r.IOPS()) })
+}
+
+// Fig06b regenerates random I/O latency (BS=4KB, QD=1).
+func Fig06b(cfg Config) Table {
+	return microCompare(cfg, Table{
+		ID:    "Fig 6b",
+		Title: "Random I/O latency (BS=4KB, QD=1), mean",
+	}, workload.Spec{
+		BlockSize: 4 * util.KiB, QueueDepth: 1, Ops: 20000,
+		WorkingSet: microVolume / 2, MaxTime: cfg.cellTime(),
+	}, func(r workload.Result) string { return us(r.Lat.Mean()) })
+}
+
+// Fig06c regenerates sequential throughput (BS=1MB, QD=1). For
+// Ursa-Hybrid's writes this is the deliberate worst case: 1 MB exceeds Tj,
+// so backup writes bypass journals and go directly to HDDs (§6.1).
+func Fig06c(cfg Config) Table {
+	return microCompare(cfg, Table{
+		ID:    "Fig 6c",
+		Title: "Sequential throughput (BS=1MB, QD=1), MB/s",
+	}, workload.Spec{
+		BlockSize: 1 * util.MiB, QueueDepth: 1, Ops: 5000,
+		WorkingSet: microVolume / 2, MaxTime: cfg.cellTime(),
+	}, func(r workload.Result) string { return f1(r.MBps()) })
+}
+
+// microCompare runs the read and write variants of spec on all systems.
+func microCompare(cfg Config, t Table, spec workload.Spec,
+	metric func(workload.Result) string) Table {
+
+	t.Header = []string{"system", "read", "write"}
+	systems, err := buildComparison(microVolume)
+	if err != nil {
+		t.Notes = append(t.Notes, "build failed: "+err.Error())
+		return t
+	}
+	defer func() {
+		for _, s := range systems {
+			s.close()
+		}
+	}()
+	for _, s := range systems {
+		rs, ws := spec, spec
+		rs.Pattern, rs.Seed = workload.RandRead, cfg.Seed+11
+		ws.Pattern, ws.Seed = workload.RandWrite, cfg.Seed+12
+		if spec.BlockSize >= util.MiB {
+			rs.Pattern, ws.Pattern = workload.SeqRead, workload.SeqWrite
+		}
+		rres := workload.Run(clock.Realtime, s.dev, rs)
+		wres := workload.Run(clock.Realtime, s.dev, ws)
+		t.Rows = append(t.Rows, []string{s.name, metric(rres), metric(wres)})
+	}
+	return t
+}
+
+// cpuSeconds reads process CPU time (user+system) via getrusage.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}
+
+// Fig07 regenerates IOPS efficiency (IOPS per CPU core, §6.1): a 4 MB hot
+// set inside one chunk, with per-run process CPU accounting. The paper
+// splits client/server cores; all our components share one process, so the
+// ratio is end-to-end IOPS per busy core — the same orders-of-magnitude
+// comparison.
+func Fig07(cfg Config) Table {
+	t := Table{
+		ID:     "Fig 7",
+		Title:  "IOPS efficiency (IOPS per CPU core, end-to-end)",
+		Header: []string{"system", "read", "write"},
+	}
+	systems, err := buildComparison(microVolume)
+	if err != nil {
+		t.Notes = append(t.Notes, "build failed: "+err.Error())
+		return t
+	}
+	defer func() {
+		for _, s := range systems {
+			s.close()
+		}
+	}()
+	measure := func(dev workload.Device, pattern workload.Pattern) float64 {
+		spec := workload.Spec{
+			Pattern: pattern, BlockSize: 4 * util.KiB, QueueDepth: 16,
+			Ops: 200000, WorkingSet: 4 * util.MiB,
+			Seed: cfg.Seed + 21, MaxTime: cfg.cellTime(),
+		}
+		cpu0 := cpuSeconds()
+		res := workload.Run(clock.Realtime, dev, spec)
+		cpu := cpuSeconds() - cpu0
+		if cpu <= 0 {
+			return 0
+		}
+		return float64(res.Ops) / cpu
+	}
+	for _, s := range systems {
+		r := measure(s.dev, workload.RandRead)
+		w := measure(s.dev, workload.RandWrite)
+		t.Rows = append(t.Rows, []string{s.name, util.FormatCount(r), util.FormatCount(w)})
+	}
+	t.Notes = append(t.Notes,
+		"process-wide CPU (client+servers); paper reports per-side cores")
+	return t
+}
+
+// Fig08 regenerates sequential read IOPS vs queue depth.
+func Fig08(cfg Config) Table {
+	return seqVsQD(cfg, "Fig 8", "Sequential read IOPS vs queue depth (BS=4KB)",
+		workload.SeqRead)
+}
+
+// Fig09 regenerates sequential write IOPS vs queue depth.
+func Fig09(cfg Config) Table {
+	return seqVsQD(cfg, "Fig 9", "Sequential write IOPS vs queue depth (BS=4KB)",
+		workload.SeqWrite)
+}
+
+func seqVsQD(cfg Config, id, title string, pattern workload.Pattern) Table {
+	qds := []int{1, 2, 4, 8, 16}
+	t := Table{ID: id, Title: title,
+		Header: []string{"system", "qd1", "qd2", "qd4", "qd8", "qd16"}}
+	systems, err := buildComparison(microVolume)
+	if err != nil {
+		t.Notes = append(t.Notes, "build failed: "+err.Error())
+		return t
+	}
+	defer func() {
+		for _, s := range systems {
+			s.close()
+		}
+	}()
+	for _, s := range systems {
+		row := []string{s.name}
+		for _, qd := range qds {
+			spec := workload.Spec{
+				Pattern: pattern, BlockSize: 4 * util.KiB, QueueDepth: qd,
+				Ops: 100000, WorkingSet: 512 * util.MiB,
+				Seed: cfg.Seed + uint64(qd), MaxTime: cfg.cellTime() / 2,
+			}
+			res := workload.Run(clock.Realtime, s.dev, spec)
+			row = append(row, util.FormatCount(res.IOPS()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// buildHybridForBench is shared by design/scale benches needing one URSA
+// hybrid cluster of n machines.
+func buildHybridForBench(machines int, volumeSize int64) (*ursaSUT, error) {
+	return buildUrsa(core.Hybrid, machines, volumeSize, 1)
+}

@@ -1,0 +1,158 @@
+// Package blockstore manages fixed-size data chunks on a single disk.
+// Chunks are the unit of replication and placement (64 MB, §2): a primary
+// chunk server keeps its chunks on an SSD blockstore, a backup server on an
+// HDD blockstore behind a journal.
+package blockstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// ChunkID identifies a chunk globally (vdisk + index packed by the master).
+type ChunkID uint64
+
+// String renders the id as vdisk/index for logs.
+func (id ChunkID) String() string {
+	return fmt.Sprintf("c%d.%d", uint64(id)>>32, uint64(id)&0xffffffff)
+}
+
+// MakeChunkID packs a vdisk id and a chunk index into a ChunkID.
+func MakeChunkID(vdisk uint32, index uint32) ChunkID {
+	return ChunkID(uint64(vdisk)<<32 | uint64(index))
+}
+
+// VDisk returns the vdisk component of the id.
+func (id ChunkID) VDisk() uint32 { return uint32(uint64(id) >> 32) }
+
+// Index returns the chunk-index component of the id.
+func (id ChunkID) Index() uint32 { return uint32(uint64(id)) }
+
+// Store places chunks at 64 MB-aligned slots on one disk and routes
+// chunk-relative I/O to them. It is safe for concurrent use; actual I/O
+// parallelism is the disk's business.
+type Store struct {
+	disk simdisk.Disk
+
+	mu    sync.RWMutex
+	slots map[ChunkID]int64 // chunk -> byte offset of its slot
+	free  []int64           // recycled slot offsets
+	next  int64             // bump allocator past the last slot
+	limit int64             // capacity reserved for chunk slots
+}
+
+// New returns a store using up to limit bytes of disk (0 means the whole
+// disk).
+func New(disk simdisk.Disk, limit int64) *Store {
+	if limit <= 0 || limit > disk.Size() {
+		limit = disk.Size()
+	}
+	return &Store{
+		disk:  disk,
+		slots: make(map[ChunkID]int64),
+		limit: util.AlignDown(limit, util.ChunkSize),
+	}
+}
+
+// Create allocates a slot for id. The chunk reads as zeros until written.
+func (s *Store) Create(id ChunkID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.slots[id]; ok {
+		return fmt.Errorf("blockstore: chunk %v: %w", id, util.ErrExists)
+	}
+	var off int64
+	if n := len(s.free); n > 0 {
+		off = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		if s.next+util.ChunkSize > s.limit {
+			return fmt.Errorf("blockstore: disk full creating %v: %w", id, util.ErrQuota)
+		}
+		off = s.next
+		s.next += util.ChunkSize
+	}
+	s.slots[id] = off
+	return nil
+}
+
+// Delete releases the chunk's slot. Deleting a missing chunk is an error.
+func (s *Store) Delete(id ChunkID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off, ok := s.slots[id]
+	if !ok {
+		return fmt.Errorf("blockstore: chunk %v: %w", id, util.ErrNotFound)
+	}
+	delete(s.slots, id)
+	s.free = append(s.free, off)
+	return nil
+}
+
+// Has reports whether the chunk exists.
+func (s *Store) Has(id ChunkID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.slots[id]
+	return ok
+}
+
+// Chunks returns all chunk ids, sorted, for recovery enumeration.
+func (s *Store) Chunks() []ChunkID {
+	s.mu.RLock()
+	ids := make([]ChunkID, 0, len(s.slots))
+	for id := range s.slots {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// locate validates the range and returns the chunk's base offset.
+func (s *Store) locate(id ChunkID, off int64, n int) (int64, error) {
+	if off < 0 || off+int64(n) > util.ChunkSize {
+		return 0, fmt.Errorf("blockstore: chunk %v [%d,%d): %w",
+			id, off, off+int64(n), util.ErrOutOfRange)
+	}
+	s.mu.RLock()
+	base, ok := s.slots[id]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("blockstore: chunk %v: %w", id, util.ErrNotFound)
+	}
+	return base, nil
+}
+
+// ReadAt reads len(p) bytes at chunk-relative offset off.
+func (s *Store) ReadAt(id ChunkID, p []byte, off int64) error {
+	base, err := s.locate(id, off, len(p))
+	if err != nil {
+		return err
+	}
+	return s.disk.ReadAt(p, base+off)
+}
+
+// WriteAt writes p at chunk-relative offset off.
+func (s *Store) WriteAt(id ChunkID, p []byte, off int64) error {
+	base, err := s.locate(id, off, len(p))
+	if err != nil {
+		return err
+	}
+	return s.disk.WriteAt(p, base+off)
+}
+
+// Disk exposes the underlying device (journal replayers check its queue
+// depth; stats collectors read its counters).
+func (s *Store) Disk() simdisk.Disk { return s.disk }
+
+// Len returns the number of chunks resident.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.slots)
+}

@@ -1,0 +1,64 @@
+package cachesim
+
+import (
+	"testing"
+
+	"ursa/internal/trace"
+	"ursa/internal/util"
+)
+
+func TestReplayBasics(t *testing.T) {
+	recs := []trace.Record{
+		{Write: true, Off: 0, Size: 4096},     // populates block 0
+		{Write: false, Off: 0, Size: 4096},    // hit
+		{Write: false, Off: 8192, Size: 4096}, // miss (fresh block)
+		{Write: false, Off: 8192, Size: 4096}, // hit (now cached)
+	}
+	res := Replay("t", recs)
+	if res.Reads != 3 || res.ReadHits != 2 || res.Writes != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.HitRatio < 0.66 || res.HitRatio > 0.67 {
+		t.Errorf("hit ratio = %v", res.HitRatio)
+	}
+}
+
+func TestReplayPartialHitIsMiss(t *testing.T) {
+	recs := []trace.Record{
+		{Write: true, Off: 0, Size: 4096},
+		// Read spans a cached and an uncached block: counts as a miss.
+		{Write: false, Off: 0, Size: 8192},
+	}
+	res := Replay("t", recs)
+	if res.ReadHits != 0 {
+		t.Errorf("partial overlap counted as hit: %+v", res)
+	}
+}
+
+func TestFig2Separation(t *testing.T) {
+	// The synthetic catalog must reproduce Fig 2's structure: exactly the
+	// 17 flagged volumes fall below the 75% read-hit threshold under the
+	// paper's optimistic cache model.
+	const ops = 30000
+	for i, e := range trace.Catalog() {
+		recs := e.Profile.Generate(uint64(100+i), ops)
+		res := Replay(e.Name, recs)
+		if e.LowHit && res.HitRatio >= LowHitThreshold {
+			t.Errorf("%s: hit %.2f, expected < %.2f", e.Name, res.HitRatio, LowHitThreshold)
+		}
+		if !e.LowHit && res.HitRatio < LowHitThreshold {
+			t.Errorf("%s: hit %.2f, expected ≥ %.2f", e.Name, res.HitRatio, LowHitThreshold)
+		}
+	}
+}
+
+func TestReplayEmptyAndWriteOnly(t *testing.T) {
+	if res := Replay("empty", nil); res.HitRatio != 0 || res.Reads != 0 {
+		t.Errorf("empty = %+v", res)
+	}
+	recs := []trace.Record{{Write: true, Off: 0, Size: util.MiB}}
+	res := Replay("w", recs)
+	if res.Reads != 0 || res.Blocks != util.MiB/(4*util.KiB) {
+		t.Errorf("write-only = %+v", res)
+	}
+}

@@ -1,0 +1,64 @@
+package chunkserver
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ursa/internal/journal"
+)
+
+// repairMod is one range of repair data: journal.Mod plus its bytes.
+type repairMod struct {
+	journal.Mod
+	Data []byte
+}
+
+// encodeRepair packs mods into a payload:
+//
+//	count uint32, then per mod: version uint64, off int64, len uint32, data.
+func encodeRepair(mods []repairMod) []byte {
+	size := 4
+	for _, m := range mods {
+		size += 8 + 8 + 4 + len(m.Data)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(mods)))
+	pos := 4
+	for _, m := range mods {
+		binary.LittleEndian.PutUint64(buf[pos:], m.Version)
+		binary.LittleEndian.PutUint64(buf[pos+8:], uint64(m.Off))
+		binary.LittleEndian.PutUint32(buf[pos+16:], uint32(len(m.Data)))
+		pos += 20
+		copy(buf[pos:], m.Data)
+		pos += len(m.Data)
+	}
+	return buf
+}
+
+// decodeRepair unpacks a repair payload.
+func decodeRepair(buf []byte) ([]repairMod, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("chunkserver: short repair payload")
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	pos := 4
+	mods := make([]repairMod, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(buf)-pos < 20 {
+			return nil, fmt.Errorf("chunkserver: truncated repair mod %d", i)
+		}
+		var m repairMod
+		m.Version = binary.LittleEndian.Uint64(buf[pos:])
+		m.Off = int64(binary.LittleEndian.Uint64(buf[pos+8:]))
+		n := int(binary.LittleEndian.Uint32(buf[pos+16:]))
+		pos += 20
+		if len(buf)-pos < n {
+			return nil, fmt.Errorf("chunkserver: truncated repair data %d", i)
+		}
+		m.Len = n
+		m.Data = buf[pos : pos+n]
+		pos += n
+		mods = append(mods, m)
+	}
+	return mods, nil
+}

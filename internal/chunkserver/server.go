@@ -1,0 +1,829 @@
+package chunkserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/clock"
+	"ursa/internal/journal"
+	"ursa/internal/proto"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+// Config parameterizes a chunk server.
+type Config struct {
+	// Addr is the server's address on its transport fabric.
+	Addr string
+	// Role selects primary (SSD store) or backup (HDD store + journals).
+	Role Role
+	// Clock supplies time.
+	Clock clock.Clock
+	// Dialer reaches peer servers for replication and recovery.
+	Dialer transport.Dialer
+	// ReplTimeout is how long the primary waits for backup acks before
+	// falling back to the majority rule (§4.2.1).
+	ReplTimeout time.Duration
+	// BypassThreshold is Tj: backup writes larger than this skip the
+	// journal (§3.2). 0 means the 64 KB paper default.
+	BypassThreshold int
+	// LiteCap bounds the per-chunk journal-lite history.
+	LiteCap int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.Realtime
+	}
+	if c.ReplTimeout <= 0 {
+		c.ReplTimeout = 500 * time.Millisecond
+	}
+	if c.BypassThreshold <= 0 {
+		c.BypassThreshold = 64 * util.KiB
+	}
+	if c.LiteCap <= 0 {
+		c.LiteCap = 4096
+	}
+}
+
+// Stats counts server activity for the efficiency benches (Fig 7).
+type Stats struct {
+	Reads, Writes, Replicates int64
+	BytesRead, BytesWritten   int64
+	Repairs, Clones           int64
+	UpgradeGen                int64
+}
+
+// Server is one chunk-server process.
+type Server struct {
+	cfg   Config
+	store *blockstore.Store
+	jset  *journal.Set // nil for primaries
+
+	mu     sync.Mutex
+	chunks map[blockstore.ChunkID]*chunkState
+	peers  map[string]*transport.Client
+
+	inflight atomic.Int64
+	draining atomic.Bool
+	upGen    atomic.Int64
+
+	reads, writes, replicates  atomic.Int64
+	bytesRead, bytesWritten    atomic.Int64
+	repairCount, cloneCount    atomic.Int64
+	degradedCommits, noQuorums atomic.Int64
+
+	rpc *transport.Server
+}
+
+// New creates a chunk server over store (and jset for backups; nil for
+// primaries).
+func New(cfg Config, store *blockstore.Store, jset *journal.Set) *Server {
+	cfg.fillDefaults()
+	if cfg.Role == RoleBackup && jset == nil {
+		panic("chunkserver: backup role requires a journal set")
+	}
+	return &Server{
+		cfg:    cfg,
+		store:  store,
+		jset:   jset,
+		chunks: make(map[blockstore.ChunkID]*chunkState),
+		peers:  make(map[string]*transport.Client),
+	}
+}
+
+// Serve starts handling requests on l. It returns immediately.
+func (s *Server) Serve(l transport.Listener) {
+	s.rpc = transport.Serve(l, s.Handle)
+}
+
+// Close stops the RPC server and the journal replayer.
+func (s *Server) Close() {
+	if s.rpc != nil {
+		s.rpc.Close()
+	}
+	s.mu.Lock()
+	peers := s.peers
+	s.peers = map[string]*transport.Client{}
+	s.mu.Unlock()
+	for _, p := range peers {
+		p.Close()
+	}
+	if s.jset != nil {
+		s.jset.Close()
+	}
+}
+
+// Addr returns the configured address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Role returns the server role.
+func (s *Server) Role() Role { return s.cfg.Role }
+
+// Stats returns an activity snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Reads:        s.reads.Load(),
+		Writes:       s.writes.Load(),
+		Replicates:   s.replicates.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Repairs:      s.repairCount.Load(),
+		Clones:       s.cloneCount.Load(),
+		UpgradeGen:   s.upGen.Load(),
+	}
+}
+
+// chunk returns the state for id, or nil.
+func (s *Server) chunk(id blockstore.ChunkID) *chunkState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chunks[id]
+}
+
+// peer returns a cached RPC client to addr, dialing on demand.
+func (s *Server) peer(addr string) (*transport.Client, error) {
+	s.mu.Lock()
+	if c, ok := s.peers[addr]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	conn, err := s.cfg.Dialer.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := transport.NewClient(conn, s.cfg.Clock)
+	s.mu.Lock()
+	if old, ok := s.peers[addr]; ok {
+		s.mu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	s.peers[addr] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// dropPeer evicts a failed cached connection so the next use redials.
+func (s *Server) dropPeer(addr string, c *transport.Client) {
+	s.mu.Lock()
+	if s.peers[addr] == c {
+		delete(s.peers, addr)
+	}
+	s.mu.Unlock()
+	c.Close()
+}
+
+// Handle dispatches one request; it is the transport.Handler.
+func (s *Server) Handle(m *proto.Message) *proto.Message {
+	// Graceful upgrade: brief pause while the new "process" takes over.
+	for s.draining.Load() {
+		s.cfg.Clock.Sleep(200 * time.Microsecond)
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	switch m.Op {
+	case proto.OpNop:
+		return m.Reply(proto.StatusOK)
+	case proto.OpRead:
+		return s.handleRead(m)
+	case proto.OpWrite:
+		return s.handleWrite(m, true)
+	case proto.OpWritePrimary:
+		return s.handleWrite(m, false)
+	case proto.OpReplicate:
+		return s.handleReplicate(m)
+	case proto.OpGetVersion:
+		return s.handleGetVersion(m)
+	case proto.OpCreateChunk:
+		return s.handleCreateChunk(m)
+	case proto.OpDeleteChunk:
+		return s.handleDeleteChunk(m)
+	case proto.OpRepairSince:
+		return s.handleRepairSince(m)
+	case proto.OpApplyRepair:
+		return s.handleApplyRepair(m)
+	case proto.OpFetchChunk:
+		return s.handleFetchChunk(m)
+	case proto.OpSetView:
+		return s.handleSetView(m)
+	case proto.OpCloneChunk:
+		return s.handleCloneChunk(m)
+	case proto.OpRepairFrom:
+		return s.handleRepairFrom(m)
+	case proto.OpUpgrade:
+		go s.Upgrade()
+		return m.Reply(proto.StatusOK)
+	default:
+		return m.Reply(proto.StatusError)
+	}
+}
+
+// CreateChunkReq is the JSON payload of OpCreateChunk.
+type CreateChunkReq struct {
+	// Backups are peer addresses the primary replicates to (primary only).
+	Backups []string `json:"backups,omitempty"`
+	// View is the chunk's initial view number.
+	View uint64 `json:"view"`
+	// Version seeds the replica version (non-zero when re-creating a
+	// replica that will be cloned to a known state).
+	Version uint64 `json:"version,omitempty"`
+}
+
+func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
+	var req CreateChunkReq
+	if len(m.Payload) > 0 {
+		if err := json.Unmarshal(m.Payload, &req); err != nil {
+			return m.Reply(proto.StatusError)
+		}
+	}
+	if err := s.store.Create(m.Chunk); err != nil {
+		if errors.Is(err, util.ErrExists) {
+			return m.Reply(proto.StatusExists)
+		}
+		return m.Reply(proto.StatusQuota)
+	}
+	cs := newChunkState(req.View, req.Backups, s.cfg.LiteCap)
+	cs.version = req.Version
+	s.mu.Lock()
+	s.chunks[m.Chunk] = cs
+	s.mu.Unlock()
+	return m.Reply(proto.StatusOK)
+}
+
+func (s *Server) handleDeleteChunk(m *proto.Message) *proto.Message {
+	s.mu.Lock()
+	cs := s.chunks[m.Chunk]
+	delete(s.chunks, m.Chunk)
+	s.mu.Unlock()
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	cs.deleted = true
+	cs.mu.Unlock()
+	if s.jset != nil {
+		s.jset.DropChunk(m.Chunk)
+	}
+	if err := s.store.Delete(m.Chunk); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	return m.Reply(proto.StatusOK)
+}
+
+func (s *Server) handleGetVersion(m *proto.Message) *proto.Message {
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	r := m.Reply(proto.StatusOK)
+	r.Version = cs.version
+	r.View = cs.view
+	return r
+}
+
+func (s *Server) handleSetView(m *proto.Message) *proto.Message {
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if m.View < cs.view {
+		return m.Reply(proto.StatusStaleView)
+	}
+	cs.view = m.View
+	if len(m.Payload) > 0 {
+		var req CreateChunkReq
+		if err := json.Unmarshal(m.Payload, &req); err == nil && req.Backups != nil {
+			cs.backups = req.Backups
+		}
+	}
+	r := m.Reply(proto.StatusOK)
+	r.View = cs.view
+	r.Version = cs.version
+	return r
+}
+
+// handleRead serves a read from the local replica. Any replica with data at
+// least as new as the client's version may serve (§4.1); primaries read
+// the SSD store, backups resolve journal extents first.
+func (s *Server) handleRead(m *proto.Message) *proto.Message {
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	if cs.view != m.View {
+		r := m.Reply(proto.StatusStaleView)
+		r.View = cs.view
+		cs.mu.Unlock()
+		return r
+	}
+	if cs.version < m.Version {
+		// We lag the client's committed state: refuse rather than serve
+		// stale data; the client will pick another replica or trigger
+		// repair.
+		r := m.Reply(proto.StatusBehind)
+		r.Version = cs.version
+		cs.mu.Unlock()
+		return r
+	}
+	ver := cs.version
+	cs.mu.Unlock()
+
+	buf := make([]byte, m.Length)
+	var err error
+	if s.jset != nil {
+		err = s.jset.Read(m.Chunk, buf, m.Off)
+	} else {
+		err = s.store.ReadAt(m.Chunk, buf, m.Off)
+	}
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	s.reads.Add(1)
+	s.bytesRead.Add(int64(len(buf)))
+	r := m.Reply(proto.StatusOK)
+	r.Version = ver
+	r.Payload = buf
+	return r
+}
+
+// checkWriteVersionLocked applies the paper's version rules (§4.2.1) for a
+// write carrying version v against state cs. It returns (skipLocal, resp):
+// a non-nil resp short-circuits the request.
+func (s *Server) checkWriteVersionLocked(cs *chunkState, m *proto.Message) (bool, *proto.Message) {
+	if cs.view != m.View {
+		r := m.Reply(proto.StatusStaleView)
+		r.View = cs.view
+		return false, r
+	}
+	switch {
+	case m.Version == cs.version:
+		return false, nil
+	case m.Version == cs.version-1:
+		// Already applied here (retry after a partial failure): skip the
+		// local write but still forward/ack (§4.2.1).
+		return true, nil
+	case m.Version < cs.version:
+		r := m.Reply(proto.StatusStaleVersion)
+		r.Version = cs.version
+		return false, r
+	default: // m.Version > cs.version
+		// A predecessor pipelined write may still be applying; wait for
+		// our slot, then recheck.
+		if !cs.waitVersionLocked(m.Version, s.cfg.Clock, s.cfg.ReplTimeout) {
+			r := m.Reply(proto.StatusBehind)
+			r.Version = cs.version
+			return false, r
+		}
+		if m.Version == cs.version-1 {
+			return true, nil
+		}
+		if m.Version != cs.version {
+			r := m.Reply(proto.StatusStaleVersion)
+			r.Version = cs.version
+			return false, r
+		}
+		return false, nil
+	}
+}
+
+// handleWrite is the primary write path: apply locally, optionally
+// replicate to backups (forward=false under client-directed replication),
+// and commit by the all-or-majority-after-timeout rule.
+func (s *Server) handleWrite(m *proto.Message, forward bool) *proto.Message {
+	if err := validRange(m.Off, len(m.Payload)); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	skipLocal, resp := s.checkWriteVersionLocked(cs, m)
+	if resp != nil {
+		cs.mu.Unlock()
+		return resp
+	}
+	// Replication overlaps the local write: the primary starts the
+	// fan-out immediately and performs its own write while the data is in
+	// flight to the backups, so the end-to-end latency is max(local,
+	// backup), not their sum. Backups order pipelined versions themselves.
+	var replCh chan bool
+	if forward && len(cs.backups) > 0 {
+		backups := cs.backups
+		replCh = make(chan bool, 1)
+		go func() { replCh <- s.replicateToBackups(backups, m) }()
+	}
+	if !skipLocal {
+		if err := s.store.WriteAt(m.Chunk, m.Payload, m.Off); err != nil {
+			cs.mu.Unlock()
+			if replCh != nil {
+				<-replCh
+			}
+			return m.Reply(proto.StatusError)
+		}
+		cs.lite.Record(m.Version+1, m.Off, len(m.Payload))
+		cs.version++
+	}
+	newVer := cs.version
+	cs.mu.Unlock()
+
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(m.Payload)))
+
+	if replCh != nil && !<-replCh {
+		s.noQuorums.Add(1)
+		r := m.Reply(proto.StatusError)
+		r.Version = newVer
+		return r
+	}
+	r := m.Reply(proto.StatusOK)
+	r.Version = newVer
+	return r
+}
+
+// replicateToBackups fans the write out and applies the commit rule: true
+// when all backups ack, or when a majority of the replica group (backups
+// plus this primary) acks within the timeout (§4.2.1).
+func (s *Server) replicateToBackups(backups []string, m *proto.Message) bool {
+	type result struct{ ok bool }
+	results := make(chan result, len(backups))
+	for _, addr := range backups {
+		go func(addr string) {
+			req := &proto.Message{
+				Op:      proto.OpReplicate,
+				Chunk:   m.Chunk,
+				Off:     m.Off,
+				View:    m.View,
+				Version: m.Version,
+				Payload: m.Payload,
+			}
+			cli, err := s.peer(addr)
+			if err != nil {
+				results <- result{false}
+				return
+			}
+			resp, err := cli.Call(req, s.cfg.ReplTimeout)
+			if err != nil {
+				if !errors.Is(err, util.ErrTimeout) {
+					s.dropPeer(addr, cli)
+				}
+				results <- result{false}
+				return
+			}
+			results <- result{resp.Status == proto.StatusOK}
+		}(addr)
+	}
+	acks := 1 // self
+	total := len(backups) + 1
+	failures := 0
+	for i := 0; i < len(backups); i++ {
+		if r := <-results; r.ok {
+			acks++
+		} else {
+			failures++
+		}
+	}
+	if failures == 0 {
+		return true
+	}
+	if acks*2 > total {
+		// Majority committed: availability preserved at a transient
+		// durability discount; the master is told to repair (§4.2.1).
+		s.degradedCommits.Add(1)
+		return true
+	}
+	return false
+}
+
+// handleReplicate is the backup write path: journal small writes, bypass
+// for large ones (§3.2).
+func (s *Server) handleReplicate(m *proto.Message) *proto.Message {
+	if err := validRange(m.Off, len(m.Payload)); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	skipLocal, resp := s.checkWriteVersionLocked(cs, m)
+	if resp != nil {
+		cs.mu.Unlock()
+		return resp
+	}
+	if !skipLocal {
+		if err := s.applyBackupWrite(m); err != nil {
+			cs.mu.Unlock()
+			return m.Reply(proto.StatusError)
+		}
+		cs.lite.Record(m.Version+1, m.Off, len(m.Payload))
+		cs.version++
+	}
+	newVer := cs.version
+	cs.mu.Unlock()
+
+	s.replicates.Add(1)
+	s.bytesWritten.Add(int64(len(m.Payload)))
+	r := m.Reply(proto.StatusOK)
+	r.Version = newVer
+	return r
+}
+
+// applyBackupWrite routes a backup write through the journal or directly to
+// the HDD, falling back to a direct write when journals overflow entirely.
+func (s *Server) applyBackupWrite(m *proto.Message) error {
+	if s.jset == nil {
+		// A primary-role server can hold backup replicas in SSD-only
+		// deployments (Ursa-SSD mode): plain store write.
+		return s.store.WriteAt(m.Chunk, m.Payload, m.Off)
+	}
+	if len(m.Payload) <= s.cfg.BypassThreshold {
+		err := s.jset.Append(m.Chunk, m.Off, m.Payload, m.Version+1)
+		if errors.Is(err, util.ErrQuota) {
+			return s.jset.WriteDirect(m.Chunk, m.Payload, m.Off)
+		}
+		return err
+	}
+	return s.jset.WriteDirect(m.Chunk, m.Payload, m.Off)
+}
+
+// handleRepairSince serves incremental repair: the ranges modified after
+// m.Version plus their current data (§4.2.1).
+func (s *Server) handleRepairSince(m *proto.Message) *proto.Message {
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	mods, ok := cs.lite.Since(m.Version)
+	ver := cs.version
+	cs.mu.Unlock()
+	if !ok {
+		// History evicted: the whole chunk must be transferred instead.
+		r := m.Reply(proto.StatusFallback)
+		r.Version = ver
+		return r
+	}
+	out := make([]repairMod, 0, len(mods))
+	for _, mod := range mods {
+		buf := make([]byte, mod.Len)
+		var err error
+		if s.jset != nil {
+			err = s.jset.Read(m.Chunk, buf, mod.Off)
+		} else {
+			err = s.store.ReadAt(m.Chunk, buf, mod.Off)
+		}
+		if err != nil {
+			return m.Reply(proto.StatusError)
+		}
+		out = append(out, repairMod{Mod: mod, Data: buf})
+	}
+	s.repairCount.Add(1)
+	r := m.Reply(proto.StatusOK)
+	r.Version = ver
+	r.Payload = encodeRepair(out)
+	return r
+}
+
+// handleApplyRepair installs repair data and adopts the source's version
+// (carried in m.Version).
+func (s *Server) handleApplyRepair(m *proto.Message) *proto.Message {
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	mods, err := decodeRepair(m.Payload)
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, mod := range mods {
+		if mod.Version <= cs.version {
+			continue // already have it
+		}
+		var werr error
+		if s.jset != nil {
+			werr = s.jset.WriteDirect(m.Chunk, mod.Data, mod.Off)
+		} else {
+			werr = s.store.WriteAt(m.Chunk, mod.Data, mod.Off)
+		}
+		if werr != nil {
+			return m.Reply(proto.StatusError)
+		}
+		cs.lite.Record(mod.Version, mod.Off, len(mod.Data))
+		s.bytesWritten.Add(int64(len(mod.Data)))
+	}
+	if m.Version > cs.version {
+		cs.version = m.Version
+	}
+	s.repairCount.Add(1)
+	r := m.Reply(proto.StatusOK)
+	r.Version = cs.version
+	return r
+}
+
+// handleFetchChunk serves raw chunk data for recovery transfers. Backups
+// resolve journal extents so the fetched data reflects all appended writes
+// (§6.2's recovery "from both backup HDDs and SSD journals").
+func (s *Server) handleFetchChunk(m *proto.Message) *proto.Message {
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	if err := validRange(m.Off, int(m.Length)); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	buf := make([]byte, m.Length)
+	var err error
+	if s.jset != nil {
+		err = s.jset.Read(m.Chunk, buf, m.Off)
+	} else {
+		err = s.store.ReadAt(m.Chunk, buf, m.Off)
+	}
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs.mu.Lock()
+	ver := cs.version
+	cs.mu.Unlock()
+	r := m.Reply(proto.StatusOK)
+	r.Version = ver
+	r.Payload = buf
+	return r
+}
+
+// CloneChunkReq is the JSON payload of OpCloneChunk.
+type CloneChunkReq struct {
+	// Source is the address of the replica to copy from.
+	Source string `json:"source"`
+}
+
+// cloneFetchSize is the transfer granularity of recovery copies.
+const cloneFetchSize = 1 * util.MiB
+
+// handleCloneChunk pulls the whole chunk from a source replica, installing
+// its data and version locally. The master invokes it on newly allocated
+// replicas during failure recovery (§4.2.2); the transfer is what Fig 12
+// measures.
+func (s *Server) handleCloneChunk(m *proto.Message) *proto.Message {
+	var req CloneChunkReq
+	if err := json.Unmarshal(m.Payload, &req); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cli, err := s.peer(req.Source)
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	vresp, err := cli.Call(&proto.Message{Op: proto.OpGetVersion, Chunk: m.Chunk},
+		s.cfg.ReplTimeout)
+	if err != nil || vresp.Status != proto.StatusOK {
+		return m.Reply(proto.StatusError)
+	}
+	srcVersion := vresp.Version
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	// Pipeline the transfer: several fetches in flight while earlier
+	// pieces write locally, so one chunk's recovery is bounded by the
+	// slower of source disk, network, and local disk — not their sum.
+	const clonePipeline = 4
+	type piece struct {
+		off int64
+		ch  <-chan *proto.Message
+	}
+	var inflight []piece
+	issue := func(off int64) {
+		inflight = append(inflight, piece{off, cli.Go(&proto.Message{
+			Op:     proto.OpFetchChunk,
+			Chunk:  m.Chunk,
+			Off:    off,
+			Length: cloneFetchSize,
+		})})
+	}
+	next := int64(0)
+	for ; next < int64(clonePipeline)*cloneFetchSize && next < util.ChunkSize; next += cloneFetchSize {
+		issue(next)
+	}
+	for len(inflight) > 0 {
+		p := inflight[0]
+		inflight = inflight[1:]
+		fresp, ok := <-p.ch
+		if !ok || fresp.Status != proto.StatusOK {
+			return m.Reply(proto.StatusError)
+		}
+		if next < util.ChunkSize {
+			issue(next)
+			next += cloneFetchSize
+		}
+		var werr error
+		if s.jset != nil {
+			werr = s.jset.WriteDirect(m.Chunk, fresp.Payload, p.off)
+		} else {
+			werr = s.store.WriteAt(m.Chunk, fresp.Payload, p.off)
+		}
+		if werr != nil {
+			return m.Reply(proto.StatusError)
+		}
+		s.bytesWritten.Add(int64(len(fresp.Payload)))
+	}
+	if srcVersion > cs.version {
+		cs.version = srcVersion
+	}
+	if m.View > cs.view {
+		cs.view = m.View
+	}
+	s.cloneCount.Add(1)
+	r := m.Reply(proto.StatusOK)
+	r.Version = cs.version
+	return r
+}
+
+// handleRepairFrom pulls incremental repair from a source replica: ask for
+// the mods since our version (journal lite), apply them; when the source's
+// history is garbage-collected, fall back to a full chunk clone (§4.2.1).
+func (s *Server) handleRepairFrom(m *proto.Message) *proto.Message {
+	var req CloneChunkReq
+	if err := json.Unmarshal(m.Payload, &req); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	myVersion := cs.version
+	cs.mu.Unlock()
+
+	cli, err := s.peer(req.Source)
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	resp, err := cli.Call(&proto.Message{
+		Op:      proto.OpRepairSince,
+		Chunk:   m.Chunk,
+		Version: myVersion,
+	}, 10*s.cfg.ReplTimeout)
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	switch resp.Status {
+	case proto.StatusOK:
+		apply := &proto.Message{
+			ID:      m.ID,
+			Op:      proto.OpApplyRepair,
+			Chunk:   m.Chunk,
+			View:    m.View,
+			Version: resp.Version,
+			Payload: resp.Payload,
+		}
+		return s.handleApplyRepair(apply)
+	case proto.StatusFallback:
+		return s.handleCloneChunk(m) // same payload shape: {source}
+	default:
+		return m.Reply(proto.StatusError)
+	}
+}
+
+// Upgrade performs the graceful hot upgrade of §5.2: stop admitting
+// requests, wait for in-flight ones, switch to the "new process"
+// (generation bump), and resume. Real URSA forks a new binary; the
+// observable contract — no failed requests, brief pause, state preserved —
+// is identical.
+func (s *Server) Upgrade() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return // an upgrade is already in progress
+	}
+	for s.inflight.Load() > 1 { // >1: the OpUpgrade handler itself
+		s.cfg.Clock.Sleep(200 * time.Microsecond)
+	}
+	s.upGen.Add(1)
+	s.draining.Store(false)
+}
+
+// validRange checks a sector-aligned in-chunk range.
+func validRange(off int64, n int) error {
+	if off < 0 || n <= 0 || off%util.SectorSize != 0 || n%util.SectorSize != 0 ||
+		off+int64(n) > util.ChunkSize {
+		return fmt.Errorf("chunkserver: bad range [%d,%d): %w",
+			off, off+int64(n), util.ErrOutOfRange)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Package chunkserver implements URSA's primary and backup chunk servers
+// (§3.1, §4.2.1). A primary server keeps chunk replicas on an SSD and
+// drives replication to backups; a backup server keeps replicas on an HDD
+// behind a journal set, absorbing small writes as sequential appends and
+// taking large writes directly (journal bypass).
+//
+// Request execution is out-of-order across chunks and version-ordered
+// within a chunk: concurrently dispatched handlers for one chunk queue on
+// its state until their version is next (§3.4).
+package chunkserver
+
+import (
+	"sync"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/journal"
+)
+
+// Role distinguishes primary (SSD) from backup (HDD+journal) servers.
+type Role int
+
+// Server roles.
+const (
+	RolePrimary Role = iota
+	RoleBackup
+)
+
+func (r Role) String() string {
+	if r == RolePrimary {
+		return "primary"
+	}
+	return "backup"
+}
+
+// chunkState is the per-chunk replication state of one replica.
+type chunkState struct {
+	mu sync.Mutex
+
+	version uint64 // number of applied writes
+	view    uint64 // persistent view number (§4.1)
+
+	// backups are the peer addresses the primary replicates to; empty on
+	// backup replicas.
+	backups []string
+
+	// lite records recent writes for incremental repair (§4.2.1).
+	lite *journal.Lite
+
+	deleted bool
+}
+
+func newChunkState(view uint64, backups []string, liteCap int) *chunkState {
+	return &chunkState{view: view, backups: backups, lite: journal.NewLite(liteCap)}
+}
+
+// versionGapPoll is how often a handler waiting for its version slot
+// rechecks; gaps exist only while a predecessor pipelined write is still
+// applying, so waits are microseconds in the common case.
+const versionGapPoll = 50 * time.Microsecond
+
+// waitVersionLocked blocks until the chunk's version reaches want (an
+// earlier pipelined write is mid-flight), the chunk is deleted, or maxWait
+// elapses. It returns whether want was reached. Called and returns with
+// cs.mu held.
+func (cs *chunkState) waitVersionLocked(want uint64, clk clock.Clock, maxWait time.Duration) bool {
+	var waited time.Duration
+	for cs.version < want && !cs.deleted {
+		if waited >= maxWait {
+			return false
+		}
+		cs.mu.Unlock()
+		clk.Sleep(versionGapPoll)
+		waited += versionGapPoll
+		cs.mu.Lock()
+	}
+	return cs.version >= want && !cs.deleted
+}

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"sync"
+
+	"ursa/internal/util"
+)
+
+// cacheBlock is the caching granularity.
+const cacheBlock = 64 * util.KiB
+
+// cachedDevice is the client-side caching module (§5.1): a write-through
+// read cache with LRU eviction at 64 KB block granularity. The paper's
+// trace analysis (Fig 2) shows limited read locality below the filesystem
+// cache, so this module is optional and off by default — it exists because
+// the client's feature set is pluggable, and the cache-hit experiment uses
+// the same logic.
+type cachedDevice struct {
+	Device
+	mu       sync.Mutex
+	capacity int
+	blocks   map[int64][]byte
+	lru      []int64 // least-recent first
+
+	hits, misses int64
+}
+
+// WithCache wraps dev with a read cache of capacityBytes.
+func WithCache(dev Device, capacityBytes int64) Device {
+	capBlocks := int(capacityBytes / cacheBlock)
+	if capBlocks < 1 {
+		capBlocks = 1
+	}
+	return &cachedDevice{
+		Device:   dev,
+		capacity: capBlocks,
+		blocks:   make(map[int64][]byte),
+	}
+}
+
+// CacheStats reports hit/miss counts of a WithCache device.
+func CacheStats(dev Device) (hits, misses int64, ok bool) {
+	cd, isCache := dev.(*cachedDevice)
+	if !isCache {
+		return 0, 0, false
+	}
+	cd.mu.Lock()
+	defer cd.mu.Unlock()
+	return cd.hits, cd.misses, true
+}
+
+func (cd *cachedDevice) ReadAt(p []byte, off int64) error {
+	if err := checkRange(off, len(p), cd.Size()); err != nil {
+		return err
+	}
+	for done := 0; done < len(p); {
+		blockIdx := (off + int64(done)) / cacheBlock
+		blockOff := (off + int64(done)) % cacheBlock
+		n := cacheBlock - int(blockOff)
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		block, err := cd.block(blockIdx)
+		if err != nil {
+			return err
+		}
+		copy(p[done:done+n], block[blockOff:])
+		done += n
+	}
+	return nil
+}
+
+// block returns the cached block, filling it from the lower device on miss.
+func (cd *cachedDevice) block(idx int64) ([]byte, error) {
+	cd.mu.Lock()
+	if b, ok := cd.blocks[idx]; ok {
+		cd.hits++
+		cd.touchLocked(idx)
+		cd.mu.Unlock()
+		return b, nil
+	}
+	cd.misses++
+	cd.mu.Unlock()
+
+	b := make([]byte, cacheBlock)
+	// Clamp the fill at the device end.
+	fill := int64(cacheBlock)
+	if end := cd.Size() - idx*cacheBlock; end < fill {
+		fill = end
+	}
+	if err := cd.Device.ReadAt(b[:fill], idx*cacheBlock); err != nil {
+		return nil, err
+	}
+
+	cd.mu.Lock()
+	cd.insertLocked(idx, b)
+	cd.mu.Unlock()
+	return b, nil
+}
+
+func (cd *cachedDevice) WriteAt(p []byte, off int64) error {
+	// Write-through: update the lower device first, then patch any cached
+	// blocks so later reads stay coherent.
+	if err := cd.Device.WriteAt(p, off); err != nil {
+		return err
+	}
+	cd.mu.Lock()
+	for done := 0; done < len(p); {
+		blockIdx := (off + int64(done)) / cacheBlock
+		blockOff := (off + int64(done)) % cacheBlock
+		n := cacheBlock - int(blockOff)
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		if b, ok := cd.blocks[blockIdx]; ok {
+			copy(b[blockOff:], p[done:done+n])
+			cd.touchLocked(blockIdx)
+		}
+		done += n
+	}
+	cd.mu.Unlock()
+	return nil
+}
+
+// insertLocked adds a block, evicting the least-recently-used as needed.
+func (cd *cachedDevice) insertLocked(idx int64, b []byte) {
+	if _, ok := cd.blocks[idx]; ok {
+		copy(cd.blocks[idx], b)
+		cd.touchLocked(idx)
+		return
+	}
+	for len(cd.blocks) >= cd.capacity && len(cd.lru) > 0 {
+		victim := cd.lru[0]
+		cd.lru = cd.lru[1:]
+		delete(cd.blocks, victim)
+	}
+	cd.blocks[idx] = b
+	cd.lru = append(cd.lru, idx)
+}
+
+func (cd *cachedDevice) touchLocked(idx int64) {
+	for i, v := range cd.lru {
+		if v == idx {
+			copy(cd.lru[i:], cd.lru[i+1:])
+			cd.lru[len(cd.lru)-1] = idx
+			return
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/master"
+	"ursa/internal/proto"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+// Config parameterizes a client portal.
+type Config struct {
+	// Name identifies this client as a lease holder.
+	Name string
+	// MasterAddr locates the master service.
+	MasterAddr string
+	// Clock supplies time.
+	Clock clock.Clock
+	// Dialer reaches the master and chunk servers.
+	Dialer transport.Dialer
+	// TinyThreshold is Tc: writes at or below it use client-directed
+	// replication (§3.2). 0 means the 8 KB paper default.
+	TinyThreshold int
+	// CallTimeout bounds individual chunk-server RPCs; it is also the
+	// commit-rule timeout for client-directed writes.
+	CallTimeout time.Duration
+	// MaxRetries bounds how many recover-and-retry rounds an I/O attempts
+	// before failing.
+	MaxRetries int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.Realtime
+	}
+	if c.TinyThreshold <= 0 {
+		c.TinyThreshold = 8 * util.KiB
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 500 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 6
+	}
+	if c.Name == "" {
+		c.Name = "client"
+	}
+}
+
+// Client is the portal process: it owns the master session and chunk-server
+// connections, and opens VDisks.
+type Client struct {
+	cfg Config
+
+	mu      sync.Mutex
+	masterC *transport.Client
+	peers   map[string]*transport.Client
+	closed  bool
+}
+
+// New creates a client portal.
+func New(cfg Config) *Client {
+	cfg.fillDefaults()
+	return &Client{cfg: cfg, peers: make(map[string]*transport.Client)}
+}
+
+// Close tears down all connections. Open VDisks become unusable.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	mc := c.masterC
+	c.masterC = nil
+	peers := c.peers
+	c.peers = map[string]*transport.Client{}
+	c.mu.Unlock()
+	if mc != nil {
+		mc.Close()
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+}
+
+// masterClient returns the cached master connection, dialing on demand.
+func (c *Client) masterClient() (*transport.Client, error) {
+	c.mu.Lock()
+	if c.masterC != nil {
+		mc := c.masterC
+		c.mu.Unlock()
+		return mc, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.cfg.Dialer.Dial(c.cfg.MasterAddr)
+	if err != nil {
+		return nil, err
+	}
+	mc := transport.NewClient(conn, c.cfg.Clock)
+	c.mu.Lock()
+	if c.masterC != nil {
+		old := c.masterC
+		c.mu.Unlock()
+		mc.Close()
+		return old, nil
+	}
+	c.masterC = mc
+	c.mu.Unlock()
+	return mc, nil
+}
+
+// masterCall performs one JSON-payload master RPC.
+func (c *Client) masterCall(op proto.Op, req any, out any) (proto.Status, error) {
+	mc, err := c.masterClient()
+	if err != nil {
+		return proto.StatusError, err
+	}
+	var payload []byte
+	if req != nil {
+		payload, err = json.Marshal(req)
+		if err != nil {
+			return proto.StatusError, err
+		}
+	}
+	resp, err := mc.Call(&proto.Message{Op: op, Payload: payload}, 20*c.cfg.CallTimeout)
+	if err != nil {
+		c.mu.Lock()
+		if c.masterC == mc {
+			c.masterC = nil
+		}
+		c.mu.Unlock()
+		mc.Close()
+		return proto.StatusError, err
+	}
+	if resp.Status == proto.StatusOK && out != nil && len(resp.Payload) > 0 {
+		if err := json.Unmarshal(resp.Payload, out); err != nil {
+			return proto.StatusError, err
+		}
+	}
+	return resp.Status, nil
+}
+
+// peer returns a cached chunk-server connection.
+func (c *Client) peer(addr string) (*transport.Client, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, util.ErrClosed
+	}
+	if p, ok := c.peers[addr]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.cfg.Dialer.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p := transport.NewClient(conn, c.cfg.Clock)
+	c.mu.Lock()
+	if old, ok := c.peers[addr]; ok {
+		c.mu.Unlock()
+		p.Close()
+		return old, nil
+	}
+	c.peers[addr] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+func (c *Client) dropPeer(addr string, p *transport.Client) {
+	c.mu.Lock()
+	if c.peers[addr] == p {
+		delete(c.peers, addr)
+	}
+	c.mu.Unlock()
+	p.Close()
+}
+
+// CreateVDisk asks the master to create a virtual disk.
+func (c *Client) CreateVDisk(req master.CreateVDiskReq) (*master.VDiskMeta, error) {
+	var meta master.VDiskMeta
+	status, err := c.masterCall(proto.MOpCreateVDisk, req, &meta)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case proto.StatusOK:
+		return &meta, nil
+	case proto.StatusExists:
+		return nil, fmt.Errorf("client: vdisk %q: %w", req.Name, util.ErrExists)
+	case proto.StatusQuota:
+		return nil, fmt.Errorf("client: vdisk %q: %w", req.Name, util.ErrQuota)
+	default:
+		return nil, fmt.Errorf("client: create vdisk %q: %s", req.Name, status)
+	}
+}
+
+// DeleteVDisk removes a virtual disk.
+func (c *Client) DeleteVDisk(name string) error {
+	status, err := c.masterCall(proto.MOpDeleteVDisk, master.GetVDiskReq{Name: name}, nil)
+	if err != nil {
+		return err
+	}
+	if status == proto.StatusNotFound {
+		return fmt.Errorf("client: vdisk %q: %w", name, util.ErrNotFound)
+	}
+	if status != proto.StatusOK {
+		return fmt.Errorf("client: delete vdisk %q: %s", name, status)
+	}
+	return nil
+}
+
+// OpenMeta fetches a vdisk's current metadata without acquiring its lease
+// (monitoring and tooling path).
+func (c *Client) OpenMeta(name string) (master.VDiskMeta, error) {
+	var meta master.VDiskMeta
+	status, err := c.masterCall(proto.MOpGetVDisk, master.GetVDiskReq{Name: name}, &meta)
+	if err != nil {
+		return meta, err
+	}
+	switch status {
+	case proto.StatusOK:
+		return meta, nil
+	case proto.StatusNotFound:
+		return meta, fmt.Errorf("client: vdisk %q: %w", name, util.ErrNotFound)
+	default:
+		return meta, fmt.Errorf("client: get vdisk %q: %s", name, status)
+	}
+}
+
+// Open acquires the vdisk lease and returns a usable VDisk. The lease is
+// auto-renewed until Close (§4.1).
+func (c *Client) Open(name string) (*VDisk, error) {
+	var meta master.VDiskMeta
+	status, err := c.masterCall(proto.MOpOpenVDisk,
+		master.OpenVDiskReq{Name: name, Client: c.cfg.Name}, &meta)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case proto.StatusOK:
+	case proto.StatusLeaseHeld:
+		return nil, fmt.Errorf("client: open %q: %w", name, util.ErrLeaseHeld)
+	case proto.StatusNotFound:
+		return nil, fmt.Errorf("client: open %q: %w", name, util.ErrNotFound)
+	default:
+		return nil, fmt.Errorf("client: open %q: %s", name, status)
+	}
+	vd := newVDisk(c, meta)
+	// Confirm version numbers with the replicas before first use
+	// (initialization, §4.2.1).
+	if err := vd.confirmVersions(); err != nil {
+		vd.Close()
+		return nil, err
+	}
+	vd.startRenewer()
+	return vd, nil
+}

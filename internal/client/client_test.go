@@ -1,0 +1,359 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/chunkserver"
+	"ursa/internal/clock"
+	"ursa/internal/journal"
+	"ursa/internal/master"
+	"ursa/internal/simdisk"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+// env is a master + chunk servers cluster for client-level tests.
+type env struct {
+	net *transport.SimNet
+	m   *master.Master
+	clk *clock.Scaled
+}
+
+func fastSSD() simdisk.SSDModel {
+	return simdisk.SSDModel{
+		Capacity: 2 * util.GiB, Parallelism: 32,
+		ReadLatency: 2 * time.Microsecond, WriteLatency: 4 * time.Microsecond,
+		ReadBandwidth: 20e9, WriteBandwidth: 12e9,
+	}
+}
+
+func fastHDD() simdisk.HDDModel {
+	return simdisk.HDDModel{
+		Capacity: 4 * util.GiB, SeekMax: 400 * time.Microsecond,
+		SeekSettle: 25 * time.Microsecond, RPM: 288000,
+		Bandwidth: 6e9, TrackSkip: 512 * util.KiB,
+	}
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	clk := clock.NewScaled(0.05)
+	net := transport.NewSimNet(clk, time.Microsecond)
+	e := &env{net: net, clk: clk}
+
+	ml, err := net.Listen("master", transport.NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.m = master.New(master.Config{
+		Addr: "master", Clock: clk,
+		Dialer:     net.Dialer("master", transport.NodeConfig{}),
+		HybridMode: true, LeaseTTL: 5 * time.Second,
+		RPCTimeout: 2 * time.Second,
+	})
+	e.m.Serve(ml)
+	t.Cleanup(e.m.Close)
+
+	for i := 0; i < 4; i++ {
+		machine := "m" + string(rune('0'+i))
+		mk := func(addr string, role chunkserver.Role) {
+			var store *blockstore.Store
+			var jset *journal.Set
+			if role == chunkserver.RolePrimary {
+				store = blockstore.New(simdisk.NewSSD(fastSSD(), clk), 0)
+			} else {
+				hdd := simdisk.NewHDD(fastHDD(), clk)
+				store = blockstore.New(hdd, util.AlignDown(hdd.Size()/2, util.ChunkSize))
+				jset = journal.NewSet(clk, store, journal.DefaultConfig())
+				jset.AddSSDJournal(addr+"-j", simdisk.NewSSD(fastSSD(), clk), 0, 64*util.MiB)
+				jset.Start()
+			}
+			srv := chunkserver.New(chunkserver.Config{
+				Addr: addr, Role: role, Clock: clk,
+				Dialer:      net.Dialer(addr, transport.NodeConfig{}),
+				ReplTimeout: 100 * time.Millisecond,
+			}, store, jset)
+			l, err := net.Listen(addr, transport.NodeConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv.Serve(l)
+			t.Cleanup(srv.Close)
+			e.m.AddServer(addr, machine, role == chunkserver.RolePrimary)
+		}
+		mk(machine+"/ssd", chunkserver.RolePrimary)
+		mk(machine+"/hdd", chunkserver.RoleBackup)
+	}
+	return e
+}
+
+func (e *env) client(t *testing.T, name string) *Client {
+	t.Helper()
+	cl := New(Config{
+		Name: name, MasterAddr: "master", Clock: e.clk,
+		Dialer:      e.net.Dialer("client-"+name, transport.NodeConfig{}),
+		CallTimeout: 300 * time.Millisecond,
+	})
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func (e *env) vdisk(t *testing.T, cl *Client, name string, size int64) *VDisk {
+	t.Helper()
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{Name: name, Size: size}); err != nil {
+		t.Fatal(err)
+	}
+	vd, err := cl.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vd.Close() })
+	return vd
+}
+
+func TestClientRoundTripAndStats(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", 128*util.MiB)
+
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(1).Fill(data)
+	if err := vd.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := vd.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+	st := vd.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.TinyWrites != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if vd.ID() == 0 || vd.Meta().Name != "d" {
+		t.Error("metadata accessors wrong")
+	}
+}
+
+func TestClientLargeWriteViaPrimary(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", 128*util.MiB)
+	data := make([]byte, 256*util.KiB)
+	util.NewRand(2).Fill(data)
+	if err := vd.WriteAt(data, util.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if vd.Stats().TinyWrites != 0 {
+		t.Error("large write took the tiny path")
+	}
+	got := make([]byte, len(data))
+	if err := vd.ReadAt(got, util.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("large round trip mismatch")
+	}
+}
+
+func TestClientFailoverToBackup(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", util.ChunkSize)
+	data := make([]byte, 8*util.KiB)
+	util.NewRand(3).Fill(data)
+	if err := vd.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := cl.OpenMeta("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.net.Crash(meta.Chunks[0].Replicas[0].Addr)
+	got := make([]byte, len(data))
+	if err := vd.ReadAt(got, 0); err != nil {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("backup data mismatch")
+	}
+	if vd.Stats().Failovers == 0 {
+		t.Error("no failover recorded")
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	if _, err := cl.Open("missing"); !errors.Is(err, util.ErrNotFound) {
+		t.Errorf("open missing: %v", err)
+	}
+	if _, err := cl.OpenMeta("missing"); !errors.Is(err, util.ErrNotFound) {
+		t.Errorf("openmeta missing: %v", err)
+	}
+	if err := cl.DeleteVDisk("missing"); !errors.Is(err, util.ErrNotFound) {
+		t.Errorf("delete missing: %v", err)
+	}
+	e.vdisk(t, cl, "d", util.ChunkSize)
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{Name: "d", Size: util.ChunkSize}); !errors.Is(err, util.ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	cl2 := e.client(t, "b")
+	if _, err := cl2.Open("d"); !errors.Is(err, util.ErrLeaseHeld) {
+		t.Errorf("lease: %v", err)
+	}
+}
+
+func TestClientClosedVDisk(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", util.ChunkSize)
+	vd.Close()
+	if err := vd.WriteAt(make([]byte, 512), 0); !errors.Is(err, util.ErrClosed) {
+		t.Errorf("write after close: %v", err)
+	}
+	// Close is idempotent.
+	if err := vd.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientUpgradePreservesState(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", util.ChunkSize)
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(4).Fill(data)
+	if err := vd.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	vd2, err := cl.UpgradeVDisk(vd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vd2.Close()
+	got := make([]byte, len(data))
+	if err := vd2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("upgrade lost state")
+	}
+	// Writes continue with preserved version counters.
+	if err := vd2.WriteAt(data, 8192); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheModule(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", 64*util.MiB)
+	dev := WithCache(vd, 2*util.MiB)
+
+	data := make([]byte, 8*util.KiB)
+	util.NewRand(5).Fill(data)
+	if err := dev.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := dev.ReadAt(got, 0); err != nil { // miss, fills cache
+		t.Fatal(err)
+	}
+	if err := dev.ReadAt(got, 0); err != nil { // hit
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cached read mismatch")
+	}
+	hits, misses, ok := CacheStats(dev)
+	if !ok || hits == 0 || misses == 0 {
+		t.Errorf("cache stats = %d/%d/%v", hits, misses, ok)
+	}
+	// Write-through keeps cache coherent.
+	data2 := make([]byte, 8*util.KiB)
+	util.NewRand(6).Fill(data2)
+	if err := dev.WriteAt(data2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data2) {
+		t.Error("cache served stale data after write")
+	}
+	if _, _, ok := CacheStats(vd); ok {
+		t.Error("CacheStats on non-cache device")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", 64*util.MiB)
+	// Capacity of exactly 2 blocks.
+	dev := WithCache(vd, 2*cacheBlock)
+	buf := make([]byte, cacheBlock)
+	for i := int64(0); i < 4; i++ {
+		if err := dev.ReadAt(buf, i*cacheBlock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, misses, _ := CacheStats(dev)
+	if misses != 4 {
+		t.Errorf("misses = %d, want 4 (cold)", misses)
+	}
+	// Oldest blocks evicted: re-reading block 0 must miss again.
+	if err := dev.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, misses2, _ := CacheStats(dev)
+	if misses2 != 5 {
+		t.Errorf("misses after eviction = %d, want 5", misses2)
+	}
+}
+
+func TestRateLimitModule(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", 64*util.MiB)
+	// 1 MB/s budget: 256 KB of writes should take ≥ ~200ms wall.
+	dev := WithRateLimit(vd, 1e6, clock.Realtime)
+	start := time.Now()
+	buf := make([]byte, 64*util.KiB)
+	for i := int64(0); i < 4; i++ {
+		if err := dev.WriteAt(buf, i*int64(len(buf))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("rate limit not applied: %v", elapsed)
+	}
+}
+
+func TestSnapshotSizeMismatch(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	src := e.vdisk(t, cl, "src", 128*util.MiB)
+	dst := e.vdisk(t, cl, "dst", 64*util.MiB)
+	if err := Snapshot(src, dst); !errors.Is(err, util.ErrOutOfRange) {
+		t.Errorf("snapshot into smaller device: %v", err)
+	}
+}
+
+func TestLeaseLostStopsIO(t *testing.T) {
+	e := newEnv(t)
+	cl := e.client(t, "a")
+	vd := e.vdisk(t, cl, "d", util.ChunkSize)
+	// Simulate a lost lease (the renewer would set this on StatusLeaseHeld).
+	vd.leaseOK.Store(false)
+	if err := vd.WriteAt(make([]byte, 512), 0); !errors.Is(err, util.ErrLeaseExpired) {
+		t.Errorf("write with lost lease: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+// Package client implements URSA's richly-featured client (§5.1): the
+// portal that exposes a block interface to VMMs and carries the protocol
+// smarts — striping, client-directed replication of tiny writes, primary
+// switching, lease renewal, and failure reporting — so chunk servers stay
+// simple and stateless toward clients.
+//
+// Features beyond the core block path are pluggable modules following the
+// decorator pattern around the Device interface, exactly as §5.1
+// prescribes: WithCache, WithRateLimit, and Snapshot all wrap any Device.
+package client
+
+import (
+	"fmt"
+
+	"ursa/internal/util"
+)
+
+// Device is the abstract block device every client module implements and
+// wraps. All offsets and sizes are sector-aligned (512 B).
+type Device interface {
+	// ReadAt fills p from the device at byte offset off.
+	ReadAt(p []byte, off int64) error
+	// WriteAt stores p at byte offset off.
+	WriteAt(p []byte, off int64) error
+	// Size returns the device capacity in bytes.
+	Size() int64
+	// Flush forces buffered state down the stack (modules may buffer;
+	// the base VDisk is always durable on write return).
+	Flush() error
+	// Close releases the device.
+	Close() error
+}
+
+// checkRange validates a sector-aligned request against a device size.
+func checkRange(off int64, n int, size int64) error {
+	if off < 0 || n <= 0 || off%util.SectorSize != 0 || n%util.SectorSize != 0 ||
+		off+int64(n) > size {
+		return fmt.Errorf("client: bad range [%d,%d) on device of %d: %w",
+			off, off+int64(n), size, util.ErrOutOfRange)
+	}
+	return nil
+}

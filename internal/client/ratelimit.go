@@ -1,0 +1,29 @@
+package client
+
+import (
+	"ursa/internal/clock"
+	"ursa/internal/transport"
+)
+
+// rateLimitedDevice throttles writes to a byte budget. The master applies
+// this module to clients that write too aggressively, protecting backup
+// journals from quota exhaustion (§3.2).
+type rateLimitedDevice struct {
+	Device
+	bucket *transport.TokenBucket
+}
+
+// WithRateLimit wraps dev so writes consume from a bytesPerSec budget.
+// Reads are unthrottled: they are served by primary SSDs and do not
+// pressure journals.
+func WithRateLimit(dev Device, bytesPerSec float64, clk clock.Clock) Device {
+	return &rateLimitedDevice{
+		Device: dev,
+		bucket: transport.NewTokenBucket(clk, bytesPerSec),
+	}
+}
+
+func (rd *rateLimitedDevice) WriteAt(p []byte, off int64) error {
+	rd.bucket.Take(len(p))
+	return rd.Device.WriteAt(p, off)
+}

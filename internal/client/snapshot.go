@@ -1,0 +1,35 @@
+package client
+
+import (
+	"fmt"
+
+	"ursa/internal/util"
+)
+
+// snapshotCopySize is the transfer granularity of snapshot copies.
+const snapshotCopySize = 1 * util.MiB
+
+// Snapshot copies the full contents of src onto dst (§5.1's snapshot module
+// in its simplest, consistent form: the caller quiesces writes — trivially
+// true under the single-client property — and clones the device). dst must
+// be at least as large as src.
+func Snapshot(src, dst Device) error {
+	if dst.Size() < src.Size() {
+		return fmt.Errorf("client: snapshot target %d < source %d: %w",
+			dst.Size(), src.Size(), util.ErrOutOfRange)
+	}
+	buf := make([]byte, snapshotCopySize)
+	for off := int64(0); off < src.Size(); off += snapshotCopySize {
+		n := snapshotCopySize
+		if rem := src.Size() - off; rem < int64(n) {
+			n = int(rem)
+		}
+		if err := src.ReadAt(buf[:n], off); err != nil {
+			return fmt.Errorf("client: snapshot read at %d: %w", off, err)
+		}
+		if err := dst.WriteAt(buf[:n], off); err != nil {
+			return fmt.Errorf("client: snapshot write at %d: %w", off, err)
+		}
+	}
+	return dst.Flush()
+}

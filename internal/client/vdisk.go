@@ -1,0 +1,542 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/master"
+	"ursa/internal/proto"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+// chunkHandle is the client-side state of one chunk.
+type chunkHandle struct {
+	mu        sync.Mutex
+	meta      master.ChunkMeta
+	next      uint64 // next version to assign to a write
+	committed uint64 // highest acked version (reads use this)
+	primary   int    // replica index currently serving reads/writes
+}
+
+// VDiskStats counts client-side activity.
+type VDiskStats struct {
+	Reads, Writes         int64
+	BytesRead, BytesWrite int64
+	Retries               int64
+	Failovers             int64 // primary switches
+	TinyWrites            int64 // client-directed replications
+}
+
+// VDisk is an opened virtual disk; it implements Device.
+type VDisk struct {
+	c      *Client
+	meta   master.VDiskMeta
+	chunks []*chunkHandle
+	wlimit *transport.TokenBucket // master-imposed write budget (§3.2)
+
+	renewStop chan struct{}
+	renewDone chan struct{}
+	closed    atomic.Bool
+	leaseOK   atomic.Bool
+
+	reads, writes         atomic.Int64
+	bytesRead, bytesWrite atomic.Int64
+	retries, failovers    atomic.Int64
+	tinyWrites            atomic.Int64
+}
+
+func newVDisk(c *Client, meta master.VDiskMeta) *VDisk {
+	vd := &VDisk{
+		c:      c,
+		meta:   meta,
+		chunks: make([]*chunkHandle, len(meta.Chunks)),
+	}
+	for i, cm := range meta.Chunks {
+		vd.chunks[i] = &chunkHandle{meta: cm}
+	}
+	if meta.WriteRateLimit > 0 {
+		vd.wlimit = transport.NewTokenBucket(c.cfg.Clock, meta.WriteRateLimit)
+	}
+	vd.leaseOK.Store(true)
+	return vd
+}
+
+// Size implements Device.
+func (vd *VDisk) Size() int64 { return vd.meta.Size }
+
+// ID returns the vdisk's numeric id.
+func (vd *VDisk) ID() uint32 { return vd.meta.ID }
+
+// Meta returns a copy of the vdisk's metadata snapshot from open time.
+func (vd *VDisk) Meta() master.VDiskMeta { return vd.meta }
+
+// Flush implements Device; the base vdisk is durable on write return.
+func (vd *VDisk) Flush() error { return nil }
+
+// Stats returns a snapshot of client-side counters.
+func (vd *VDisk) Stats() VDiskStats {
+	return VDiskStats{
+		Reads:      vd.reads.Load(),
+		Writes:     vd.writes.Load(),
+		BytesRead:  vd.bytesRead.Load(),
+		BytesWrite: vd.bytesWrite.Load(),
+		Retries:    vd.retries.Load(),
+		Failovers:  vd.failovers.Load(),
+		TinyWrites: vd.tinyWrites.Load(),
+	}
+}
+
+// confirmVersions implements client initialization (§4.2.1): ask every
+// replica of every chunk for its version and view; mismatches are reported
+// to the master for repair before the vdisk is used.
+func (vd *VDisk) confirmVersions() error {
+	sem := make(chan struct{}, 32)
+	errs := make(chan error, len(vd.chunks))
+	for i := range vd.chunks {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			errs <- vd.confirmChunk(i)
+		}(i)
+	}
+	for range vd.chunks {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (vd *VDisk) confirmChunk(idx int) error {
+	ch := vd.chunks[idx]
+	for attempt := 0; attempt < vd.c.cfg.MaxRetries; attempt++ {
+		ch.mu.Lock()
+		cm := ch.meta
+		ch.mu.Unlock()
+
+		versions := make([]uint64, 0, len(cm.Replicas))
+		consistent := true
+		var failedAddr string
+		for _, r := range cm.Replicas {
+			resp, err := vd.call(r.Addr, &proto.Message{
+				Op:    proto.OpGetVersion,
+				Chunk: vd.chunkID(idx),
+			})
+			if err != nil || resp.Status != proto.StatusOK {
+				consistent = false
+				failedAddr = r.Addr
+				break
+			}
+			if resp.View != cm.View {
+				consistent = false
+				break
+			}
+			versions = append(versions, resp.Version)
+		}
+		if consistent {
+			for _, v := range versions[1:] {
+				if v != versions[0] {
+					consistent = false
+					break
+				}
+			}
+		}
+		if consistent && len(versions) > 0 {
+			ch.mu.Lock()
+			ch.next = versions[0]
+			ch.committed = versions[0]
+			ch.primary = 0
+			ch.mu.Unlock()
+			return nil
+		}
+		// Inconsistency: have the master fix it, refresh, retry (§4.2.1).
+		if err := vd.reportFailure(idx, failedAddr); err != nil {
+			return err
+		}
+		vd.c.cfg.Clock.Sleep(time.Duration(attempt+1) * time.Millisecond)
+	}
+	return fmt.Errorf("client: chunk %d never reached a consistent state: %w",
+		idx, util.ErrTimeout)
+}
+
+func (vd *VDisk) chunkID(idx int) blockstore.ChunkID {
+	return blockstore.MakeChunkID(vd.meta.ID, uint32(idx))
+}
+
+// call performs one chunk-server RPC with connection recycling.
+func (vd *VDisk) call(addr string, m *proto.Message) (*proto.Message, error) {
+	cli, err := vd.c.peer(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cli.Call(m, vd.c.cfg.CallTimeout)
+	if err != nil && !errors.Is(err, util.ErrTimeout) {
+		vd.c.dropPeer(addr, cli)
+	}
+	return resp, err
+}
+
+// reportFailure asks the master to run a view change for the chunk and
+// installs the returned metadata (§4.2.2).
+func (vd *VDisk) reportFailure(idx int, failedAddr string) error {
+	var newMeta master.ChunkMeta
+	status, err := vd.c.masterCall(proto.MOpReportFailure, master.ReportFailureReq{
+		VDisk:      vd.meta.ID,
+		ChunkIndex: uint32(idx),
+		FailedAddr: failedAddr,
+	}, &newMeta)
+	if err != nil {
+		return err
+	}
+	if status != proto.StatusOK {
+		return fmt.Errorf("client: report failure for chunk %d: %s", idx, status)
+	}
+	ch := vd.chunks[idx]
+	ch.mu.Lock()
+	if newMeta.View > ch.meta.View {
+		ch.meta = newMeta
+		ch.primary = 0
+	}
+	ch.mu.Unlock()
+	vd.failovers.Add(1)
+	return nil
+}
+
+// refreshMeta re-reads the chunk placement from the master (stale-view
+// recovery path).
+func (vd *VDisk) refreshMeta(idx int) error {
+	var meta master.VDiskMeta
+	status, err := vd.c.masterCall(proto.MOpGetVDisk,
+		master.GetVDiskReq{ID: vd.meta.ID}, &meta)
+	if err != nil {
+		return err
+	}
+	if status != proto.StatusOK || idx >= len(meta.Chunks) {
+		return fmt.Errorf("client: refresh chunk %d: %s", idx, status)
+	}
+	ch := vd.chunks[idx]
+	ch.mu.Lock()
+	if meta.Chunks[idx].View > ch.meta.View {
+		ch.meta = meta.Chunks[idx]
+		ch.primary = 0
+	}
+	ch.mu.Unlock()
+	return nil
+}
+
+// ReadAt implements Device: fragments the request by striping geometry and
+// reads fragments in parallel, preferably from primary (SSD) replicas.
+func (vd *VDisk) ReadAt(p []byte, off int64) error {
+	if err := vd.usable(); err != nil {
+		return err
+	}
+	if err := checkRange(off, len(p), vd.meta.Size); err != nil {
+		return err
+	}
+	frags := mapRange(&vd.meta, off, len(p))
+	err := vd.forEachFragment(frags, func(f fragment) error {
+		return vd.readFragment(f.chunk, p[f.bufLo:f.bufHi], f.chunkOff)
+	})
+	if err != nil {
+		return err
+	}
+	vd.reads.Add(1)
+	vd.bytesRead.Add(int64(len(p)))
+	return nil
+}
+
+// WriteAt implements Device: fragments the request; tiny fragments use
+// client-directed replication, larger ones go through the primary.
+func (vd *VDisk) WriteAt(p []byte, off int64) error {
+	if err := vd.usable(); err != nil {
+		return err
+	}
+	if err := checkRange(off, len(p), vd.meta.Size); err != nil {
+		return err
+	}
+	if vd.wlimit != nil {
+		vd.wlimit.Take(len(p))
+	}
+	frags := mapRange(&vd.meta, off, len(p))
+	err := vd.forEachFragment(frags, func(f fragment) error {
+		return vd.writeFragment(f.chunk, p[f.bufLo:f.bufHi], f.chunkOff)
+	})
+	if err != nil {
+		return err
+	}
+	vd.writes.Add(1)
+	vd.bytesWrite.Add(int64(len(p)))
+	return nil
+}
+
+// forEachFragment runs fn per fragment, in parallel when there are several
+// (striping fan-out, §3.4).
+func (vd *VDisk) forEachFragment(frags []fragment, fn func(fragment) error) error {
+	if len(frags) == 1 {
+		return fn(frags[0])
+	}
+	errs := make(chan error, len(frags))
+	for _, f := range frags {
+		go func(f fragment) { errs <- fn(f) }(f)
+	}
+	var first error
+	for range frags {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (vd *VDisk) usable() error {
+	if vd.closed.Load() {
+		return util.ErrClosed
+	}
+	if !vd.leaseOK.Load() {
+		return util.ErrLeaseExpired
+	}
+	return nil
+}
+
+// readFragment reads one chunk-local range, failing over across replicas:
+// if the primary is unavailable it resorts to a backup as temporary primary
+// (§4.2.1) and tells the master to recover in parallel.
+func (vd *VDisk) readFragment(idx int, buf []byte, off int64) error {
+	ch := vd.chunks[idx]
+	var lastErr error
+	for attempt := 0; attempt < vd.c.cfg.MaxRetries; attempt++ {
+		ch.mu.Lock()
+		cm := ch.meta
+		primary := ch.primary
+		version := ch.committed
+		ch.mu.Unlock()
+		addr := cm.Replicas[primary%len(cm.Replicas)].Addr
+
+		resp, err := vd.call(addr, &proto.Message{
+			Op:      proto.OpRead,
+			Chunk:   vd.chunkID(idx),
+			Off:     off,
+			Length:  uint32(len(buf)),
+			View:    cm.View,
+			Version: version,
+		})
+		switch {
+		case err != nil:
+			lastErr = err
+			vd.rotatePrimary(idx, primary)
+			go func() { _ = vd.reportFailure(idx, addr) }()
+		case resp.Status == proto.StatusOK:
+			copy(buf, resp.Payload)
+			return nil
+		case resp.Status == proto.StatusStaleView:
+			lastErr = util.ErrStaleView
+			if err := vd.refreshMeta(idx); err != nil {
+				lastErr = err
+			}
+		case resp.Status == proto.StatusBehind:
+			// Replica lags our committed state: try another.
+			lastErr = util.ErrFutureVersion
+			vd.rotatePrimary(idx, primary)
+		default:
+			lastErr = fmt.Errorf("client: read chunk %d from %s: %s", idx, addr, resp.Status)
+			vd.rotatePrimary(idx, primary)
+		}
+		vd.retries.Add(1)
+		vd.backoff(attempt)
+	}
+	return fmt.Errorf("client: read chunk %d failed: %w", idx, lastErr)
+}
+
+// rotatePrimary switches to the next replica if primary is still current.
+func (vd *VDisk) rotatePrimary(idx, sawPrimary int) {
+	ch := vd.chunks[idx]
+	ch.mu.Lock()
+	if ch.primary == sawPrimary {
+		ch.primary = (ch.primary + 1) % len(ch.meta.Replicas)
+		vd.failovers.Add(1)
+	}
+	ch.mu.Unlock()
+}
+
+func (vd *VDisk) backoff(attempt int) {
+	vd.c.cfg.Clock.Sleep(time.Duration(attempt+1) * 500 * time.Microsecond)
+}
+
+// writeFragment writes one chunk-local range. The version is assigned
+// optimistically under the chunk lock so same-chunk writes pipeline; the
+// write then commits by the all-or-majority rule and retries with its
+// assigned version until it lands (§4.2.1).
+func (vd *VDisk) writeFragment(idx int, data []byte, off int64) error {
+	ch := vd.chunks[idx]
+	ch.mu.Lock()
+	version := ch.next
+	ch.next++
+	ch.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < vd.c.cfg.MaxRetries; attempt++ {
+		ch.mu.Lock()
+		cm := ch.meta
+		healthy := ch.primary == 0
+		ch.mu.Unlock()
+
+		var committed bool
+		var staleView bool
+		if len(data) <= vd.c.cfg.TinyThreshold || !healthy {
+			committed, staleView = vd.writeClientDirected(idx, cm, data, off, version)
+			vd.tinyWrites.Add(1)
+		} else {
+			committed, staleView = vd.writeViaPrimary(idx, cm, data, off, version)
+		}
+		if committed {
+			ch.mu.Lock()
+			if version+1 > ch.committed {
+				ch.committed = version + 1
+			}
+			ch.mu.Unlock()
+			return nil
+		}
+		lastErr = util.ErrNoQuorum
+		if staleView {
+			if err := vd.refreshMeta(idx); err != nil {
+				lastErr = err
+			}
+		} else if err := vd.reportFailure(idx, ""); err != nil {
+			lastErr = err
+		}
+		vd.retries.Add(1)
+		vd.backoff(attempt)
+	}
+	return fmt.Errorf("client: write chunk %d v%d failed: %w", idx, version, lastErr)
+}
+
+// writeViaPrimary sends the write to the primary, which replicates it.
+func (vd *VDisk) writeViaPrimary(idx int, cm master.ChunkMeta, data []byte,
+	off int64, version uint64) (committed, staleView bool) {
+
+	addr := cm.Replicas[0].Addr
+	resp, err := vd.call(addr, &proto.Message{
+		Op:      proto.OpWrite,
+		Chunk:   vd.chunkID(idx),
+		Off:     off,
+		View:    cm.View,
+		Version: version,
+		Payload: data,
+	})
+	if err != nil {
+		go func() { _ = vd.reportFailure(idx, addr) }()
+		return false, false
+	}
+	switch resp.Status {
+	case proto.StatusOK:
+		return true, false
+	case proto.StatusStaleView:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// writeClientDirected replicates directly to every replica (tiny writes,
+// §3.2; and all writes while the chunk is degraded): commit when all ack,
+// or when a majority acks within the timeout (§4.2.1).
+func (vd *VDisk) writeClientDirected(idx int, cm master.ChunkMeta, data []byte,
+	off int64, version uint64) (committed, staleView bool) {
+
+	type res struct {
+		ok    bool
+		stale bool
+	}
+	results := make(chan res, len(cm.Replicas))
+	for i, r := range cm.Replicas {
+		op := proto.OpReplicate
+		if i == 0 {
+			op = proto.OpWritePrimary
+		}
+		go func(addr string, op proto.Op) {
+			resp, err := vd.call(addr, &proto.Message{
+				Op:      op,
+				Chunk:   vd.chunkID(idx),
+				Off:     off,
+				View:    cm.View,
+				Version: version,
+				Payload: data,
+			})
+			if err != nil {
+				results <- res{}
+				return
+			}
+			results <- res{
+				ok:    resp.Status == proto.StatusOK,
+				stale: resp.Status == proto.StatusStaleView,
+			}
+		}(r.Addr, op)
+	}
+	acks, stales := 0, 0
+	for range cm.Replicas {
+		r := <-results
+		if r.ok {
+			acks++
+		}
+		if r.stale {
+			stales++
+		}
+	}
+	if acks == len(cm.Replicas) {
+		return true, false
+	}
+	if acks*2 > len(cm.Replicas) {
+		// Majority: committed, but tell the master to fix the stragglers.
+		go func() { _ = vd.reportFailure(idx, "") }()
+		return true, false
+	}
+	return false, stales > 0
+}
+
+// startRenewer begins periodic lease renewal (§4.1).
+func (vd *VDisk) startRenewer() {
+	vd.renewStop = make(chan struct{})
+	vd.renewDone = make(chan struct{})
+	ttl := vd.meta.LeaseTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	go func() {
+		defer close(vd.renewDone)
+		for {
+			select {
+			case <-vd.renewStop:
+				return
+			case <-vd.c.cfg.Clock.After(ttl / 3):
+			}
+			status, err := vd.c.masterCall(proto.MOpRenewLease,
+				master.LeaseReq{ID: vd.meta.ID, Client: vd.c.cfg.Name}, nil)
+			if err == nil && status == proto.StatusLeaseHeld {
+				vd.leaseOK.Store(false)
+				return
+			}
+		}
+	}()
+}
+
+// Close releases the lease and stops renewal. The client's connections stay
+// up for other vdisks.
+func (vd *VDisk) Close() error {
+	if vd.closed.Swap(true) {
+		return nil
+	}
+	if vd.renewStop != nil {
+		close(vd.renewStop)
+		<-vd.renewDone
+	}
+	_, _ = vd.c.masterCall(proto.MOpCloseVDisk,
+		master.LeaseReq{ID: vd.meta.ID, Client: vd.c.cfg.Name}, nil)
+	return nil
+}
+
+var _ Device = (*VDisk)(nil)

@@ -1,0 +1,403 @@
+// Package core is URSA's public façade: it assembles a complete block
+// store — machines with simulated SSDs and HDDs, primary and backup chunk
+// servers, per-HDD journals, a master, and a simulated network fabric —
+// and hands out client portals. This is the system the paper's evaluation
+// runs: the same cluster can be built in SSD-HDD-hybrid, SSD-only
+// (Ursa-SSD), or HDD-only mode (§6).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/chunkserver"
+	"ursa/internal/client"
+	"ursa/internal/clock"
+	"ursa/internal/journal"
+	"ursa/internal/master"
+	"ursa/internal/simdisk"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+// Mode selects where replicas live (§6: the three tested replication
+// modes).
+type Mode int
+
+// Replication modes.
+const (
+	// Hybrid stores primaries on SSD and backups on HDD behind journals —
+	// the paper's contribution.
+	Hybrid Mode = iota
+	// SSDOnly stores all replicas on SSDs (Ursa-SSD).
+	SSDOnly
+	// HDDOnly stores all replicas on HDDs without journals.
+	HDDOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Hybrid:
+		return "hybrid"
+	case SSDOnly:
+		return "ssd-only"
+	default:
+		return "hdd-only"
+	}
+}
+
+// Options parameterizes a cluster.
+type Options struct {
+	// Machines is the number of storage machines.
+	Machines int
+	// SSDsPerMachine / HDDsPerMachine set per-machine device counts
+	// (paper hardware: 2 PCIe SSDs, 8 HDDs).
+	SSDsPerMachine int
+	HDDsPerMachine int
+	// Mode selects the replication mode.
+	Mode Mode
+	// Clock drives all simulated time; tests pass a scaled clock.
+	Clock clock.Clock
+	// NetLatency is the one-way propagation delay.
+	NetLatency time.Duration
+	// NICRate is each machine's NIC bandwidth in bytes/second per
+	// direction (10 GbE ≈ 1.25e9). 0 = unlimited.
+	NICRate float64
+	// Replication is replicas per chunk (default 3).
+	Replication int
+	// SSDModel / HDDModel override device models (zero value = defaults).
+	SSDModel simdisk.SSDModel
+	HDDModel simdisk.HDDModel
+	// SSDCapacity / HDDCapacity shrink devices for tests (0 = model
+	// default). Smaller devices keep sparse-store page maps cheap.
+	SSDCapacity int64
+	HDDCapacity int64
+	// JournalFraction is the SSD share reserved for journals (paper: 1/10).
+	JournalFraction float64
+	// HDDJournal enables the overflow journal at each HDD's tail (§3.2).
+	HDDJournal bool
+	// HDDJournalSize bounds the overflow journal (0 = 1/16 of the HDD).
+	HDDJournalSize int64
+	// ReplTimeout / CallTimeout are the protocol timeouts.
+	ReplTimeout time.Duration
+	CallTimeout time.Duration
+	// LeaseTTL is the vdisk lease duration.
+	LeaseTTL time.Duration
+	// WriteRateLimit is the master-imposed per-client write budget.
+	WriteRateLimit float64
+	// BypassThreshold is Tj (default 64 KB); TinyThreshold is Tc (8 KB).
+	BypassThreshold int
+	TinyThreshold   int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Machines <= 0 {
+		o.Machines = 4
+	}
+	if o.SSDsPerMachine <= 0 {
+		o.SSDsPerMachine = 2
+	}
+	if o.HDDsPerMachine <= 0 {
+		o.HDDsPerMachine = 8
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Realtime
+	}
+	if o.Replication <= 0 {
+		o.Replication = 3
+	}
+	if o.SSDModel.Capacity == 0 {
+		o.SSDModel = simdisk.DefaultSSD()
+	}
+	if o.HDDModel.Capacity == 0 {
+		o.HDDModel = simdisk.DefaultHDD()
+	}
+	if o.SSDCapacity > 0 {
+		o.SSDModel.Capacity = o.SSDCapacity
+	}
+	if o.HDDCapacity > 0 {
+		o.HDDModel.Capacity = o.HDDCapacity
+	}
+	if o.JournalFraction <= 0 {
+		o.JournalFraction = 0.1
+	}
+	if o.HDDJournalSize <= 0 {
+		o.HDDJournalSize = o.HDDModel.Capacity / 16
+	}
+	if o.ReplTimeout <= 0 {
+		o.ReplTimeout = 500 * time.Millisecond
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+}
+
+// Machine is one storage machine: devices, servers, and a shared NIC.
+type Machine struct {
+	Name    string
+	SSDs    []*simdisk.SSD
+	HDDs    []*simdisk.HDD
+	Servers []*chunkserver.Server
+	jsets   []*journal.Set
+
+	nicIn, nicOut *transport.TokenBucket
+}
+
+// JournalSets returns the machine's backup journal sets (hybrid mode).
+func (m *Machine) JournalSets() []*journal.Set { return m.jsets }
+
+// Cluster is an assembled URSA deployment.
+type Cluster struct {
+	opts     Options
+	clk      clock.Clock
+	Net      *transport.SimNet
+	Master   *master.Master
+	Machines []*Machine
+
+	servers map[string]*chunkserver.Server
+	clients []*client.Client
+}
+
+// MasterAddr is the master's fabric address.
+const MasterAddr = "master"
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	opts.fillDefaults()
+	c := &Cluster{
+		opts:    opts,
+		clk:     opts.Clock,
+		Net:     transport.NewSimNet(opts.Clock, opts.NetLatency),
+		servers: make(map[string]*chunkserver.Server),
+	}
+
+	// Master node (unlimited NIC: it is off the data path).
+	ml, err := c.Net.Listen(MasterAddr, transport.NodeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	c.Master = master.New(master.Config{
+		Addr:           MasterAddr,
+		Clock:          opts.Clock,
+		Dialer:         c.Net.Dialer(MasterAddr, transport.NodeConfig{}),
+		Replication:    opts.Replication,
+		LeaseTTL:       opts.LeaseTTL,
+		WriteRateLimit: opts.WriteRateLimit,
+		RPCTimeout:     opts.CallTimeout,
+		HybridMode:     opts.Mode == Hybrid,
+	})
+	c.Master.Serve(ml)
+
+	for i := 0; i < opts.Machines; i++ {
+		m, err := c.buildMachine(i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Machines = append(c.Machines, m)
+	}
+	return c, nil
+}
+
+// buildMachine assembles machine i: devices, servers per device, journal
+// sets wiring backup HDDs to SSD journal regions, and master registration.
+func (c *Cluster) buildMachine(i int) (*Machine, error) {
+	opts := &c.opts
+	m := &Machine{
+		Name:   fmt.Sprintf("m%d", i),
+		nicIn:  transport.NewTokenBucket(c.clk, opts.NICRate),
+		nicOut: transport.NewTokenBucket(c.clk, opts.NICRate),
+	}
+	nodeCfg := transport.NodeConfig{SharedIn: m.nicIn, SharedOut: m.nicOut}
+
+	for j := 0; j < opts.SSDsPerMachine; j++ {
+		m.SSDs = append(m.SSDs, simdisk.NewSSD(opts.SSDModel, c.clk))
+	}
+	for k := 0; k < opts.HDDsPerMachine; k++ {
+		m.HDDs = append(m.HDDs, simdisk.NewHDD(opts.HDDModel, c.clk))
+	}
+
+	// Primary-capable servers: one per SSD (hybrid and SSD-only modes), or
+	// one per HDD in HDD-only mode.
+	switch opts.Mode {
+	case Hybrid:
+		if err := c.addSSDServers(m, nodeCfg, true); err != nil {
+			return nil, err
+		}
+		if err := c.addBackupServers(m, nodeCfg); err != nil {
+			return nil, err
+		}
+	case SSDOnly:
+		if err := c.addSSDServers(m, nodeCfg, true); err != nil {
+			return nil, err
+		}
+	case HDDOnly:
+		for k, hdd := range m.HDDs {
+			addr := fmt.Sprintf("%s/hdd%d", m.Name, k)
+			store := blockstore.New(hdd, 0)
+			srv := chunkserver.New(chunkserver.Config{
+				Addr:        addr,
+				Role:        chunkserver.RolePrimary,
+				Clock:       c.clk,
+				Dialer:      c.Net.Dialer(addr, nodeCfg),
+				ReplTimeout: opts.ReplTimeout,
+			}, store, nil)
+			if err := c.startServer(m, srv, nodeCfg); err != nil {
+				return nil, err
+			}
+			c.Master.AddServer(addr, m.Name, true) // primary-capable
+		}
+	}
+	return m, nil
+}
+
+// addSSDServers starts one primary server per SSD. In hybrid mode the tail
+// JournalFraction of each SSD is reserved for the backup journals of this
+// machine's HDDs.
+func (c *Cluster) addSSDServers(m *Machine, nodeCfg transport.NodeConfig, register bool) error {
+	opts := &c.opts
+	for j, ssd := range m.SSDs {
+		limit := ssd.Size()
+		if opts.Mode == Hybrid {
+			limit = util.AlignDown(int64(float64(ssd.Size())*(1-opts.JournalFraction)), util.ChunkSize)
+		}
+		addr := fmt.Sprintf("%s/ssd%d", m.Name, j)
+		store := blockstore.New(ssd, limit)
+		srv := chunkserver.New(chunkserver.Config{
+			Addr:        addr,
+			Role:        chunkserver.RolePrimary,
+			Clock:       c.clk,
+			Dialer:      c.Net.Dialer(addr, nodeCfg),
+			ReplTimeout: opts.ReplTimeout,
+		}, store, nil)
+		if err := c.startServer(m, srv, nodeCfg); err != nil {
+			return err
+		}
+		if register {
+			c.Master.AddServer(addr, m.Name, true)
+		}
+	}
+	return nil
+}
+
+// addBackupServers starts one backup server per HDD, each with a journal
+// set: an SSD journal region carved from a co-located SSD plus (optionally)
+// an overflow journal at the HDD's own tail (§3.2).
+func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) error {
+	opts := &c.opts
+	// Journal space on each SSD is split evenly among the HDDs it backs.
+	ssdJournalSpace := int64(float64(opts.SSDModel.Capacity) * opts.JournalFraction)
+	hddsPerSSD := (opts.HDDsPerMachine + opts.SSDsPerMachine - 1) / opts.SSDsPerMachine
+	perHDDJournal := util.AlignDown(ssdJournalSpace/int64(hddsPerSSD), util.SectorSize)
+
+	for k, hdd := range m.HDDs {
+		addr := fmt.Sprintf("%s/hdd%d", m.Name, k)
+		storeLimit := hdd.Size()
+		if opts.HDDJournal {
+			storeLimit = util.AlignDown(hdd.Size()-opts.HDDJournalSize, util.ChunkSize)
+		}
+		store := blockstore.New(hdd, storeLimit)
+
+		jset := journal.NewSet(c.clk, store, journal.DefaultConfig())
+		ssdIdx := k % opts.SSDsPerMachine
+		slot := int64(k / opts.SSDsPerMachine)
+		ssd := m.SSDs[ssdIdx]
+		base := util.AlignDown(int64(float64(ssd.Size())*(1-opts.JournalFraction)), util.ChunkSize) +
+			slot*perHDDJournal
+		jset.AddSSDJournal(fmt.Sprintf("%s-jssd%d", addr, ssdIdx), ssd, base, perHDDJournal)
+		if opts.HDDJournal {
+			jset.AddHDDJournal(addr+"-jhdd", hdd, storeLimit, util.AlignDown(opts.HDDJournalSize, util.SectorSize))
+		}
+		jset.Start()
+		m.jsets = append(m.jsets, jset)
+
+		srv := chunkserver.New(chunkserver.Config{
+			Addr:            addr,
+			Role:            chunkserver.RoleBackup,
+			Clock:           c.clk,
+			Dialer:          c.Net.Dialer(addr, nodeCfg),
+			ReplTimeout:     opts.ReplTimeout,
+			BypassThreshold: opts.BypassThreshold,
+		}, store, jset)
+		if err := c.startServer(m, srv, nodeCfg); err != nil {
+			return err
+		}
+		c.Master.AddServer(addr, m.Name, false)
+	}
+	return nil
+}
+
+func (c *Cluster) startServer(m *Machine, srv *chunkserver.Server, nodeCfg transport.NodeConfig) error {
+	l, err := c.Net.Listen(srv.Addr(), nodeCfg)
+	if err != nil {
+		return err
+	}
+	srv.Serve(l)
+	m.Servers = append(m.Servers, srv)
+	c.servers[srv.Addr()] = srv
+	return nil
+}
+
+// Server returns the chunk server at addr, or nil.
+func (c *Cluster) Server(addr string) *chunkserver.Server { return c.servers[addr] }
+
+// ServerAddrs lists all chunk-server addresses.
+func (c *Cluster) ServerAddrs() []string {
+	addrs := make([]string, 0, len(c.servers))
+	for _, m := range c.Machines {
+		for _, s := range m.Servers {
+			addrs = append(addrs, s.Addr())
+		}
+	}
+	return addrs
+}
+
+// NewClient creates a client portal on its own fabric node (a "VMM host").
+func (c *Cluster) NewClient(name string) *client.Client {
+	cfg := transport.NodeConfig{InRate: c.opts.NICRate, OutRate: c.opts.NICRate}
+	cl := client.New(client.Config{
+		Name:          name,
+		MasterAddr:    MasterAddr,
+		Clock:         c.clk,
+		Dialer:        c.Net.Dialer(name, cfg),
+		TinyThreshold: c.opts.TinyThreshold,
+		CallTimeout:   c.opts.CallTimeout,
+	})
+	c.clients = append(c.clients, cl)
+	return cl
+}
+
+// CrashServer makes a chunk server unreachable (its process/machine died,
+// from the protocol's perspective).
+func (c *Cluster) CrashServer(addr string) { c.Net.Crash(addr) }
+
+// RestartServer brings a crashed server's node back.
+func (c *Cluster) RestartServer(addr string) { c.Net.Restart(addr) }
+
+// Close shuts the whole cluster down.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	if c.Master != nil {
+		c.Master.Close()
+	}
+	for _, m := range c.Machines {
+		for _, s := range m.Servers {
+			s.Close()
+		}
+		for _, d := range m.SSDs {
+			d.Close()
+		}
+		for _, d := range m.HDDs {
+			d.Close()
+		}
+	}
+}
+
+// Mode returns the cluster's replication mode.
+func (c *Cluster) Mode() Mode { return c.opts.Mode }
+
+// Clock returns the cluster clock.
+func (c *Cluster) Clock() clock.Clock { return c.clk }

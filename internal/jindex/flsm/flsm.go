@@ -1,0 +1,300 @@
+// Package flsm is the comparison baseline for Fig 10: a fragmented
+// log-structured merge index in the style of PebblesDB, holding ordinary
+// point key-value mappings (sector offset → journal offset) rather than
+// URSA's composite range keys.
+//
+// Range operations decompose the way they must on a point-key store: a
+// range insertion of L sectors performs L skiplist insertions, and a range
+// query performs one seek() followed by next() calls across the memtable
+// and all sorted runs. That decomposition — not any implementation
+// sloppiness — is what produces the paper's two-orders-of-magnitude gap
+// against the composite-key index.
+package flsm
+
+import (
+	"sort"
+	"time"
+
+	"ursa/internal/jindex"
+	"ursa/internal/util"
+)
+
+// entry is one point mapping.
+type entry struct {
+	key uint32
+	val uint64
+}
+
+// StorageModel accounts the I/O a persistent LSM pays per operation:
+// PebblesDB writes every insertion to a WAL and serves range scans from
+// SSTable files. The FLSM here holds everything in memory for simplicity,
+// so to compare fairly with URSA's purely in-memory index (the paper's
+// Fig 10), these per-op device costs are *accounted* — summed into a
+// simulated I/O time — rather than slept.
+type StorageModel struct {
+	// WALWrite is charged once per point insertion (group-committed
+	// WAL append on a fast SSD).
+	WALWrite time.Duration
+	// RunRead is charged per sorted run consulted by a range scan
+	// (one SSTable block read, partially cached).
+	RunRead time.Duration
+}
+
+// PebblesDBStorage approximates the measured system's per-op I/O on the
+// paper's PCIe SSDs.
+func PebblesDBStorage() StorageModel {
+	return StorageModel{
+		WALWrite: 12 * time.Microsecond,
+		RunRead:  25 * time.Microsecond,
+	}
+}
+
+// FLSM is a memtable plus fragmented sorted runs. It is not safe for
+// concurrent use; Fig 10 measures single-threaded index performance.
+type FLSM struct {
+	mem      *skiplist
+	memLimit int
+	runs     [][]entry // newest first
+	maxRuns  int
+
+	storage StorageModel
+	ioTime  time.Duration
+}
+
+// WithStorage enables persistent-store I/O accounting.
+func (f *FLSM) WithStorage(m StorageModel) *FLSM {
+	f.storage = m
+	return f
+}
+
+// IOTime returns the accumulated simulated I/O time.
+func (f *FLSM) IOTime() time.Duration { return f.ioTime }
+
+// New returns an FLSM that flushes its memtable at memLimit entries and
+// compacts when more than maxRuns runs accumulate (PebblesDB's guards defer
+// exactly this kind of global rewrite; we compact rarely for the same
+// effect).
+func New(memLimit, maxRuns int) *FLSM {
+	if memLimit <= 0 {
+		memLimit = 1 << 16
+	}
+	if maxRuns <= 0 {
+		maxRuns = 8
+	}
+	return &FLSM{mem: newSkiplist(), memLimit: memLimit, maxRuns: maxRuns}
+}
+
+// RangeInsert maps every sector in [off, off+length) to consecutive journal
+// sectors starting at joff — one point insertion per sector.
+func (f *FLSM) RangeInsert(off, length uint32, joff uint64) {
+	for i := uint32(0); i < length; i++ {
+		f.mem.insert(off+i, joff+uint64(i))
+		f.ioTime += f.storage.WALWrite
+		if f.mem.len >= f.memLimit {
+			f.flush()
+		}
+	}
+}
+
+// flush dumps the memtable into a new sorted run.
+func (f *FLSM) flush() {
+	if f.mem.len == 0 {
+		return
+	}
+	run := f.mem.dump()
+	f.runs = append([][]entry{run}, f.runs...)
+	f.mem = newSkiplist()
+	if len(f.runs) > f.maxRuns {
+		f.compact()
+	}
+}
+
+// compact merges all runs into one, newest value winning per key.
+func (f *FLSM) compact() {
+	merged := f.runs[0]
+	for _, run := range f.runs[1:] {
+		merged = mergeRuns(merged, run)
+	}
+	f.runs = [][]entry{merged}
+}
+
+// mergeRuns merges two sorted runs; entries of a (newer) win ties.
+func mergeRuns(a, b []entry) []entry {
+	out := make([]entry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].key < b[j].key:
+			out = append(out, a[i])
+			i++
+		case a[i].key > b[j].key:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// RangeQuery seeks to off and iterates next() until off+length, merging the
+// memtable and every run, newest source winning per key. Consecutive point
+// hits are coalesced into extents so results are comparable with the
+// composite-key index.
+func (f *FLSM) RangeQuery(off, length uint32) []jindex.Extent {
+	end := off + length
+	// One cursor per source; cursor 0 (memtable) is newest.
+	type cursor struct {
+		next func() (entry, bool)
+		peek entry
+		ok   bool
+	}
+	cursors := make([]*cursor, 0, len(f.runs)+1)
+
+	memIter := f.mem.seek(off)
+	cursors = append(cursors, &cursor{next: memIter})
+	for _, run := range f.runs {
+		i := sort.Search(len(run), func(i int) bool { return run[i].key >= off })
+		run := run
+		idx := i
+		cursors = append(cursors, &cursor{next: func() (entry, bool) {
+			if idx >= len(run) {
+				return entry{}, false
+			}
+			e := run[idx]
+			idx++
+			return e, true
+		}})
+	}
+	for _, c := range cursors {
+		c.peek, c.ok = c.next()
+	}
+	// Each run consulted costs one SSTable block read.
+	f.ioTime += time.Duration(len(f.runs)) * f.storage.RunRead
+
+	var out []jindex.Extent
+	for {
+		// Find the minimum key across cursors; lower cursor index wins ties.
+		best := -1
+		for i, c := range cursors {
+			if !c.ok || c.peek.key >= end {
+				continue
+			}
+			if best == -1 || c.peek.key < cursors[best].peek.key {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		k, v := cursors[best].peek.key, cursors[best].peek.val
+		// Advance every cursor past k (dedup: newest already chosen).
+		for _, c := range cursors {
+			for c.ok && c.peek.key <= k {
+				c.peek, c.ok = c.next()
+			}
+		}
+		// Coalesce into the previous extent when contiguous in both spaces.
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.Off+prev.Len == k && prev.JOff+uint64(prev.Len) == v {
+				prev.Len++
+				continue
+			}
+		}
+		out = append(out, jindex.Extent{Off: k, Len: 1, JOff: v})
+	}
+	return out
+}
+
+// Len returns the total number of point entries (duplicates across levels
+// counted, as they occupy real memory).
+func (f *FLSM) Len() int {
+	n := f.mem.len
+	for _, run := range f.runs {
+		n += len(run)
+	}
+	return n
+}
+
+// skiplist is a classic probabilistic skiplist over uint32 keys, the
+// memtable structure LSM stores use for O(log n) ordered insertion.
+type skiplist struct {
+	head *slNode
+	rnd  *util.Rand
+	len  int
+}
+
+const slMaxLevel = 16
+
+type slNode struct {
+	key  uint32
+	val  uint64
+	next [slMaxLevel]*slNode
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{head: &slNode{}, rnd: util.NewRand(0x5eed)}
+}
+
+func (s *skiplist) randLevel() int {
+	lvl := 1
+	for lvl < slMaxLevel && s.rnd.Uint64()&3 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+func (s *skiplist) insert(key uint32, val uint64) {
+	var update [slMaxLevel]*slNode
+	x := s.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		n.val = val
+		return
+	}
+	lvl := s.randLevel()
+	n := &slNode{key: key, val: val}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.len++
+}
+
+// seek returns an iterator positioned at the first key >= off.
+func (s *skiplist) seek(off uint32) func() (entry, bool) {
+	x := s.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < off {
+			x = x.next[i]
+		}
+	}
+	cur := x.next[0]
+	return func() (entry, bool) {
+		if cur == nil {
+			return entry{}, false
+		}
+		e := entry{cur.key, cur.val}
+		cur = cur.next[0]
+		return e, true
+	}
+}
+
+// dump returns all entries in key order.
+func (s *skiplist) dump() []entry {
+	out := make([]entry, 0, s.len)
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, entry{n.key, n.val})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package flsm
+
+import (
+	"testing"
+
+	"ursa/internal/jindex"
+	"ursa/internal/util"
+)
+
+func TestFLSMBasic(t *testing.T) {
+	f := New(0, 0)
+	f.RangeInsert(100, 50, 1000)
+	got := f.RangeQuery(100, 50)
+	if len(got) != 1 || got[0] != (jindex.Extent{Off: 100, Len: 50, JOff: 1000}) {
+		t.Fatalf("RangeQuery = %v", got)
+	}
+	if got := f.RangeQuery(0, 50); len(got) != 0 {
+		t.Fatalf("miss = %v", got)
+	}
+}
+
+func TestFLSMOverwriteNewestWins(t *testing.T) {
+	f := New(16, 4) // tiny memtable to force flushes across runs
+	f.RangeInsert(0, 64, 1000)
+	f.RangeInsert(16, 16, 9000)
+	got := f.RangeQuery(0, 64)
+	want := []jindex.Extent{
+		{Off: 0, Len: 16, JOff: 1000},
+		{Off: 16, Len: 16, JOff: 9000},
+		{Off: 32, Len: 32, JOff: 1032},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RangeQuery = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("extent %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFLSMAgainstIndexOracle(t *testing.T) {
+	// The FLSM and the composite-key index must produce identical results
+	// for any workload without invalidations (FLSM has no tombstones).
+	f := New(256, 3)
+	ix := jindex.New(0)
+	r := util.NewRand(7)
+	var joff uint64 = 1
+	for op := 0; op < 800; op++ {
+		off := uint32(r.Intn(4000))
+		length := uint32(r.Intn(48) + 1)
+		if r.Float64() < 0.6 {
+			f.RangeInsert(off, length, joff)
+			ix.Insert(off, length, joff)
+			joff += uint64(length)
+		} else {
+			got := f.RangeQuery(off, length)
+			want := ix.Query(off, length)
+			if len(got) != len(want) {
+				t.Fatalf("op %d: got %v want %v", op, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("op %d extent %d: got %v want %v",
+						op, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFLSMCompaction(t *testing.T) {
+	f := New(8, 2)
+	for i := uint32(0); i < 100; i++ {
+		f.RangeInsert(i*4, 4, uint64(i*4))
+	}
+	if len(f.runs) > 2+1 {
+		t.Errorf("compaction did not bound runs: %d", len(f.runs))
+	}
+	got := f.RangeQuery(0, 400)
+	if len(got) != 1 || got[0].Len != 400 {
+		t.Fatalf("post-compaction query = %v", got)
+	}
+}
+
+func TestSkiplistOrdered(t *testing.T) {
+	s := newSkiplist()
+	r := util.NewRand(3)
+	seen := map[uint32]uint64{}
+	for i := 0; i < 2000; i++ {
+		k := uint32(r.Intn(10000))
+		v := r.Uint64() % 1000
+		s.insert(k, v)
+		seen[k] = v
+	}
+	if s.len != len(seen) {
+		t.Fatalf("len = %d, distinct = %d", s.len, len(seen))
+	}
+	dump := s.dump()
+	for i := 1; i < len(dump); i++ {
+		if dump[i].key <= dump[i-1].key {
+			t.Fatal("skiplist not sorted")
+		}
+	}
+	for _, e := range dump {
+		if seen[e.key] != e.val {
+			t.Fatalf("key %d = %d, want %d", e.key, e.val, seen[e.key])
+		}
+	}
+	// Seek positions correctly.
+	it := s.seek(5000)
+	e, ok := it()
+	if ok && e.key < 5000 {
+		t.Errorf("seek(5000) returned %d", e.key)
+	}
+}

@@ -1,0 +1,347 @@
+package jindex
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Index is the per-chunk two-level journal index. All offsets and lengths
+// are in sectors. It is safe for concurrent use; queries and updates sit on
+// the journal read/write critical path (§3.3), so reads take a shared lock
+// and the tree→array merge runs in the background.
+type Index struct {
+	mu     sync.RWMutex
+	tree   llrb // level 0: write cache, newest entries
+	frozen []KV // level 0.5: snapshot being merged, masks arr
+	arr    []KV // level 1: sorted array, oldest entries
+
+	autoMergeAt int // tree size that triggers a background merge; 0 = manual
+	merging     bool
+}
+
+// New returns an empty index that merges the tree into the array in the
+// background once the tree exceeds autoMergeAt entries. autoMergeAt <= 0
+// disables automatic merging (callers then use MergeNow, as the benchmarks
+// do to reproduce the paper's 100k-tree/600k-array split).
+func New(autoMergeAt int) *Index {
+	return &Index{autoMergeAt: autoMergeAt}
+}
+
+// Insert records that chunk sectors [off, off+length) now live at journal
+// sector joff. Obsolete mappings inside the range are invalidated. Ranges
+// longer than MaxLen are split across several composite keys.
+func (ix *Index) Insert(off, length uint32, joff uint64) {
+	ix.update(off, length, joff)
+}
+
+// Invalidate erases any journal mappings inside [off, off+length): the
+// write went directly to the backup disk (journal bypass) so journal data
+// for the range is stale (§3.2).
+func (ix *Index) Invalidate(off, length uint32) {
+	ix.update(off, length, Tombstone)
+}
+
+func (ix *Index) update(off, length uint32, joff uint64) {
+	if length == 0 {
+		return
+	}
+	ix.mu.Lock()
+	for length > 0 {
+		n := length
+		if n > MaxLen {
+			n = MaxLen
+		}
+		ix.insertOneLocked(MakeKV(off, n, joffAdvance(joff, 0)))
+		if joff != Tombstone {
+			joff += uint64(n)
+		}
+		off += n
+		length -= n
+	}
+	trigger := ix.autoMergeAt > 0 && ix.tree.len() >= ix.autoMergeAt && !ix.merging
+	if trigger {
+		ix.merging = true
+	}
+	ix.mu.Unlock()
+	if trigger {
+		go ix.mergeAsync()
+	}
+}
+
+func joffAdvance(joff uint64, by uint32) uint64 {
+	if joff == Tombstone {
+		return Tombstone
+	}
+	return joff + uint64(by)
+}
+
+// insertOneLocked erases tree intersections (keeping trimmed remainders)
+// and inserts kv. Lower levels are masked at query time and dropped at
+// merge time, exactly as the paper describes.
+func (ix *Index) insertOneLocked(kv KV) {
+	var doomed []KV
+	ix.tree.scanFrom(kv.Off(), func(k KV) bool {
+		if k.Off() >= kv.End() {
+			return false
+		}
+		doomed = append(doomed, k)
+		return true
+	})
+	for _, k := range doomed {
+		ix.tree.delete(k.Off())
+		if k.Off() < kv.Off() {
+			ix.tree.insert(k.slice(k.Off(), kv.Off()))
+		}
+		if k.End() > kv.End() {
+			ix.tree.insert(k.slice(kv.End(), k.End()))
+		}
+	}
+	ix.tree.insert(kv)
+}
+
+// span is a half-open sector interval used during query resolution.
+type span struct{ off, end uint32 }
+
+// Query resolves [off, off+length) against all levels, newest first, and
+// returns the mapped extents sorted by offset. Regions with no journal data
+// (never written, or invalidated by a tombstone) are simply absent; Holes
+// computes them when the caller needs to fall back to the backup disk.
+func (ix *Index) Query(off, length uint32) []Extent {
+	if length == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	gaps := []span{{off, off + length}}
+	var out []Extent
+
+	resolve := func(scan func(span) []KV) {
+		if len(gaps) == 0 {
+			return
+		}
+		var next []span
+		for _, g := range gaps {
+			pos := g.off
+			for _, k := range scan(g) {
+				piece := k.slice(g.off, g.end)
+				if piece.Off() > pos {
+					next = append(next, span{pos, piece.Off()})
+				}
+				if !piece.IsTombstone() {
+					out = append(out, Extent{piece.Off(), piece.Len(), piece.JOff()})
+				}
+				pos = piece.End()
+			}
+			if pos < g.end {
+				next = append(next, span{pos, g.end})
+			}
+		}
+		gaps = next
+	}
+
+	resolve(func(g span) []KV {
+		var ks []KV
+		ix.tree.scanFrom(g.off, func(k KV) bool {
+			if k.Off() >= g.end {
+				return false
+			}
+			ks = append(ks, k)
+			return true
+		})
+		return ks
+	})
+	resolve(func(g span) []KV { return scanSorted(ix.frozen, g) })
+	resolve(func(g span) []KV { return scanSorted(ix.arr, g) })
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	return out
+}
+
+// scanSorted returns the entries of a sorted non-intersecting slice that
+// overlap g, in order.
+func scanSorted(a []KV, g span) []KV {
+	// Ends are strictly increasing, so binary-search the first entry that
+	// ends past g.off.
+	i := sort.Search(len(a), func(i int) bool { return a[i].End() > g.off })
+	var out []KV
+	for ; i < len(a) && a[i].Off() < g.end; i++ {
+		out = append(out, a[i])
+	}
+	return out
+}
+
+// Holes returns the sub-ranges of [off, off+length) not covered by extents
+// (which must be sorted, as returned by Query). Callers read holes from the
+// backup disk during recovery and temporary-primary reads.
+func Holes(off, length uint32, extents []Extent) []Extent {
+	var holes []Extent
+	pos := off
+	end := off + length
+	for _, e := range extents {
+		if e.Off > pos {
+			holes = append(holes, Extent{Off: pos, Len: e.Off - pos})
+		}
+		if e.End() > pos {
+			pos = e.End()
+		}
+	}
+	if pos < end {
+		holes = append(holes, Extent{Off: pos, Len: end - pos})
+	}
+	return holes
+}
+
+// MergeNow synchronously merges the tree (and any frozen snapshot) into the
+// sorted array. Tombstones are applied and dropped.
+func (ix *Index) MergeNow() {
+	// Wait for any in-flight background merge, then claim the merge slot.
+	ix.mu.Lock()
+	for ix.merging {
+		ix.mu.Unlock()
+		runtime.Gosched()
+		ix.mu.Lock()
+	}
+	ix.merging = true
+	ix.mu.Unlock()
+	ix.mergeAsync()
+}
+
+// mergeAsync performs one merge; the caller must have set ix.merging.
+func (ix *Index) mergeAsync() {
+	ix.mu.Lock()
+	ix.freezeLocked()
+	frozen, arr := ix.frozen, ix.arr
+	ix.mu.Unlock()
+
+	merged := mergeLevels(frozen, arr)
+
+	ix.mu.Lock()
+	ix.arr = merged
+	ix.frozen = nil
+	ix.merging = false
+	ix.mu.Unlock()
+}
+
+// freezeLocked moves the tree into the frozen snapshot. Any existing frozen
+// snapshot is first folded in (callers ensure no concurrent merge).
+func (ix *Index) freezeLocked() {
+	snap := ix.tree.toSlice()
+	if len(ix.frozen) > 0 {
+		snap = mergeLevels(snap, ix.frozen)
+	}
+	ix.frozen = snap
+	ix.tree = llrb{}
+}
+
+// mergeLevels merges a newer sorted level over an older one: newer entries
+// win, older entries are trimmed to the uncovered gaps, and tombstones are
+// dropped after masking. Both inputs are sorted and non-intersecting and
+// are not modified (readers may hold references to them); so is the result.
+func mergeLevels(newer, older []KV) []KV {
+	out := make([]KV, 0, len(newer)+len(older))
+	j := 0
+	var pending KV // trimmed tail of older[j-1], valid when pendingOK
+	pendingOK := false
+
+	nextOlder := func() (KV, bool) {
+		if pendingOK {
+			pendingOK = false
+			return pending, true
+		}
+		if j < len(older) {
+			k := older[j]
+			j++
+			return k, true
+		}
+		return 0, false
+	}
+	pushBack := func(k KV) { pending, pendingOK = k, true }
+
+	emitOlderUpTo := func(limit uint32) {
+		for {
+			k, ok := nextOlder()
+			if !ok {
+				return
+			}
+			if k.Off() >= limit {
+				pushBack(k)
+				return
+			}
+			if k.End() <= limit {
+				out = append(out, k)
+				continue
+			}
+			// Straddles the limit: emit the front piece, keep the rest.
+			out = append(out, k.slice(k.Off(), limit))
+			pushBack(k.slice(limit, k.End()))
+			return
+		}
+	}
+	skipOlderUpTo := func(limit uint32) {
+		for {
+			k, ok := nextOlder()
+			if !ok {
+				return
+			}
+			if k.Off() >= limit {
+				pushBack(k)
+				return
+			}
+			if k.End() > limit {
+				pushBack(k.slice(limit, k.End()))
+				return
+			}
+		}
+	}
+	for _, nk := range newer {
+		emitOlderUpTo(nk.Off())
+		skipOlderUpTo(nk.End())
+		if !nk.IsTombstone() {
+			out = append(out, nk)
+		}
+	}
+	emitOlderUpTo(MaxOff)
+	return out
+}
+
+// Stats describes index occupancy and memory footprint.
+type Stats struct {
+	TreeLen   int
+	FrozenLen int
+	ArrLen    int
+	// MemoryBytes estimates resident size: 8 bytes per array/frozen entry
+	// plus tree node overhead (key + two child pointers + color word), the
+	// imbalance that motivates the two-level design.
+	MemoryBytes int64
+}
+
+// Stats returns an occupancy snapshot.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	const treeNodeBytes = 8 + 2*8 + 8
+	return Stats{
+		TreeLen:     ix.tree.len(),
+		FrozenLen:   len(ix.frozen),
+		ArrLen:      len(ix.arr),
+		MemoryBytes: int64(ix.tree.len())*treeNodeBytes + int64(len(ix.frozen)+len(ix.arr))*8,
+	}
+}
+
+// Len returns the total number of live entries across levels (stale masked
+// array entries included until merged away).
+func (ix *Index) Len() int {
+	s := ix.Stats()
+	return s.TreeLen + s.FrozenLen + s.ArrLen
+}
+
+// Clear empties the index (used when a journal is truncated after replay).
+func (ix *Index) Clear() {
+	ix.mu.Lock()
+	ix.tree = llrb{}
+	ix.frozen = nil
+	ix.arr = nil
+	ix.mu.Unlock()
+}

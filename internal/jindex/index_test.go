@@ -1,0 +1,317 @@
+package jindex
+
+import (
+	"testing"
+
+	"ursa/internal/util"
+)
+
+func TestIndexBasicInsertQuery(t *testing.T) {
+	ix := New(0)
+	ix.Insert(100, 50, 1000)
+	got := ix.Query(100, 50)
+	if len(got) != 1 || got[0].Off != 100 || got[0].Len != 50 || got[0].JOff != 1000 {
+		t.Fatalf("Query = %v", got)
+	}
+	// Partial query maps with adjusted journal offset (paper Fig 4).
+	got = ix.Query(120, 10)
+	if len(got) != 1 || got[0].Off != 120 || got[0].Len != 10 || got[0].JOff != 1020 {
+		t.Fatalf("partial Query = %v", got)
+	}
+	// Miss.
+	if got = ix.Query(0, 50); len(got) != 0 {
+		t.Fatalf("miss Query = %v", got)
+	}
+}
+
+func TestIndexOverwriteInvalidatesStale(t *testing.T) {
+	ix := New(0)
+	ix.Insert(100, 50, 1000)
+	ix.Insert(120, 10, 5000) // overwrite middle
+	got := ix.Query(100, 50)
+	if len(got) != 3 {
+		t.Fatalf("Query after overwrite = %v", got)
+	}
+	checks := []Extent{
+		{100, 20, 1000},
+		{120, 10, 5000},
+		{130, 20, 1030},
+	}
+	for i, want := range checks {
+		if got[i] != want {
+			t.Errorf("extent %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestIndexInvalidate(t *testing.T) {
+	ix := New(0)
+	ix.Insert(0, 100, 0)
+	ix.Invalidate(25, 50)
+	got := ix.Query(0, 100)
+	if len(got) != 2 {
+		t.Fatalf("Query after invalidate = %v", got)
+	}
+	if got[0] != (Extent{0, 25, 0}) || got[1] != (Extent{75, 25, 75}) {
+		t.Fatalf("extents = %v", got)
+	}
+	holes := Holes(0, 100, got)
+	if len(holes) != 1 || holes[0].Off != 25 || holes[0].Len != 50 {
+		t.Fatalf("holes = %v", holes)
+	}
+}
+
+func TestIndexMaskingAcrossLevels(t *testing.T) {
+	ix := New(0)
+	ix.Insert(0, 100, 0)
+	ix.MergeNow() // push to array
+	if s := ix.Stats(); s.ArrLen != 1 || s.TreeLen != 0 {
+		t.Fatalf("stats after merge = %+v", s)
+	}
+	// New tree entry masks the array.
+	ix.Insert(40, 20, 9000)
+	got := ix.Query(0, 100)
+	want := []Extent{{0, 40, 0}, {40, 20, 9000}, {60, 40, 60}}
+	if len(got) != len(want) {
+		t.Fatalf("Query = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("extent %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Tombstone in tree masks array too.
+	ix.Invalidate(0, 10)
+	got = ix.Query(0, 10)
+	if len(got) != 0 {
+		t.Fatalf("tombstone did not mask array: %v", got)
+	}
+	// After merge the mask is applied physically.
+	ix.MergeNow()
+	got = ix.Query(0, 100)
+	if len(got) != 3 || got[0] != (Extent{10, 30, 10}) {
+		t.Fatalf("post-merge Query = %v", got)
+	}
+}
+
+func TestIndexLongRangeSplit(t *testing.T) {
+	ix := New(0)
+	// A range longer than MaxLen must be split transparently.
+	ix.Insert(0, 3*MaxLen+5, 100)
+	got := ix.Query(0, 3*MaxLen+5)
+	var covered uint32
+	expectJ := uint64(100)
+	for _, e := range got {
+		if e.Off != covered {
+			t.Fatalf("gap at %d: %v", covered, got)
+		}
+		if e.JOff != expectJ {
+			t.Fatalf("joff at %d = %d, want %d", e.Off, e.JOff, expectJ)
+		}
+		covered += e.Len
+		expectJ += uint64(e.Len)
+	}
+	if covered != 3*MaxLen+5 {
+		t.Fatalf("covered %d of %d", covered, 3*MaxLen+5)
+	}
+}
+
+func TestIndexZeroLength(t *testing.T) {
+	ix := New(0)
+	ix.Insert(10, 0, 5) // no-op
+	if got := ix.Query(0, 0); got != nil {
+		t.Errorf("Query(len=0) = %v", got)
+	}
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func TestIndexClear(t *testing.T) {
+	ix := New(0)
+	ix.Insert(0, 10, 0)
+	ix.MergeNow()
+	ix.Insert(20, 10, 20)
+	ix.Clear()
+	if ix.Len() != 0 || len(ix.Query(0, 100)) != 0 {
+		t.Error("Clear left data behind")
+	}
+}
+
+// modelIndex is a naive per-sector oracle for property testing.
+type modelIndex map[uint32]uint64
+
+func (m modelIndex) insert(off, length uint32, joff uint64) {
+	for i := uint32(0); i < length; i++ {
+		m[off+i] = joff + uint64(i)
+	}
+}
+
+func (m modelIndex) invalidate(off, length uint32) {
+	for i := uint32(0); i < length; i++ {
+		delete(m, off+i)
+	}
+}
+
+func (m modelIndex) query(off, length uint32) []Extent {
+	var out []Extent
+	for i := uint32(0); i < length; i++ {
+		j, ok := m[off+i]
+		if !ok {
+			continue
+		}
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.Off+prev.Len == off+i && prev.JOff+uint64(prev.Len) == j {
+				prev.Len++
+				continue
+			}
+		}
+		out = append(out, Extent{off + i, 1, j})
+	}
+	return out
+}
+
+func extentsEqual(a, b []Extent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexAgainstModel is the core correctness property: after an
+// arbitrary interleaving of inserts, invalidations, merges, and queries,
+// the index must agree sector-for-sector with a naive oracle.
+func TestIndexAgainstModel(t *testing.T) {
+	const space = 4096 // small key space to force heavy overlap
+	ix := New(0)
+	model := modelIndex{}
+	r := util.NewRand(99)
+	var joff uint64 = 1 // avoid 0 to catch zero-default bugs
+
+	for op := 0; op < 5000; op++ {
+		off := uint32(r.Intn(space - 64))
+		length := uint32(r.Intn(64) + 1)
+		switch {
+		case r.Float64() < 0.5:
+			ix.Insert(off, length, joff)
+			model.insert(off, length, joff)
+			joff += uint64(length)
+		case r.Float64() < 0.3:
+			ix.Invalidate(off, length)
+			model.invalidate(off, length)
+		case r.Float64() < 0.1:
+			ix.MergeNow()
+		default:
+			got := ix.Query(off, length)
+			want := model.query(off, length)
+			if !extentsEqual(got, want) {
+				t.Fatalf("op %d: Query(%d,%d)\n got %v\nwant %v",
+					op, off, length, got, want)
+			}
+		}
+	}
+	// Full sweep at the end, before and after a final merge.
+	for _, phase := range []string{"pre-merge", "post-merge"} {
+		got := ix.Query(0, space)
+		want := model.query(0, space)
+		if !extentsEqual(got, want) {
+			t.Fatalf("%s full sweep mismatch:\n got %d extents\nwant %d extents",
+				phase, len(got), len(want))
+		}
+		ix.MergeNow()
+	}
+}
+
+func TestIndexAutoMerge(t *testing.T) {
+	ix := New(8)
+	for i := uint32(0); i < 64; i++ {
+		ix.Insert(i*10, 5, uint64(i*10))
+	}
+	// Wait for background merges to drain.
+	for i := 0; i < 1000; i++ {
+		s := ix.Stats()
+		if s.TreeLen < 8 && s.FrozenLen == 0 {
+			break
+		}
+		ix.MergeNow()
+	}
+	s := ix.Stats()
+	if s.ArrLen == 0 {
+		t.Fatalf("auto-merge never populated the array: %+v", s)
+	}
+	got := ix.Query(0, 640)
+	if len(got) != 64 {
+		t.Fatalf("after auto-merge: %d extents, want 64", len(got))
+	}
+}
+
+func TestIndexMemoryAccounting(t *testing.T) {
+	ix := New(0)
+	for i := uint32(0); i < 100; i++ {
+		ix.Insert(i*10, 5, uint64(i))
+	}
+	before := ix.Stats()
+	if before.TreeLen != 100 || before.ArrLen != 0 {
+		t.Fatalf("stats = %+v", before)
+	}
+	ix.MergeNow()
+	after := ix.Stats()
+	if after.TreeLen != 0 || after.ArrLen != 100 {
+		t.Fatalf("post-merge stats = %+v", after)
+	}
+	// The array representation must be smaller: 8 bytes vs node overhead.
+	if after.MemoryBytes >= before.MemoryBytes {
+		t.Errorf("merge did not shrink memory: %d -> %d",
+			before.MemoryBytes, after.MemoryBytes)
+	}
+}
+
+func TestHolesEdgeCases(t *testing.T) {
+	if h := Holes(10, 20, nil); len(h) != 1 || h[0].Off != 10 || h[0].Len != 20 {
+		t.Errorf("Holes with no extents = %v", h)
+	}
+	full := []Extent{{10, 20, 0}}
+	if h := Holes(10, 20, full); len(h) != 0 {
+		t.Errorf("Holes with full coverage = %v", h)
+	}
+}
+
+func TestIndexConcurrentReadersWriters(t *testing.T) {
+	ix := New(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(seed uint64) {
+			r := util.NewRand(seed)
+			for i := 0; i < 2000; i++ {
+				off := uint32(r.Intn(100000))
+				switch r.Intn(3) {
+				case 0:
+					ix.Insert(off, uint32(r.Intn(32)+1), uint64(off))
+				case 1:
+					ix.Invalidate(off, uint32(r.Intn(32)+1))
+				default:
+					ix.Query(off, 64)
+				}
+			}
+			done <- struct{}{}
+		}(uint64(g + 1))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	ix.MergeNow()
+	// Sanity: queries still well-formed (sorted, non-overlapping).
+	got := ix.Query(0, 100064)
+	for i := 1; i < len(got); i++ {
+		if got[i].Off < got[i-1].End() {
+			t.Fatalf("overlapping extents after concurrency: %v %v",
+				got[i-1], got[i])
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package jindex
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKVPackUnpack(t *testing.T) {
+	cases := []struct {
+		off, length uint32
+		joff        uint64
+	}{
+		{0, 1, 0},
+		{MaxOff - 1, 1, 12345},
+		{MaxOff - MaxLen, MaxLen, MaxJOff - 1},
+		{1000, 128, 1 << 33},
+	}
+	for _, c := range cases {
+		kv := MakeKV(c.off, c.length, c.joff)
+		if kv.Off() != c.off || kv.Len() != c.length || kv.JOff() != c.joff {
+			t.Errorf("MakeKV(%d,%d,%d) round-trip = (%d,%d,%d)",
+				c.off, c.length, c.joff, kv.Off(), kv.Len(), kv.JOff())
+		}
+	}
+}
+
+func TestKVPackProperty(t *testing.T) {
+	f := func(offRaw, lenRaw uint32, joffRaw uint64) bool {
+		off := offRaw % (MaxOff - MaxLen)
+		length := lenRaw%MaxLen + 1
+		joff := joffRaw % MaxJOff
+		kv := MakeKV(off, length, joff)
+		return kv.Off() == off && kv.Len() == length && kv.JOff() == joff &&
+			!kv.IsTombstone()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVOrderMatchesOffset(t *testing.T) {
+	// Packing puts the offset in the top bits, so numeric KV order must
+	// equal offset order regardless of the other fields.
+	a := MakeKV(10, MaxLen, MaxJOff-1)
+	b := MakeKV(11, 1, 0)
+	if a >= b {
+		t.Error("KV numeric order does not follow offset")
+	}
+}
+
+func TestKVPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero length", func() { MakeKV(0, 0, 0) })
+	mustPanic("length too large", func() { MakeKV(0, MaxLen+1, 0) })
+	mustPanic("end past chunk", func() { MakeKV(MaxOff-1, 2, 0) })
+	mustPanic("joff too large", func() { MakeKV(0, 1, MaxJOff+1) })
+}
+
+func TestKVLessTotalOrder(t *testing.T) {
+	a := MakeKV(0, 10, 0)
+	b := MakeKV(10, 5, 100)
+	c := MakeKV(20, 5, 200)
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Error("LESS not transitive on disjoint keys")
+	}
+	if b.Less(a) {
+		t.Error("LESS not antisymmetric")
+	}
+	over := MakeKV(8, 5, 0)
+	if a.Less(over) || over.Less(a) {
+		t.Error("intersecting keys must not be LESS either way")
+	}
+	if !a.Intersects(over) || a.Intersects(b) {
+		t.Error("Intersects wrong")
+	}
+}
+
+func TestKVSlice(t *testing.T) {
+	kv := MakeKV(100, 50, 1000)
+	s := kv.slice(120, 140)
+	if s.Off() != 120 || s.Len() != 20 || s.JOff() != 1020 {
+		t.Errorf("slice = %v", s)
+	}
+	// Clamping to the key's own bounds.
+	s = kv.slice(50, 500)
+	if s != kv {
+		t.Errorf("clamped slice = %v, want %v", s, kv)
+	}
+	tomb := MakeKV(100, 50, Tombstone)
+	if got := tomb.slice(110, 120); !got.IsTombstone() {
+		t.Error("tombstone slice lost its marker")
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	kv := MakeKV(5, 3, Tombstone)
+	if !kv.IsTombstone() {
+		t.Error("IsTombstone false for tombstone")
+	}
+	if kv.String() != "[5,8)→∅" {
+		t.Errorf("tombstone String = %q", kv.String())
+	}
+	kv2 := MakeKV(5, 3, 77)
+	if kv2.String() != "[5,8)→77" {
+		t.Errorf("String = %q", kv2.String())
+	}
+}
+
+func TestExtentEnd(t *testing.T) {
+	e := Extent{Off: 10, Len: 5, JOff: 0}
+	if e.End() != 15 {
+		t.Errorf("End = %d", e.End())
+	}
+}

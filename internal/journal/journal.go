@@ -1,0 +1,144 @@
+package journal
+
+import (
+	"fmt"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// joffRegionBits carves the 34-bit journal-offset space into per-journal
+// regions of 2^30 sectors (512 GiB), so an index entry's JOff identifies
+// both the journal and the position inside it.
+const joffRegionBits = 30
+
+// Journal is one circular append-only log occupying a byte region of a
+// disk. It is managed by a Set, which owns locking and the per-chunk
+// indexes; Journal itself only tracks space and performs device I/O.
+type Journal struct {
+	disk simdisk.Disk
+	name string
+	base int64 // byte offset of the region on the disk
+	size int64 // region size in bytes
+
+	joffBase uint64 // first sector of this journal's joff region
+
+	// head/tail are monotonically increasing byte counters; position on
+	// disk is counter % size. Guarded by the Set's mutex.
+	head, tail int64
+
+	// fifo holds unreplayed records in reservation (position) order.
+	fifo []*pendingRecord
+
+	appends      int64 // total records appended (stats)
+	bytesAppened int64
+}
+
+// pendingRecord is the in-memory replay queue entry for one record (or a
+// wrap pad, which has chunk == padChunk and only consumes space).
+type pendingRecord struct {
+	chunk    blockstore.ChunkID
+	off      int64  // chunk-relative byte offset
+	dataLen  int    // payload bytes
+	version  uint64 // chunk version of the write
+	dataJOff uint64 // first journal sector of the payload
+	footant  int64  // total bytes consumed (header+data+pad)
+	ready    bool   // payload durable in the journal; index updated
+	failed   bool   // device write failed; skip at replay
+}
+
+const padChunk = blockstore.ChunkID(^uint64(0))
+
+// newJournal creates a journal over disk[base, base+size) with journal
+// region index region (assigning its joff space).
+func newJournal(name string, disk simdisk.Disk, base, size int64, region int) *Journal {
+	if size%util.SectorSize != 0 || base%util.SectorSize != 0 {
+		panic("journal: unaligned region")
+	}
+	if size > int64(1)<<(joffRegionBits+9) {
+		panic("journal: region exceeds joff space")
+	}
+	return &Journal{
+		disk:     disk,
+		name:     name,
+		base:     base,
+		size:     size,
+		joffBase: uint64(region) << joffRegionBits,
+	}
+}
+
+// freeBytes returns unreserved space.
+func (j *Journal) freeBytes() int64 { return j.size - (j.head - j.tail) }
+
+// UsedBytes returns space between tail and head (live + pad).
+func (j *Journal) UsedBytes() int64 { return j.head - j.tail }
+
+// Size returns the journal region capacity in bytes.
+func (j *Journal) Size() int64 { return j.size }
+
+// Appends returns the number of records appended so far.
+func (j *Journal) Appends() int64 { return j.appends }
+
+// Name returns the journal's human-readable name ("ssd0", "hdd").
+func (j *Journal) Name() string { return j.name }
+
+// reserve claims space for a record of dataLen payload bytes, handling
+// wrap-around, and returns the byte position (monotonic counter) for the
+// header. Returns false if the record does not fit. Caller holds the Set
+// lock.
+func (j *Journal) reserve(dataLen int) (pos int64, ok bool) {
+	need := recordBytes(dataLen)
+	if need > j.size {
+		return 0, false
+	}
+	diskPos := j.head % j.size
+	pad := int64(0)
+	if diskPos+need > j.size {
+		// Record would straddle the region end: pad to the wrap point so
+		// the payload stays contiguous for reads.
+		pad = j.size - diskPos
+	}
+	if j.head+pad+need-j.tail > j.size {
+		return 0, false
+	}
+	if pad > 0 {
+		j.fifo = append(j.fifo, &pendingRecord{chunk: padChunk, footant: pad, ready: true})
+		j.head += pad
+	}
+	pos = j.head
+	j.head += need
+	return pos, true
+}
+
+// writeRecord performs the device I/O for a record reserved at pos. It is
+// called outside the Set lock; the space is already reserved so concurrent
+// appends cannot collide.
+func (j *Journal) writeRecord(pos int64, h header, data []byte) error {
+	buf := make([]byte, recordBytes(len(data)))
+	h.encode(buf)
+	copy(buf[headerSize:], data)
+	return j.disk.WriteAt(buf, j.base+pos%j.size)
+}
+
+// dataJOff computes the global journal sector of the payload of a record
+// whose header sits at byte position pos.
+func (j *Journal) dataJOff(pos int64) uint64 {
+	return j.joffBase + uint64((pos%j.size+headerSize)/util.SectorSize)
+}
+
+// readAtJOff reads n bytes of payload starting at global journal sector
+// joff (which must belong to this journal).
+func (j *Journal) readAtJOff(p []byte, joff uint64) error {
+	local := int64(joff-j.joffBase) * util.SectorSize
+	if local < 0 || local+int64(len(p)) > j.size {
+		return fmt.Errorf("journal %s: joff %d out of region: %w",
+			j.name, joff, util.ErrOutOfRange)
+	}
+	return j.disk.ReadAt(p, j.base+local)
+}
+
+// owns reports whether a global joff falls in this journal's region.
+func (j *Journal) owns(joff uint64) bool {
+	return joff>>joffRegionBits == j.joffBase>>joffRegionBits
+}

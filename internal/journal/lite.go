@@ -1,0 +1,78 @@
+package journal
+
+import "sync"
+
+// Mod describes one modified range of a chunk, tagged with the version of
+// the write that produced it.
+type Mod struct {
+	Version uint64
+	Off     int64
+	Len     int
+}
+
+// Lite is the paper's "journal lite" (§4.2.1): an in-memory ring of recent
+// write positions kept by *every* replica — primary or backup — so that a
+// replica recovering from transient unavailability can be repaired
+// incrementally by transferring only the ranges modified since its version,
+// instead of the whole 64 MB chunk.
+type Lite struct {
+	mu      sync.Mutex
+	ring    []Mod
+	start   int // index of the oldest entry
+	count   int
+	minVer  uint64 // oldest version still queryable (entries >= minVer kept)
+	haveMin bool
+}
+
+// NewLite returns a journal lite retaining the most recent capacity writes.
+func NewLite(capacity int) *Lite {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Lite{ring: make([]Mod, capacity)}
+}
+
+// Record notes that version wrote [off, off+n).
+func (l *Lite) Record(version uint64, off int64, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == len(l.ring) {
+		// Evict the oldest; repairs from before it now need full copies.
+		evicted := l.ring[l.start]
+		l.start = (l.start + 1) % len(l.ring)
+		l.count--
+		l.minVer = evicted.Version + 1
+		l.haveMin = true
+	} else if !l.haveMin {
+		l.minVer = version
+		l.haveMin = true
+	}
+	l.ring[(l.start+l.count)%len(l.ring)] = Mod{Version: version, Off: off, Len: n}
+	l.count++
+}
+
+// Since returns the ranges modified by versions > fromVersion, oldest
+// first. ok is false when the history has been garbage-collected past
+// fromVersion, in which case the whole chunk must be transferred instead
+// (§4.2.1).
+func (l *Lite) Since(fromVersion uint64) (mods []Mod, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.haveMin && fromVersion+1 < l.minVer {
+		return nil, false
+	}
+	for i := 0; i < l.count; i++ {
+		m := l.ring[(l.start+i)%len(l.ring)]
+		if m.Version > fromVersion {
+			mods = append(mods, m)
+		}
+	}
+	return mods, true
+}
+
+// Len returns the number of retained entries.
+func (l *Lite) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}

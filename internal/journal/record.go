@@ -1,0 +1,91 @@
+// Package journal implements URSA's backup journals (§3.2): append-only
+// logs that transform random small backup writes into sequential appends,
+// replayed asynchronously into the backup HDD's chunk store. A Set manages
+// the journals of one backup server — SSD journals first, expanding
+// on demand to co-located SSDs and finally to an HDD journal — sharing
+// per-chunk composite-key indexes (jindex) that map chunk offsets to
+// journal offsets.
+//
+// All offsets and lengths are sector-aligned (512 B): URSA is a block
+// store, and the virtual-disk interface guarantees sector granularity.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/util"
+)
+
+// Record header layout, one sector on disk before the data sectors:
+//
+//	magic    uint64
+//	chunkID  uint64
+//	off      uint64 (bytes within the chunk)
+//	dataLen  uint32 (bytes)
+//	version  uint64 (chunk version that produced the write)
+//	checksum uint32 (CRC-32C of the data)
+const (
+	recordMagic  = 0x55525341_4a4f5552 // "URSAJOUR"
+	headerSize   = util.SectorSize
+	headerFields = 8 + 8 + 8 + 4 + 8 + 4
+)
+
+// header describes one journal record.
+type header struct {
+	chunk    blockstore.ChunkID
+	off      int64
+	dataLen  int
+	version  uint64
+	checksum uint32
+}
+
+// encode writes the header into a sector-sized buffer.
+func (h header) encode(buf []byte) {
+	if len(buf) < headerSize {
+		panic("journal: header buffer too small")
+	}
+	binary.LittleEndian.PutUint64(buf[0:], recordMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(h.chunk))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(h.off))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(h.dataLen))
+	binary.LittleEndian.PutUint64(buf[28:], h.version)
+	binary.LittleEndian.PutUint32(buf[36:], h.checksum)
+	for i := headerFields; i < headerSize; i++ {
+		buf[i] = 0
+	}
+}
+
+// decodeHeader parses a header sector, validating the magic.
+func decodeHeader(buf []byte) (header, error) {
+	if len(buf) < headerSize {
+		return header{}, fmt.Errorf("journal: short header: %d bytes", len(buf))
+	}
+	if m := binary.LittleEndian.Uint64(buf[0:]); m != recordMagic {
+		return header{}, fmt.Errorf("journal: bad magic %#x", m)
+	}
+	return header{
+		chunk:    blockstore.ChunkID(binary.LittleEndian.Uint64(buf[8:])),
+		off:      int64(binary.LittleEndian.Uint64(buf[16:])),
+		dataLen:  int(binary.LittleEndian.Uint32(buf[24:])),
+		version:  binary.LittleEndian.Uint64(buf[28:]),
+		checksum: binary.LittleEndian.Uint32(buf[36:]),
+	}, nil
+}
+
+// recordBytes returns the on-disk footprint of a record with dataLen bytes
+// of payload: one header sector plus sector-aligned data.
+func recordBytes(dataLen int) int64 {
+	return headerSize + util.AlignUp(int64(dataLen), util.SectorSize)
+}
+
+// checkAligned validates sector alignment of a chunk-relative range.
+func checkAligned(off int64, n int) error {
+	if off%util.SectorSize != 0 || n%util.SectorSize != 0 || n == 0 ||
+		off < 0 || off+int64(n) > util.ChunkSize {
+		return fmt.Errorf("journal: unaligned or out-of-range [%d,%d): %w",
+			off, off+int64(n), util.ErrOutOfRange)
+	}
+	return nil
+}

@@ -1,0 +1,532 @@
+package journal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/clock"
+	"ursa/internal/jindex"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// Sink is the replay target: the backup server's HDD chunk store.
+type Sink interface {
+	WriteAt(id blockstore.ChunkID, p []byte, off int64) error
+	ReadAt(id blockstore.ChunkID, p []byte, off int64) error
+	Disk() simdisk.Disk
+}
+
+// Config tunes a journal Set.
+type Config struct {
+	// AutoMergeAt is the per-chunk index tree size that triggers a
+	// background merge into the sorted array.
+	AutoMergeAt int
+	// PollInterval is how often the replayer rechecks gated journals
+	// (HDD journals waiting for an idle disk, records mid-write).
+	PollInterval time.Duration
+	// IdleGrace is how long the backup disk must stay idle before replay
+	// resumes: without it, replay sneaks a slow random write into every
+	// gap between foreground appends and throttles them to the HDD's
+	// random rate — the exact inversion journals exist to prevent.
+	IdleGrace time.Duration
+}
+
+// DefaultConfig returns production-like tuning.
+func DefaultConfig() Config {
+	return Config{AutoMergeAt: 4096, PollInterval: 10 * time.Millisecond, IdleGrace: 30 * time.Millisecond}
+}
+
+// Set manages the journals of one backup server, in expansion priority
+// order: local SSD journals first, then (rarely) an HDD journal (§3.2).
+// A single background replayer drains records oldest-first per journal,
+// merging superseded appends away, exactly one writer at a time — the
+// single-threaded elevator-friendly regime the paper prescribes for backup
+// HDDs (§5.3).
+//
+// Per-chunk appends must be serialized by the caller (the chunk server's
+// version protocol already does); appends to different chunks may run
+// concurrently.
+type Set struct {
+	clk  clock.Clock
+	sink Sink
+	cfg  Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond // replayer wakeup
+	drainCond *sync.Cond // Drain() wakeup
+	journals  []*Journal
+	idleOnly  []bool // journals[i] replays only when its disk is idle
+	indexes   map[blockstore.ChunkID]*jindex.Index
+	pending   int // unreplayed (non-pad) records across all journals
+	force     int // >0: Drain in progress, ignore idle gating
+	lastBusy  time.Time
+	started   bool
+	closed    bool
+	done      chan struct{}
+
+	// chunkLocks serialize replay against journal-bypass direct writes on
+	// the same chunk; they are always acquired BEFORE s.mu.
+	chunkMu    sync.Mutex
+	chunkLocks map[blockstore.ChunkID]*sync.Mutex
+
+	replayedRecords int64
+	replayedBytes   int64
+	mergedSectors   int64 // sectors skipped at replay because overwritten
+}
+
+// NewSet creates an empty journal set replaying into sink. Call
+// AddSSDJournal/AddHDDJournal, then Start.
+func NewSet(clk clock.Clock, sink Sink, cfg Config) *Set {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultConfig().PollInterval
+	}
+	if cfg.IdleGrace < 0 {
+		cfg.IdleGrace = 0
+	}
+	s := &Set{
+		clk:        clk,
+		sink:       sink,
+		cfg:        cfg,
+		indexes:    make(map[blockstore.ChunkID]*jindex.Index),
+		chunkLocks: make(map[blockstore.ChunkID]*sync.Mutex),
+		done:       make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.drainCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// AddSSDJournal registers a journal region on an SSD; it is replayed
+// continuously (SSD parallelism hides the reads, §3.2).
+func (s *Set) AddSSDJournal(name string, disk simdisk.Disk, base, size int64) *Journal {
+	return s.add(name, disk, base, size, false)
+}
+
+// AddHDDJournal registers the overflow journal on an HDD; it is replayed
+// only when its disk is idle, since seeks would otherwise fight foreground
+// I/O (§3.2).
+func (s *Set) AddHDDJournal(name string, disk simdisk.Disk, base, size int64) *Journal {
+	return s.add(name, disk, base, size, true)
+}
+
+func (s *Set) add(name string, disk simdisk.Disk, base, size int64, idleOnly bool) *Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := newJournal(name, disk, base, size, len(s.journals))
+	s.journals = append(s.journals, j)
+	s.idleOnly = append(s.idleOnly, idleOnly)
+	return j
+}
+
+// Start launches the background replayer.
+func (s *Set) Start() {
+	s.mu.Lock()
+	if s.started || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.replayLoop()
+}
+
+// Close stops the replayer without draining; pending journal data stays
+// unreplayed (recovery would reread it in a restart, which our simulation
+// models as replica reallocation instead).
+func (s *Set) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.cond.Broadcast()
+	s.drainCond.Broadcast()
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+// Append journals a backup write: data at chunk-relative byte offset off.
+// It returns ErrQuota when every journal is full — callers fall back to a
+// direct backup write (and the master should already have rate-limited the
+// client before this point, §3.2).
+func (s *Set) Append(id blockstore.ChunkID, off int64, data []byte, version uint64) error {
+	if err := checkAligned(off, len(data)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return util.ErrClosed
+	}
+	var j *Journal
+	var pos int64
+	for _, cand := range s.journals {
+		if p, ok := cand.reserve(len(data)); ok {
+			j, pos = cand, p
+			break
+		}
+	}
+	if j == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("journal: all journals full: %w", util.ErrQuota)
+	}
+	rec := &pendingRecord{
+		chunk:    id,
+		off:      off,
+		dataLen:  len(data),
+		version:  version,
+		dataJOff: j.dataJOff(pos),
+		footant:  recordBytes(len(data)),
+	}
+	j.fifo = append(j.fifo, rec)
+	s.pending++
+	s.mu.Unlock()
+
+	h := header{chunk: id, off: off, dataLen: len(data), version: version,
+		checksum: util.Checksum(data)}
+	err := j.writeRecord(pos, h, data)
+
+	s.mu.Lock()
+	if err != nil {
+		rec.failed = true
+	} else {
+		rec.ready = true
+	}
+	if err == nil {
+		j.appends++
+		j.bytesAppened += int64(len(data))
+		s.indexLocked(id).Insert(
+			uint32(off/util.SectorSize),
+			uint32(len(data)/util.SectorSize),
+			rec.dataJOff)
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+	return err
+}
+
+// chunkLock returns the per-chunk serialization mutex.
+func (s *Set) chunkLock(id blockstore.ChunkID) *sync.Mutex {
+	s.chunkMu.Lock()
+	defer s.chunkMu.Unlock()
+	m, ok := s.chunkLocks[id]
+	if !ok {
+		m = &sync.Mutex{}
+		s.chunkLocks[id] = m
+	}
+	return m
+}
+
+// WriteDirect performs a journal-bypass backup write (large sequential
+// writes, §3.2): the data goes straight to the backup disk and any
+// overlapped journal appends are invalidated. The per-chunk lock orders it
+// against an in-flight replay of the same chunk, so a stale replay can
+// never land on top of newer bypass data.
+func (s *Set) WriteDirect(id blockstore.ChunkID, data []byte, off int64) error {
+	if err := checkAligned(off, len(data)); err != nil {
+		return err
+	}
+	l := s.chunkLock(id)
+	l.Lock()
+	defer l.Unlock()
+	if err := s.sink.WriteAt(id, data, off); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if ix, ok := s.indexes[id]; ok {
+		ix.Invalidate(uint32(off/util.SectorSize), uint32(len(data)/util.SectorSize))
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Read serves a backup read: newest journal data for mapped extents, the
+// backup disk for the holes. It is used when a backup acts as temporary
+// primary or during recovery (§4.2.1), so some lock-held journal I/O is
+// acceptable.
+func (s *Set) Read(id blockstore.ChunkID, p []byte, off int64) error {
+	if err := checkAligned(off, len(p)); err != nil {
+		return err
+	}
+	offSec := uint32(off / util.SectorSize)
+	lenSec := uint32(len(p) / util.SectorSize)
+
+	s.mu.Lock()
+	ix, ok := s.indexes[id]
+	if !ok {
+		s.mu.Unlock()
+		return s.sink.ReadAt(id, p, off)
+	}
+	extents := ix.Query(offSec, lenSec)
+	// Read mapped extents from their journals while holding the lock so
+	// replay cannot reclaim the space underneath us.
+	for _, e := range extents {
+		j := s.journalOf(e.JOff)
+		if j == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("journal: no journal owns joff %d", e.JOff)
+		}
+		dst := p[(int64(e.Off)*util.SectorSize)-off:][:int64(e.Len)*util.SectorSize]
+		if err := j.readAtJOff(dst, e.JOff); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	holes := jindex.Holes(offSec, lenSec, extents)
+	s.mu.Unlock()
+
+	for _, h := range holes {
+		dst := p[(int64(h.Off)*util.SectorSize)-off:][:int64(h.Len)*util.SectorSize]
+		if err := s.sink.ReadAt(id, dst, int64(h.Off)*util.SectorSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropChunk discards index state for a deleted chunk; its journal records
+// are skipped at replay.
+func (s *Set) DropChunk(id blockstore.ChunkID) {
+	s.mu.Lock()
+	delete(s.indexes, id)
+	s.mu.Unlock()
+}
+
+// Drain synchronously replays every pending record, ignoring idle gating.
+// Recovery and tests use it; production relies on the background replayer.
+func (s *Set) Drain() {
+	s.mu.Lock()
+	s.force++
+	s.cond.Broadcast()
+	for s.pending > 0 && !s.closed {
+		s.drainCond.Wait()
+	}
+	s.force--
+	s.mu.Unlock()
+}
+
+// Pending returns the number of unreplayed records.
+func (s *Set) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// indexLocked returns (creating if needed) the chunk's index.
+func (s *Set) indexLocked(id blockstore.ChunkID) *jindex.Index {
+	ix, ok := s.indexes[id]
+	if !ok {
+		ix = jindex.New(s.cfg.AutoMergeAt)
+		s.indexes[id] = ix
+	}
+	return ix
+}
+
+// journalOf maps a global joff to its journal.
+func (s *Set) journalOf(joff uint64) *Journal {
+	r := int(joff >> joffRegionBits)
+	if r < len(s.journals) && s.journals[r].owns(joff) {
+		return s.journals[r]
+	}
+	return nil
+}
+
+// replayLoop is the single background replayer.
+func (s *Set) replayLoop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.nextJournalLocked()
+		if j == nil {
+			if s.pending == 0 {
+				s.drainCond.Broadcast()
+				s.cond.Wait() // new append, Drain, or Close
+				s.mu.Unlock()
+				continue
+			}
+			// Records exist but are gated (mid-write or idle-only): poll.
+			s.mu.Unlock()
+			s.clk.Sleep(s.cfg.PollInterval)
+			continue
+		}
+		rec := j.fifo[0]
+		s.mu.Unlock()
+		// Chunk lock first (lock order: chunk lock > s.mu) so bypass
+		// writes to the same chunk serialize against this replay. The
+		// record stays at fifo[0]: this loop is the only consumer.
+		l := s.chunkLock(rec.chunk)
+		l.Lock()
+		s.replayRecord(j, rec)
+		l.Unlock()
+	}
+}
+
+// nextJournalLocked picks the highest-priority journal whose head record is
+// replayable, discarding pads and failed records as it goes. Replay always
+// yields to foreground work on the backup disk: its random writes would
+// otherwise starve journal appends and bypass writes, inverting the
+// journals' whole purpose (§3.2, §5.3).
+func (s *Set) nextJournalLocked() *Journal {
+	if s.force == 0 {
+		now := s.clk.Now()
+		if s.sink.Disk().QueueDepth() > 0 {
+			s.lastBusy = now
+			return nil // the backup disk is serving foreground I/O
+		}
+		if now.Sub(s.lastBusy) < s.cfg.IdleGrace {
+			return nil // let a foreground burst finish before seeking away
+		}
+	}
+	for i, j := range s.journals {
+		// Trim pads/failed records first so tails advance promptly.
+		for len(j.fifo) > 0 {
+			r := j.fifo[0]
+			if r.chunk == padChunk || r.failed {
+				j.tail += r.footant
+				j.fifo = j.fifo[1:]
+				if r.failed {
+					s.pending--
+				}
+				continue
+			}
+			break
+		}
+		if len(j.fifo) == 0 || !j.fifo[0].ready {
+			continue
+		}
+		if s.idleOnly[i] && s.force == 0 && j.disk.QueueDepth() > 0 {
+			continue
+		}
+		return j
+	}
+	return nil
+}
+
+// replayRecord replays rec, the head record of j. The caller holds the
+// record's chunk lock; s.mu is taken as needed around index and space
+// bookkeeping.
+func (s *Set) replayRecord(j *Journal, rec *pendingRecord) {
+	s.mu.Lock()
+	offSec := uint32(rec.off / util.SectorSize)
+	lenSec := uint32(int64(rec.dataLen) / util.SectorSize)
+	jEnd := rec.dataJOff + uint64(lenSec)
+
+	// Current extents of this record: index entries still pointing into
+	// its payload. Everything else was overwritten and merges away —
+	// the paper's "overwrites between two successive replays" saving.
+	var current []jindex.Extent
+	var staleSectors int64
+	ix, haveIx := s.indexes[rec.chunk]
+	if haveIx {
+		for _, e := range ix.Query(offSec, lenSec) {
+			if e.JOff >= rec.dataJOff && e.JOff < jEnd {
+				current = append(current, e)
+			}
+		}
+	}
+	staleSectors = int64(lenSec)
+	for _, e := range current {
+		staleSectors -= int64(e.Len)
+	}
+
+	// Read the payload pieces from the journal while still holding the
+	// lock (space cannot be reclaimed mid-read), then write to the sink
+	// unlocked.
+	type piece struct {
+		data []byte
+		off  int64
+		ext  jindex.Extent
+	}
+	pieces := make([]piece, 0, len(current))
+	for _, e := range current {
+		buf := make([]byte, int64(e.Len)*util.SectorSize)
+		if err := j.readAtJOff(buf, e.JOff); err != nil {
+			break // journal device gone; drop the record below
+		}
+		pieces = append(pieces, piece{buf, int64(e.Off) * util.SectorSize, e})
+	}
+	s.mu.Unlock()
+
+	written := make([]jindex.Extent, 0, len(pieces))
+	for _, pc := range pieces {
+		if err := s.sink.WriteAt(rec.chunk, pc.data, pc.off); err != nil {
+			break // sink gone; the chunk will be recovered elsewhere
+		}
+		written = append(written, pc.ext)
+	}
+
+	s.mu.Lock()
+	// Remove mappings we replayed — but only where the index still points
+	// into this record; newer appends that landed during the sink write
+	// keep precedence.
+	if ix2, ok := s.indexes[rec.chunk]; ok {
+		for _, w := range written {
+			for _, e := range ix2.Query(w.Off, w.Len) {
+				if e.JOff >= rec.dataJOff && e.JOff < jEnd {
+					ix2.Invalidate(e.Off, e.Len)
+				}
+			}
+		}
+	}
+	j.tail += rec.footant
+	j.fifo = j.fifo[1:]
+	s.pending--
+	s.replayedRecords++
+	s.replayedBytes += int64(rec.dataLen)
+	s.mergedSectors += staleSectors
+	if s.pending == 0 {
+		s.drainCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// SetStats is a snapshot of journal-set activity.
+type SetStats struct {
+	Pending         int
+	ReplayedRecords int64
+	ReplayedBytes   int64
+	MergedSectors   int64 // sectors never written to the sink (overwritten)
+	Journals        []JournalStats
+}
+
+// JournalStats describes one journal's occupancy.
+type JournalStats struct {
+	Name    string
+	Used    int64
+	Size    int64
+	Appends int64
+	Bytes   int64
+}
+
+// Stats returns a consistent snapshot.
+func (s *Set) Stats() SetStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SetStats{
+		Pending:         s.pending,
+		ReplayedRecords: s.replayedRecords,
+		ReplayedBytes:   s.replayedBytes,
+		MergedSectors:   s.mergedSectors,
+	}
+	for _, j := range s.journals {
+		st.Journals = append(st.Journals, JournalStats{
+			Name:    j.name,
+			Used:    j.UsedBytes(),
+			Size:    j.size,
+			Appends: j.appends,
+			Bytes:   j.bytesAppened,
+		})
+	}
+	return st
+}

@@ -1,0 +1,97 @@
+package linearize
+
+import (
+	"bytes"
+	"testing"
+
+	"ursa/internal/util"
+)
+
+func sector(fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, util.SectorSize)
+}
+
+func TestCommittedWriteVisible(t *testing.T) {
+	c := New()
+	c.WriteCommitted(0, sector(0xaa))
+	if err := c.CheckRead(0, sector(0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckRead(0, sector(0xbb)); err == nil {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestInitialZeros(t *testing.T) {
+	c := New()
+	if err := c.CheckRead(4096, sector(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckRead(4096, sector(1)); err == nil {
+		t.Fatal("garbage initial read accepted")
+	}
+}
+
+func TestUnresolvedWriteEitherWay(t *testing.T) {
+	// A write with unknown outcome may be observed or not.
+	c1 := New()
+	c1.WriteCommitted(0, sector(0x01))
+	c1.WriteUnresolved(0, sector(0x02))
+	if err := c1.CheckRead(0, sector(0x02)); err != nil {
+		t.Fatalf("applied unresolved write rejected: %v", err)
+	}
+	// Once observed, it is committed: the old value is now illegal.
+	if err := c1.CheckRead(0, sector(0x01)); err == nil {
+		t.Fatal("regression to old value accepted after observation")
+	}
+
+	c2 := New()
+	c2.WriteCommitted(0, sector(0x01))
+	c2.WriteUnresolved(0, sector(0x02))
+	if err := c2.CheckRead(0, sector(0x01)); err != nil {
+		t.Fatalf("lost unresolved write rejected: %v", err)
+	}
+	// Our protocol retries unacked writes, so it may still land later.
+	if err := c2.CheckRead(0, sector(0x02)); err != nil {
+		t.Fatalf("late-landing unresolved write rejected: %v", err)
+	}
+}
+
+func TestUnresolvedThirdValueRejected(t *testing.T) {
+	c := New()
+	c.WriteCommitted(0, sector(0x01))
+	c.WriteUnresolved(0, sector(0x02))
+	if err := c.CheckRead(0, sector(0x03)); err == nil {
+		t.Fatal("third value accepted during uncertainty")
+	}
+}
+
+func TestMultiSector(t *testing.T) {
+	c := New()
+	data := append(sector(0x11), sector(0x22)...)
+	c.WriteCommitted(8192, data)
+	if err := c.CheckRead(8192, data); err != nil {
+		t.Fatal(err)
+	}
+	// One corrupted sector in a large read is caught.
+	bad := append(sector(0x11), sector(0x99)...)
+	if err := c.CheckRead(8192, bad); err == nil {
+		t.Fatal("corrupt second sector accepted")
+	}
+	if c.Sectors() != 2 {
+		t.Errorf("tracked sectors = %d", c.Sectors())
+	}
+}
+
+func TestCommitResolvesPending(t *testing.T) {
+	c := New()
+	c.WriteUnresolved(0, sector(0x05))
+	c.WriteCommitted(0, sector(0x06))
+	// The committed write supersedes the unresolved one entirely.
+	if err := c.CheckRead(0, sector(0x05)); err == nil {
+		t.Fatal("superseded pending value accepted")
+	}
+	if err := c.CheckRead(0, sector(0x06)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package master
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/proto"
+	"ursa/internal/transport"
+	"ursa/internal/util"
+)
+
+// Config parameterizes the master.
+type Config struct {
+	Addr   string
+	Clock  clock.Clock
+	Dialer transport.Dialer
+	// Replication is the default replica count per chunk (3).
+	Replication int
+	// LeaseTTL is the client lease duration ("tens of seconds", §4.1).
+	LeaseTTL time.Duration
+	// WriteRateLimit caps each client's write bandwidth (0 = unlimited).
+	WriteRateLimit float64
+	// RPCTimeout bounds the master's own calls to chunk servers.
+	RPCTimeout time.Duration
+	// HybridMode places backups on HDD servers; when false (SSD-only mode,
+	// the paper's Ursa-SSD configuration) backups are placed on SSD
+	// servers too.
+	HybridMode bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.Realtime
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+}
+
+// serverInfo is one registered chunk server.
+type serverInfo struct {
+	addr    string
+	machine string
+	ssd     bool
+}
+
+// lease tracks the single client of a vdisk (§4.1).
+type lease struct {
+	holder string
+	expiry time.Time
+}
+
+// vdisk is the master-side state of one virtual disk.
+type vdisk struct {
+	meta  VDiskMeta
+	lease lease
+}
+
+// Master is the global coordinator.
+type Master struct {
+	cfg Config
+
+	mu          sync.Mutex
+	servers     []serverInfo
+	vdisks      map[uint32]*vdisk
+	byName      map[string]uint32
+	nextID      uint32
+	nextPrimary int // round-robin cursors for placement
+	nextBackup  int
+	viewChanges int
+
+	peersMu sync.Mutex
+	peers   map[string]*transport.Client
+
+	rpc *transport.Server
+}
+
+// New creates a master.
+func New(cfg Config) *Master {
+	cfg.fillDefaults()
+	return &Master{
+		cfg:    cfg,
+		vdisks: make(map[uint32]*vdisk),
+		byName: make(map[string]uint32),
+		peers:  make(map[string]*transport.Client),
+	}
+}
+
+// Serve starts the master's RPC service.
+func (m *Master) Serve(l transport.Listener) { m.rpc = transport.Serve(l, m.Handle) }
+
+// Close stops the RPC service.
+func (m *Master) Close() {
+	if m.rpc != nil {
+		m.rpc.Close()
+	}
+	m.peersMu.Lock()
+	for _, p := range m.peers {
+		p.Close()
+	}
+	m.peers = map[string]*transport.Client{}
+	m.peersMu.Unlock()
+}
+
+// AddServer registers a chunk server (Go API; MOpRegister is the RPC form).
+func (m *Master) AddServer(addr, machine string, ssd bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.servers {
+		if s.addr == addr {
+			return
+		}
+	}
+	m.servers = append(m.servers, serverInfo{addr: addr, machine: machine, ssd: ssd})
+}
+
+// peer returns a cached RPC client to a chunk server.
+func (m *Master) peer(addr string) (*transport.Client, error) {
+	m.peersMu.Lock()
+	if c, ok := m.peers[addr]; ok {
+		m.peersMu.Unlock()
+		return c, nil
+	}
+	m.peersMu.Unlock()
+	conn, err := m.cfg.Dialer.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := transport.NewClient(conn, m.cfg.Clock)
+	m.peersMu.Lock()
+	if old, ok := m.peers[addr]; ok {
+		m.peersMu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	m.peers[addr] = c
+	m.peersMu.Unlock()
+	return c, nil
+}
+
+func (m *Master) dropPeer(addr string, c *transport.Client) {
+	m.peersMu.Lock()
+	if m.peers[addr] == c {
+		delete(m.peers, addr)
+	}
+	m.peersMu.Unlock()
+	c.Close()
+}
+
+// call performs one RPC to a chunk server, evicting the cached connection
+// on failure so the next use redials.
+func (m *Master) call(addr string, req *proto.Message) (*proto.Message, error) {
+	return m.callT(addr, req, m.cfg.RPCTimeout)
+}
+
+func (m *Master) callT(addr string, req *proto.Message, timeout time.Duration) (*proto.Message, error) {
+	cli, err := m.peer(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cli.Call(req, timeout)
+	if err != nil && !isTimeout(err) {
+		m.dropPeer(addr, cli)
+	}
+	return resp, err
+}
+
+func isTimeout(err error) bool { return errors.Is(err, util.ErrTimeout) }
+
+// Handle dispatches master RPCs.
+func (m *Master) Handle(msg *proto.Message) *proto.Message {
+	switch msg.Op {
+	case proto.MOpCreateVDisk:
+		return m.jsonReply(msg, m.handleCreate(msg))
+	case proto.MOpOpenVDisk:
+		return m.jsonReply(msg, m.handleOpen(msg))
+	case proto.MOpRenewLease:
+		return m.jsonReply(msg, m.handleRenew(msg))
+	case proto.MOpCloseVDisk:
+		return m.jsonReply(msg, m.handleClose(msg))
+	case proto.MOpDeleteVDisk:
+		return m.jsonReply(msg, m.handleDelete(msg))
+	case proto.MOpReportFailure:
+		return m.jsonReply(msg, m.handleReportFailure(msg))
+	case proto.MOpGetVDisk:
+		return m.jsonReply(msg, m.handleGet(msg))
+	case proto.MOpStats:
+		return m.jsonReply(msg, m.handleStats(msg))
+	case proto.MOpRegister:
+		return m.jsonReply(msg, m.handleRegister(msg))
+	default:
+		return msg.Reply(proto.StatusError)
+	}
+}
+
+// jsonResult pairs a status with a JSON-encodable body.
+type jsonResult struct {
+	status proto.Status
+	body   any
+}
+
+func ok(body any) jsonResult              { return jsonResult{proto.StatusOK, body} }
+func fail(status proto.Status) jsonResult { return jsonResult{status, nil} }
+
+func (m *Master) jsonReply(msg *proto.Message, res jsonResult) *proto.Message {
+	r := msg.Reply(res.status)
+	if res.body != nil {
+		b, err := json.Marshal(res.body)
+		if err != nil {
+			return msg.Reply(proto.StatusError)
+		}
+		r.Payload = b
+	}
+	return r
+}
+
+func (m *Master) handleRegister(msg *proto.Message) jsonResult {
+	var req RegisterReq
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return fail(proto.StatusError)
+	}
+	m.AddServer(req.Addr, req.Machine, req.SSD)
+	return ok(nil)
+}
+
+func (m *Master) handleStats(*proto.Message) jsonResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ok(StatsResp{
+		Servers:     len(m.servers),
+		VDisks:      len(m.vdisks),
+		ViewChanges: m.viewChanges,
+	})
+}

@@ -1,0 +1,231 @@
+package master
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/chunkserver"
+	"ursa/internal/proto"
+	"ursa/internal/util"
+)
+
+// handleReportFailure runs the view-change sub-protocol of §4.2.2:
+//
+//  1. Collect version numbers from the chunk's replicas; require a majority
+//     (or — the paper's conservative escape hatch — proceed with fewer when
+//     the unreachable replicas are confirmed crashed by the reporter).
+//  2. Pick versionH, the highest collected version, as the most recent state.
+//  3. Incrementally repair lagging live replicas from a versionH holder.
+//  4. Allocate a replacement for the failed replica and clone versionH
+//     into it.
+//  5. Install view i+1 on every replica and update the metadata.
+func (m *Master) handleReportFailure(msg *proto.Message) jsonResult {
+	var req ReportFailureReq
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return fail(proto.StatusError)
+	}
+	meta, err := m.RecoverChunk(req.VDisk, req.ChunkIndex, req.FailedAddr)
+	if err != nil {
+		return fail(proto.StatusError)
+	}
+	return ok(meta)
+}
+
+// replicaVersion is one GetVersion result during recovery.
+type replicaVersion struct {
+	addr    string
+	ssd     bool
+	version uint64
+	alive   bool
+}
+
+// RecoverChunk performs a view change for one chunk, replacing failedAddr
+// (may be empty for pure repair). It returns the chunk's new metadata.
+func (m *Master) RecoverChunk(vdiskID uint32, chunkIndex uint32, failedAddr string) (*ChunkMeta, error) {
+	m.mu.Lock()
+	vd, okID := m.vdisks[vdiskID]
+	if !okID || int(chunkIndex) >= len(vd.meta.Chunks) {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("master: recover c%d.%d: %w", vdiskID, chunkIndex, util.ErrNotFound)
+	}
+	cm := vd.meta.Chunks[chunkIndex]
+	m.mu.Unlock()
+
+	id := blockstore.MakeChunkID(vdiskID, chunkIndex)
+
+	// Step 1: collect versions.
+	states := make([]replicaVersion, len(cm.Replicas))
+	alive := 0
+	for i, r := range cm.Replicas {
+		states[i] = replicaVersion{addr: r.Addr, ssd: r.SSD}
+		if r.Addr == failedAddr {
+			continue
+		}
+		resp, err := m.call(r.Addr, &proto.Message{Op: proto.OpGetVersion, Chunk: id})
+		if err != nil || resp.Status != proto.StatusOK {
+			continue
+		}
+		states[i].version = resp.Version
+		states[i].alive = true
+		alive++
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("master: recover %v: no replica reachable: %w", id, util.ErrNoQuorum)
+	}
+	// The paper requires a majority; when the reporter has positively
+	// identified the missing replicas as crashed (failedAddr), the master
+	// may proceed with the survivors (§4.2.2's write-to-all property).
+	if alive*2 <= len(cm.Replicas) && failedAddr == "" {
+		return nil, fmt.Errorf("master: recover %v: only %d/%d replicas reachable: %w",
+			id, alive, len(cm.Replicas), util.ErrNoQuorum)
+	}
+
+	// Step 2: versionH.
+	var versionH uint64
+	var source replicaVersion
+	for _, st := range states {
+		if st.alive && st.version >= versionH {
+			versionH = st.version
+			source = st
+		}
+	}
+
+	// Step 3: incremental repair of live laggards.
+	for _, st := range states {
+		if !st.alive || st.version == versionH || st.addr == source.addr {
+			continue
+		}
+		payload, _ := json.Marshal(chunkserver.CloneChunkReq{Source: source.addr})
+		// Repair may fall back to a full clone on the far side.
+		resp, err := m.callT(st.addr, &proto.Message{
+			Op:      proto.OpRepairFrom,
+			Chunk:   id,
+			View:    cm.View,
+			Payload: payload,
+		}, 60*m.cfg.RPCTimeout)
+		if err != nil || resp.Status != proto.StatusOK {
+			// The laggard could not repair; treat it as failed below by
+			// leaving its version behind. The client will report again.
+			continue
+		}
+	}
+
+	// Step 4: replace dead replicas.
+	newReplicas := make([]ReplicaInfo, 0, len(cm.Replicas))
+	for _, st := range states {
+		if st.alive {
+			newReplicas = append(newReplicas, ReplicaInfo{Addr: st.addr, SSD: st.ssd})
+			continue
+		}
+		repl, err := m.allocateReplacement(id, cm, st, source.addr, versionH)
+		if err != nil {
+			// Proceed degraded: durability is restored on the next report.
+			continue
+		}
+		newReplicas = append(newReplicas, repl)
+	}
+
+	// Keep the preferred primary (an SSD replica) first.
+	for i, r := range newReplicas {
+		if r.SSD {
+			newReplicas[0], newReplicas[i] = newReplicas[i], newReplicas[0]
+			break
+		}
+	}
+
+	// Step 5: install the new view everywhere.
+	newView := cm.View + 1
+	var backups []string
+	for _, r := range newReplicas[1:] {
+		backups = append(backups, r.Addr)
+	}
+	for i, r := range newReplicas {
+		req := chunkserver.CreateChunkReq{View: newView}
+		if i == 0 {
+			req.Backups = backups
+		} else {
+			req.Backups = []string{} // non-nil: clear stale primary state
+		}
+		payload, _ := json.Marshal(req)
+		_, _ = m.call(r.Addr, &proto.Message{
+			Op:      proto.OpSetView,
+			Chunk:   id,
+			View:    newView,
+			Payload: payload,
+		})
+	}
+
+	newMeta := ChunkMeta{View: newView, Replicas: newReplicas}
+	m.mu.Lock()
+	vd, okID = m.vdisks[vdiskID]
+	if okID && int(chunkIndex) < len(vd.meta.Chunks) {
+		vd.meta.Chunks[chunkIndex] = newMeta
+	}
+	m.viewChanges++
+	m.mu.Unlock()
+	return &newMeta, nil
+}
+
+// allocateReplacement creates a fresh replica for a dead one and clones
+// versionH state into it from source. A dead SSD (primary) replica is
+// replaced by another SSD server — the paper notes SSD recovery is the
+// urgent case in hybrid storage (§5.5).
+func (m *Master) allocateReplacement(id blockstore.ChunkID, cm ChunkMeta,
+	dead replicaVersion, source string, versionH uint64) (ReplicaInfo, error) {
+
+	m.mu.Lock()
+	// Machines already hosting live replicas are excluded.
+	used := map[string]bool{}
+	for _, r := range cm.Replicas {
+		if r.Addr == dead.addr {
+			continue
+		}
+		for _, s := range m.servers {
+			if s.addr == r.Addr {
+				used[s.machine] = true
+			}
+		}
+	}
+	var cand *serverInfo
+	for i := range m.servers {
+		s := &m.servers[i]
+		if s.ssd != dead.ssd || s.addr == dead.addr || used[s.machine] {
+			continue
+		}
+		cand = s
+		break
+	}
+	m.mu.Unlock()
+	if cand == nil {
+		return ReplicaInfo{}, fmt.Errorf("master: no replacement server for %v: %w",
+			id, util.ErrQuota)
+	}
+
+	createPayload, _ := json.Marshal(chunkserver.CreateChunkReq{View: cm.View})
+	resp, err := m.call(cand.addr, &proto.Message{
+		Op:      proto.OpCreateChunk,
+		Chunk:   id,
+		Payload: createPayload,
+	})
+	if err != nil || (resp.Status != proto.StatusOK && resp.Status != proto.StatusExists) {
+		return ReplicaInfo{}, fmt.Errorf("master: create replacement on %s failed", cand.addr)
+	}
+	clonePayload, _ := json.Marshal(chunkserver.CloneChunkReq{Source: source})
+	// A whole-chunk clone moves 64 MB through a bandwidth-shaped fabric:
+	// give it far more headroom than a control RPC.
+	resp, err = m.callT(cand.addr, &proto.Message{
+		Op:      proto.OpCloneChunk,
+		Chunk:   id,
+		View:    cm.View,
+		Payload: clonePayload,
+	}, 60*m.cfg.RPCTimeout)
+	if err != nil || resp.Status != proto.StatusOK {
+		return ReplicaInfo{}, fmt.Errorf("master: clone to %s failed", cand.addr)
+	}
+	if resp.Version < versionH {
+		return ReplicaInfo{}, fmt.Errorf("master: clone to %s stopped at version %d < %d",
+			cand.addr, resp.Version, versionH)
+	}
+	return ReplicaInfo{Addr: cand.addr, SSD: cand.ssd}, nil
+}

@@ -1,0 +1,98 @@
+// Package master implements URSA's global master (§3.1): virtual-disk
+// creation/opening/deletion, chunk placement, lease+lock enforcement of the
+// single-client property (§4.1), client rate limiting, and failure recovery
+// through view changes (§4.2.2). The master stays off the normal I/O path.
+package master
+
+import "time"
+
+// ReplicaInfo locates one replica of a chunk.
+type ReplicaInfo struct {
+	// Addr is the chunk server holding the replica.
+	Addr string `json:"addr"`
+	// SSD marks replicas on flash; the client prefers them as primary.
+	SSD bool `json:"ssd"`
+}
+
+// ChunkMeta is the placement and view of one chunk.
+type ChunkMeta struct {
+	View     uint64        `json:"view"`
+	Replicas []ReplicaInfo `json:"replicas"`
+}
+
+// VDiskMeta is everything a client needs to operate a virtual disk.
+type VDiskMeta struct {
+	ID   uint32 `json:"id"`
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	// StripeGroup is the number of chunks striped together (§3.4);
+	// 1 disables striping.
+	StripeGroup int `json:"stripeGroup"`
+	// StripeUnit is the striping block size in bytes.
+	StripeUnit int64 `json:"stripeUnit"`
+	// Chunks holds per-chunk placement, indexed by chunk number.
+	Chunks []ChunkMeta `json:"chunks"`
+	// LeaseTTL is how long a lease lasts between renewals.
+	LeaseTTL time.Duration `json:"leaseTTL"`
+	// WriteRateLimit is the master-imposed client write budget in
+	// bytes/second (0 = unlimited): aggressive clients are throttled
+	// before journals exhaust their quotas (§3.2).
+	WriteRateLimit float64 `json:"writeRateLimit"`
+}
+
+// CreateVDiskReq is the payload of MOpCreateVDisk.
+type CreateVDiskReq struct {
+	Name        string `json:"name"`
+	Size        int64  `json:"size"`
+	StripeGroup int    `json:"stripeGroup,omitempty"`
+	StripeUnit  int64  `json:"stripeUnit,omitempty"`
+	// Replication overrides the cluster default (3) when non-zero.
+	Replication int `json:"replication,omitempty"`
+}
+
+// OpenVDiskReq is the payload of MOpOpenVDisk; Client identifies the lease
+// holder.
+type OpenVDiskReq struct {
+	Name   string `json:"name"`
+	Client string `json:"client"`
+}
+
+// LeaseReq is the payload of MOpRenewLease / MOpCloseVDisk.
+type LeaseReq struct {
+	ID     uint32 `json:"id"`
+	Client string `json:"client"`
+}
+
+// ReportFailureReq is the payload of MOpReportFailure: the client (or a
+// server) noticed a dead or lagging replica of a chunk.
+type ReportFailureReq struct {
+	VDisk      uint32 `json:"vdisk"`
+	ChunkIndex uint32 `json:"chunkIndex"`
+	// FailedAddr is the replica the reporter could not reach ("" when the
+	// report is about version divergence only).
+	FailedAddr string `json:"failedAddr,omitempty"`
+}
+
+// RegisterReq is the payload of MOpRegister: a chunk server joins the
+// cluster.
+type RegisterReq struct {
+	Addr string `json:"addr"`
+	// Machine groups servers for placement: replicas of one chunk never
+	// share a machine.
+	Machine string `json:"machine"`
+	// SSD distinguishes primary-capable (flash) servers.
+	SSD bool `json:"ssd"`
+}
+
+// GetVDiskReq is the payload of MOpGetVDisk.
+type GetVDiskReq struct {
+	ID   uint32 `json:"id,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// StatsResp is the payload of MOpStats.
+type StatsResp struct {
+	Servers     int `json:"servers"`
+	VDisks      int `json:"vdisks"`
+	ViewChanges int `json:"viewChanges"`
+}

@@ -1,0 +1,161 @@
+package nbd
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"ursa/internal/util"
+)
+
+// memDev is a trivial client.Device for tests.
+type memDev struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (d *memDev) ReadAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
+		return util.ErrOutOfRange
+	}
+	copy(p, d.data[off:])
+	return nil
+}
+
+func (d *memDev) WriteAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
+		return util.ErrOutOfRange
+	}
+	copy(d.data[off:], p)
+	return nil
+}
+
+func (d *memDev) Size() int64  { return int64(len(d.data)) }
+func (d *memDev) Flush() error { return nil }
+func (d *memDev) Close() error { return nil }
+
+func startServer(t *testing.T, exports ...Export) (addr string, s *Server) {
+	t.Helper()
+	s = NewServer(exports...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(s.Close)
+	return ln.Addr().String(), s
+}
+
+func TestNBDReadWriteRoundTrip(t *testing.T) {
+	dev := &memDev{data: make([]byte, 8*util.MiB)}
+	addr, _ := startServer(t, Export{Name: "disk", Device: dev})
+	c, err := Dial(addr, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if c.Size() != 8*util.MiB {
+		t.Errorf("negotiated size = %d", c.Size())
+	}
+	data := make([]byte, 64*util.KiB)
+	util.NewRand(1).Fill(data)
+	if err := c.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("NBD round trip mismatch")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNBDDefaultExport(t *testing.T) {
+	dev := &memDev{data: make([]byte, util.MiB)}
+	addr, _ := startServer(t, Export{Name: "only", Device: dev})
+	// Empty export name selects the sole export.
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Size() != util.MiB {
+		t.Errorf("size = %d", c.Size())
+	}
+}
+
+func TestNBDUnknownExport(t *testing.T) {
+	dev := &memDev{data: make([]byte, util.MiB)}
+	addr, _ := startServer(t,
+		Export{Name: "a", Device: dev},
+		Export{Name: "b", Device: dev})
+	if _, err := Dial(addr, "nope"); err == nil {
+		t.Fatal("unknown export accepted")
+	}
+}
+
+func TestNBDConcurrentRequests(t *testing.T) {
+	dev := &memDev{data: make([]byte, 16*util.MiB)}
+	addr, _ := startServer(t, Export{Name: "disk", Device: dev})
+	c, err := Dial(addr, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			util.NewRand(uint64(i)).Fill(buf)
+			off := int64(i) * 8192
+			if err := c.WriteAt(buf, off); err != nil {
+				errs <- err
+				return
+			}
+			got := make([]byte, 4096)
+			if err := c.ReadAt(got, off); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, buf) {
+				errs <- util.ErrOutOfRange
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestNBDReadErrorPropagates(t *testing.T) {
+	dev := &memDev{data: make([]byte, util.MiB)}
+	addr, _ := startServer(t, Export{Name: "disk", Device: dev})
+	c, err := Dial(addr, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ReadAt(make([]byte, 4096), 2*util.MiB); err == nil {
+		t.Fatal("out-of-range read returned no error")
+	}
+	// Connection remains usable.
+	if err := c.ReadAt(make([]byte, 512), 0); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}

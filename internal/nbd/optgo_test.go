@@ -1,0 +1,181 @@
+package nbd
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+
+	"ursa/internal/util"
+)
+
+// rawHandshake performs the fixed-newstyle greeting and returns the
+// connection ready for option haggling.
+func rawHandshake(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var greet [18]byte
+	if _, err := io.ReadFull(conn, greet[:]); err != nil {
+		t.Fatal(err)
+	}
+	var cflags [4]byte
+	binary.BigEndian.PutUint32(cflags[:], flagFixedStyle|flagNoZeroes)
+	if _, err := conn.Write(cflags[:]); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func sendOpt(t *testing.T, conn net.Conn, opt uint32, data []byte) {
+	t.Helper()
+	buf := make([]byte, 16+len(data))
+	binary.BigEndian.PutUint64(buf[0:], iHaveOpt)
+	binary.BigEndian.PutUint32(buf[8:], opt)
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(data)))
+	copy(buf[16:], data)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readOptReply reads one option reply frame.
+func readOptReply(t *testing.T, conn net.Conn) (opt, typ uint32, payload []byte) {
+	t.Helper()
+	var hdr [20]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint64(hdr[0:]) != optReplyMagic {
+		t.Fatal("bad option reply magic")
+	}
+	opt = binary.BigEndian.Uint32(hdr[8:])
+	typ = binary.BigEndian.Uint32(hdr[12:])
+	n := binary.BigEndian.Uint32(hdr[16:])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	return opt, typ, payload
+}
+
+func TestOptGoNegotiation(t *testing.T) {
+	dev := &memDev{data: make([]byte, 4*util.MiB)}
+	addr, _ := startServer(t, Export{Name: "disk", Device: dev})
+	conn := rawHandshake(t, addr)
+	defer conn.Close()
+
+	goPayload := make([]byte, 4+4+2)
+	binary.BigEndian.PutUint32(goPayload, 4)
+	copy(goPayload[4:], "disk")
+	// zero info requests
+	sendOpt(t, conn, optGo, goPayload)
+
+	opt, typ, payload := readOptReply(t, conn)
+	if opt != optGo || typ != repInfo {
+		t.Fatalf("first reply = opt %d type %d", opt, typ)
+	}
+	if got := binary.BigEndian.Uint64(payload[2:]); got != 4*util.MiB {
+		t.Errorf("GO export size = %d", got)
+	}
+	if _, typ, _ = readOptReply(t, conn); typ != repAck {
+		t.Fatalf("second reply type = %d", typ)
+	}
+
+	// Transmission phase works after GO.
+	var req [28]byte
+	binary.BigEndian.PutUint32(req[0:], requestMagic)
+	binary.BigEndian.PutUint16(req[6:], cmdRead)
+	binary.BigEndian.PutUint64(req[8:], 7)
+	binary.BigEndian.PutUint32(req[24:], 512)
+	if _, err := conn.Write(req[:]); err != nil {
+		t.Fatal(err)
+	}
+	var resp [16]byte
+	if _, err := io.ReadFull(conn, resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint32(resp[0:]) != responseMagic ||
+		binary.BigEndian.Uint32(resp[4:]) != 0 ||
+		binary.BigEndian.Uint64(resp[8:]) != 7 {
+		t.Fatalf("read response header = %x", resp)
+	}
+	data := make([]byte, 512)
+	if _, err := io.ReadFull(conn, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptGoUnknownExport(t *testing.T) {
+	dev := &memDev{data: make([]byte, util.MiB)}
+	addr, _ := startServer(t,
+		Export{Name: "a", Device: dev}, Export{Name: "b", Device: dev})
+	conn := rawHandshake(t, addr)
+	defer conn.Close()
+
+	goPayload := make([]byte, 4+4+2)
+	binary.BigEndian.PutUint32(goPayload, 4)
+	copy(goPayload[4:], "nope")
+	sendOpt(t, conn, optGo, goPayload)
+	if _, typ, _ := readOptReply(t, conn); typ != repErrUnsup {
+		t.Fatalf("unknown export GO reply = %d", typ)
+	}
+	// Haggling continues: an abort is still answered.
+	sendOpt(t, conn, optAbort, nil)
+	if _, typ, _ := readOptReply(t, conn); typ != repAck {
+		t.Fatalf("abort after failed GO = %d", typ)
+	}
+}
+
+func TestOptList(t *testing.T) {
+	dev := &memDev{data: make([]byte, util.MiB)}
+	addr, _ := startServer(t,
+		Export{Name: "x", Device: dev}, Export{Name: "y", Device: dev})
+	conn := rawHandshake(t, addr)
+	defer conn.Close()
+
+	sendOpt(t, conn, optList, nil)
+	names := map[string]bool{}
+	for {
+		_, typ, payload := readOptReply(t, conn)
+		if typ == repAck {
+			break
+		}
+		if typ != repServer {
+			t.Fatalf("list reply type = %d", typ)
+		}
+		n := binary.BigEndian.Uint32(payload)
+		names[string(payload[4:4+n])] = true
+	}
+	if !names["x"] || !names["y"] || len(names) != 2 {
+		t.Errorf("listed exports = %v", names)
+	}
+}
+
+func TestUnknownOptionRejected(t *testing.T) {
+	dev := &memDev{data: make([]byte, util.MiB)}
+	addr, _ := startServer(t, Export{Name: "a", Device: dev})
+	conn := rawHandshake(t, addr)
+	defer conn.Close()
+	sendOpt(t, conn, 999, nil)
+	if _, typ, _ := readOptReply(t, conn); typ != repErrUnsup {
+		t.Fatalf("unknown option reply = %d", typ)
+	}
+}
+
+func TestTrimAcknowledged(t *testing.T) {
+	dev := &memDev{data: make([]byte, util.MiB)}
+	addr, _ := startServer(t, Export{Name: "a", Device: dev})
+	c, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Issue a raw trim through the client plumbing.
+	resp, err := c.request(cmdTrim, 0, 4096, nil, 0)
+	if err != nil || resp.errno != 0 {
+		t.Fatalf("trim = %+v, %v", resp, err)
+	}
+}

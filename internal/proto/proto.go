@@ -1,0 +1,247 @@
+// Package proto defines URSA's binary wire protocol. One fixed-layout
+// message type serves requests and responses alike; the hot data path
+// (read/write/replicate) costs a single 56-byte header plus the payload,
+// with no reflection or allocation beyond the payload buffer — a deliberate
+// contrast with the verbose serialization the Ceph-like baseline uses,
+// which Fig 7's CPU-efficiency comparison measures.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ursa/internal/blockstore"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+// Chunk-server operations (§4.2.1).
+const (
+	OpNop Op = iota
+	// OpRead reads Length bytes at Off of Chunk; requires matching View
+	// and Version.
+	OpRead
+	// OpWrite is a client write to the primary: write locally, replicate
+	// to backups, bump the version.
+	OpWrite
+	// OpReplicate is a backup write (from the primary, or from the client
+	// under client-directed replication): journal or bypass, bump version.
+	OpReplicate
+	// OpWritePrimary is the client-directed tiny-write to the primary:
+	// write locally and bump version, but do NOT forward to backups (the
+	// client replicates itself, §3.2).
+	OpWritePrimary
+	// OpGetVersion returns the replica's version and view for Chunk.
+	OpGetVersion
+	// OpCreateChunk allocates a chunk replica on this server.
+	OpCreateChunk
+	// OpDeleteChunk drops a chunk replica.
+	OpDeleteChunk
+	// OpRepairSince asks for the ranges modified after Version (journal
+	// lite query); the response payload encodes mods+data, or
+	// StatusFallback when history is gone and a full copy is needed.
+	OpRepairSince
+	// OpFetchChunk reads raw chunk data for recovery transfer (on backups
+	// it resolves journal extents transparently).
+	OpFetchChunk
+	// OpApplyRepair applies repair data to a lagging replica and sets its
+	// version.
+	OpApplyRepair
+	// OpSetView installs a new view number on the replica (view change).
+	OpSetView
+	// OpUpgrade asks the server to perform a graceful hot upgrade (§5.2).
+	OpUpgrade
+	// OpCloneChunk tells a newly allocated replica to pull the whole chunk
+	// from a source replica (failure recovery, §4.2.2).
+	OpCloneChunk
+	// OpRepairFrom tells a lagging replica to pull incremental repair from
+	// a source replica (falling back to a full clone when the source's
+	// journal-lite history is gone, §4.2.1).
+	OpRepairFrom
+)
+
+// Master operations (JSON payloads; off the hot path).
+const (
+	MOpCreateVDisk Op = 64 + iota
+	MOpOpenVDisk
+	MOpRenewLease
+	MOpCloseVDisk
+	MOpDeleteVDisk
+	MOpReportFailure
+	MOpGetVDisk
+	MOpStats
+	MOpRegister
+)
+
+// Status codes carried in responses.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusError
+	StatusNotFound
+	StatusStaleView    // request view older than replica view
+	StatusStaleVersion // request version older than replica version
+	StatusBehind       // replica behind the request version: needs repair
+	StatusExists
+	StatusLeaseHeld
+	StatusQuota
+	StatusFallback // incremental repair impossible: take the full copy
+	StatusRateLimited
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusError:
+		return "error"
+	case StatusNotFound:
+		return "not-found"
+	case StatusStaleView:
+		return "stale-view"
+	case StatusStaleVersion:
+		return "stale-version"
+	case StatusBehind:
+		return "behind"
+	case StatusExists:
+		return "exists"
+	case StatusLeaseHeld:
+		return "lease-held"
+	case StatusQuota:
+		return "quota"
+	case StatusFallback:
+		return "fallback"
+	case StatusRateLimited:
+		return "rate-limited"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Message is one protocol frame. Requests and responses share the layout;
+// responses echo ID and set Status.
+type Message struct {
+	ID      uint64
+	Op      Op
+	Status  Status
+	Chunk   blockstore.ChunkID
+	Off     int64
+	Length  uint32
+	View    uint64
+	Version uint64
+	Payload []byte
+}
+
+// Header layout (little endian):
+//
+//	0  ID       uint64
+//	8  Op       uint8
+//	9  Status   uint8
+//	10 _        uint16 (pad)
+//	12 Length   uint32
+//	16 Chunk    uint64
+//	24 Off      int64
+//	32 View     uint64
+//	40 Version  uint64
+//	48 PayloadN uint32
+//	52 _        uint32 (pad)
+const HeaderSize = 56
+
+// MaxPayload bounds a frame's payload (one striped request never exceeds a
+// few MB; this guards against corrupt length fields).
+const MaxPayload = 16 << 20
+
+// EncodeHeader writes the message header into buf.
+func (m *Message) EncodeHeader(buf []byte) {
+	_ = buf[HeaderSize-1]
+	binary.LittleEndian.PutUint64(buf[0:], m.ID)
+	buf[8] = byte(m.Op)
+	buf[9] = byte(m.Status)
+	buf[10], buf[11] = 0, 0
+	binary.LittleEndian.PutUint32(buf[12:], m.Length)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(m.Chunk))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(m.Off))
+	binary.LittleEndian.PutUint64(buf[32:], m.View)
+	binary.LittleEndian.PutUint64(buf[40:], m.Version)
+	binary.LittleEndian.PutUint32(buf[48:], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(buf[52:], 0)
+}
+
+// DecodeHeader parses a header into m, returning the payload length the
+// caller must read next.
+func (m *Message) DecodeHeader(buf []byte) (payloadLen int, err error) {
+	if len(buf) < HeaderSize {
+		return 0, fmt.Errorf("proto: short header %d", len(buf))
+	}
+	m.ID = binary.LittleEndian.Uint64(buf[0:])
+	m.Op = Op(buf[8])
+	m.Status = Status(buf[9])
+	m.Length = binary.LittleEndian.Uint32(buf[12:])
+	m.Chunk = blockstore.ChunkID(binary.LittleEndian.Uint64(buf[16:]))
+	m.Off = int64(binary.LittleEndian.Uint64(buf[24:]))
+	m.View = binary.LittleEndian.Uint64(buf[32:])
+	m.Version = binary.LittleEndian.Uint64(buf[40:])
+	n := binary.LittleEndian.Uint32(buf[48:])
+	if n > MaxPayload {
+		return 0, fmt.Errorf("proto: payload %d exceeds limit", n)
+	}
+	return int(n), nil
+}
+
+// WireSize returns the total encoded size, used by bandwidth shaping.
+func (m *Message) WireSize() int { return HeaderSize + len(m.Payload) }
+
+// Encode writes the full frame to w.
+func (m *Message) Encode(w io.Writer) error {
+	var hdr [HeaderSize]byte
+	m.EncodeHeader(hdr[:])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads one full frame from r.
+func (m *Message) Decode(r io.Reader) error {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n, err := m.DecodeHeader(hdr[:])
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return err
+		}
+	} else {
+		m.Payload = nil
+	}
+	return nil
+}
+
+// Reply builds a response echoing m's correlation fields.
+func (m *Message) Reply(status Status) *Message {
+	return &Message{
+		ID:      m.ID,
+		Op:      m.Op,
+		Status:  status,
+		Chunk:   m.Chunk,
+		View:    m.View,
+		Version: m.Version,
+	}
+}
+
+// IsMasterOp reports whether the op belongs to the master service.
+func (o Op) IsMasterOp() bool { return o >= MOpCreateVDisk }

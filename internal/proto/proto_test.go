@@ -1,0 +1,122 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ursa/internal/blockstore"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		ID:      42,
+		Op:      OpWrite,
+		Status:  StatusOK,
+		Chunk:   blockstore.MakeChunkID(3, 7),
+		Off:     1 << 20,
+		Length:  4096,
+		View:    5,
+		Version: 99,
+		Payload: []byte("hello block storage"),
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != m.WireSize() {
+		t.Errorf("encoded %d bytes, WireSize %d", buf.Len(), m.WireSize())
+	}
+	var got Message
+	if err := got.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || got.Op != m.Op || got.Status != m.Status ||
+		got.Chunk != m.Chunk || got.Off != m.Off || got.Length != m.Length ||
+		got.View != m.View || got.Version != m.Version ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("round trip mismatch: %+v != %+v", got, m)
+	}
+}
+
+func TestMessageEmptyPayload(t *testing.T) {
+	m := &Message{ID: 1, Op: OpGetVersion}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != nil {
+		t.Errorf("empty payload decoded as %v", got.Payload)
+	}
+}
+
+func TestMessagePropertyRoundTrip(t *testing.T) {
+	f := func(id uint64, op, status uint8, chunk uint64, off int64,
+		length uint32, view, version uint64, payload []byte) bool {
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+		m := &Message{
+			ID: id, Op: Op(op), Status: Status(status),
+			Chunk: blockstore.ChunkID(chunk), Off: off, Length: length,
+			View: view, Version: version, Payload: payload,
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			return false
+		}
+		var got Message
+		if err := got.Decode(&buf); err != nil {
+			return false
+		}
+		return got.ID == m.ID && got.Op == m.Op && got.Status == m.Status &&
+			got.Chunk == m.Chunk && got.Off == m.Off &&
+			got.Length == m.Length && got.View == m.View &&
+			got.Version == m.Version && bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsHugePayload(t *testing.T) {
+	m := &Message{ID: 1, Op: OpRead}
+	var hdr [HeaderSize]byte
+	m.EncodeHeader(hdr[:])
+	// Corrupt the payload length field beyond the limit.
+	hdr[48], hdr[49], hdr[50], hdr[51] = 0xff, 0xff, 0xff, 0x7f
+	var got Message
+	if _, err := got.DecodeHeader(hdr[:]); err == nil {
+		t.Error("oversized payload length accepted")
+	}
+}
+
+func TestReplyEchoesCorrelation(t *testing.T) {
+	m := &Message{ID: 9, Op: OpWrite, Chunk: 5, View: 2, Version: 3}
+	r := m.Reply(StatusStaleView)
+	if r.ID != 9 || r.Op != OpWrite || r.Status != StatusStaleView ||
+		r.Chunk != 5 || r.View != 2 || r.Version != 3 {
+		t.Errorf("Reply = %+v", r)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s := StatusOK; s <= StatusRateLimited; s++ {
+		if s.String() == "" {
+			t.Errorf("Status %d has empty string", s)
+		}
+	}
+	if StatusOK.String() != "OK" || Status(200).String() != "status(200)" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestIsMasterOp(t *testing.T) {
+	if OpWrite.IsMasterOp() || !MOpOpenVDisk.IsMasterOp() {
+		t.Error("IsMasterOp wrong")
+	}
+}

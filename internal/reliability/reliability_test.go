@@ -1,0 +1,61 @@
+package reliability
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulateReproducesTable1(t *testing.T) {
+	res := Simulate(DefaultFleet(), 2000, 25, 42)
+	if res.Total == 0 {
+		t.Fatal("no failures simulated")
+	}
+	// Each class ratio must land within 1.5 percentage points of Table 1
+	// at this fleet size.
+	for name, want := range PaperRatios {
+		got := res.Ratio(name)
+		if got < want-1.5 || got > want+1.5 {
+			t.Errorf("%s: %.1f%%, paper %.1f%%", name, got, want)
+		}
+	}
+}
+
+func TestHDDDominance(t *testing.T) {
+	// §5.4: HDDs contribute nearly 70% of failures, an order of magnitude
+	// above SSDs.
+	res := Simulate(DefaultFleet(), 500, 10, 7)
+	if res.Ratio("HDD") < 10*res.Ratio("SSD") {
+		t.Errorf("HDD/SSD ratio = %.1f/%.1f, want ≥10x",
+			res.Ratio("HDD"), res.Ratio("SSD"))
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(DefaultFleet(), 100, 2, 9)
+	b := Simulate(DefaultFleet(), 100, 2, 9)
+	if a.Total != b.Total {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	res := Simulate(DefaultFleet(), 200, 5, 1)
+	tab := res.Table()
+	for _, name := range []string{"HDD", "SSD", "RAM", "Power", "CPU", "Other"} {
+		if !strings.Contains(tab, name) {
+			t.Errorf("table missing %s:\n%s", name, tab)
+		}
+	}
+	// HDD row should come first (largest paper ratio).
+	lines := strings.Split(tab, "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[1], "HDD") {
+		t.Errorf("table ordering wrong:\n%s", tab)
+	}
+}
+
+func TestRatioEmpty(t *testing.T) {
+	var r Result
+	if r.Ratio("HDD") != 0 {
+		t.Error("empty result ratio not 0")
+	}
+}

@@ -1,0 +1,67 @@
+package simdisk
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Disk is the device abstraction every URSA storage component builds on.
+// Reads and writes are synchronous; parallelism comes from issuing them
+// from multiple goroutines (the simulated equivalent of libaio queue depth).
+type Disk interface {
+	// ReadAt reads len(p) bytes at byte offset off.
+	ReadAt(p []byte, off int64) error
+	// WriteAt writes p at byte offset off.
+	WriteAt(p []byte, off int64) error
+	// Size returns the device capacity in bytes.
+	Size() int64
+	// QueueDepth returns the number of in-flight plus queued requests;
+	// the HDD journal replayer uses it to detect an idle disk.
+	QueueDepth() int
+	// Stats returns a snapshot of operation counters.
+	Stats() Stats
+	// Close releases the device. Further I/O fails.
+	Close() error
+}
+
+// Stats counts completed operations and simulated mechanical work.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	BytesRead  int64
+	BytesWrite int64
+	Seeks      int64         // HDD only: non-sequential head movements
+	BusyTime   time.Duration // total device service time accumulated
+}
+
+// stats is the atomic backing for Stats snapshots.
+type stats struct {
+	reads      atomic.Int64
+	writes     atomic.Int64
+	bytesRead  atomic.Int64
+	bytesWrite atomic.Int64
+	seeks      atomic.Int64
+	busyNanos  atomic.Int64
+}
+
+func (s *stats) snapshot() Stats {
+	return Stats{
+		Reads:      s.reads.Load(),
+		Writes:     s.writes.Load(),
+		BytesRead:  s.bytesRead.Load(),
+		BytesWrite: s.bytesWrite.Load(),
+		Seeks:      s.seeks.Load(),
+		BusyTime:   time.Duration(s.busyNanos.Load()),
+	}
+}
+
+func (s *stats) record(write bool, n int, service time.Duration) {
+	if write {
+		s.writes.Add(1)
+		s.bytesWrite.Add(int64(n))
+	} else {
+		s.reads.Add(1)
+		s.bytesRead.Add(int64(n))
+	}
+	s.busyNanos.Add(int64(service))
+}

@@ -1,0 +1,207 @@
+// Package trace handles block-I/O traces: parsing the MSR Cambridge CSV
+// format the paper analyzes (§2), and generating synthetic traces
+// calibrated to the paper's published workload characteristics — the
+// block-size CDF of Fig 1, per-volume read/write mixes, and the low
+// re-read locality behind Fig 2 — for environments (like this one) without
+// the original trace files.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ursa/internal/util"
+)
+
+// Record is one block-level I/O below the filesystem cache.
+type Record struct {
+	// Timestamp is the offset from trace start.
+	Timestamp time.Duration
+	// Write distinguishes writes from reads.
+	Write bool
+	// Off is the byte offset on the volume.
+	Off int64
+	// Size is the request size in bytes.
+	Size int
+}
+
+// ParseMSR reads MSR Cambridge trace CSV lines:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamps are Windows filetime (100 ns ticks); Type is "Read"/"Write".
+func ParseMSR(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Record
+	var t0 int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) < 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields", line, len(f))
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d timestamp: %w", line, err)
+		}
+		off, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d offset: %w", line, err)
+		}
+		size, err := strconv.Atoi(f[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d size: %w", line, err)
+		}
+		if t0 == 0 {
+			t0 = ts
+		}
+		op := strings.ToLower(f[3])
+		out = append(out, Record{
+			Timestamp: time.Duration(ts-t0) * 100, // filetime ticks → ns
+			Write:     op == "write",
+			Off:       off,
+			Size:      size,
+		})
+	}
+	return out, sc.Err()
+}
+
+// SizePoint is one step of a request-size CDF.
+type SizePoint struct {
+	Size    int
+	CumFrac float64
+}
+
+// Fig1SizeCDF is the block-size distribution the paper reports (Fig 1):
+// more than 70% of I/O at or below 8 KB, nearly everything within 64 KB,
+// with a thin large-sequential tail.
+var Fig1SizeCDF = []SizePoint{
+	{512, 0.08},
+	{1 * util.KiB, 0.14},
+	{2 * util.KiB, 0.21},
+	{4 * util.KiB, 0.47},
+	{8 * util.KiB, 0.72},
+	{16 * util.KiB, 0.85},
+	{32 * util.KiB, 0.93},
+	{64 * util.KiB, 0.988},
+	{128 * util.KiB, 0.995},
+	{256 * util.KiB, 0.998},
+	{512 * util.KiB, 0.9995},
+	{1 * util.MiB, 1.0},
+}
+
+// Profile parameterizes a synthetic volume trace.
+type Profile struct {
+	// Name of the volume (e.g. "prxy_0").
+	Name string
+	// ReadFraction of operations that are reads.
+	ReadFraction float64
+	// SizeCDF is the request size distribution (Fig1SizeCDF by default).
+	SizeCDF []SizePoint
+	// VolumeSize bounds request offsets.
+	VolumeSize int64
+	// Sequentiality is the probability an op continues where the previous
+	// one ended.
+	Sequentiality float64
+	// HotFraction of random accesses go to a small hot set (re-reads);
+	// the remainder touch fresh blocks — the read-once behavior that
+	// defeats caches in Fig 2.
+	HotFraction float64
+	// HotSetSize is the hot region in bytes.
+	HotSetSize int64
+	// MeanGap is the mean inter-arrival time (exponential); zero means
+	// back-to-back records.
+	MeanGap time.Duration
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.SizeCDF == nil {
+		p.SizeCDF = Fig1SizeCDF
+	}
+	if p.VolumeSize <= 0 {
+		p.VolumeSize = 16 * util.GiB
+	}
+	if p.HotSetSize <= 0 {
+		p.HotSetSize = p.VolumeSize / 64
+	}
+	return p
+}
+
+// sampleSize draws a request size from the CDF, sector-aligned.
+func sampleSize(cdf []SizePoint, r *util.Rand) int {
+	u := r.Float64()
+	for _, pt := range cdf {
+		if u <= pt.CumFrac {
+			return pt.Size
+		}
+	}
+	return cdf[len(cdf)-1].Size
+}
+
+// Generate produces n records under the profile, deterministically per
+// seed.
+func (p Profile) Generate(seed uint64, n int) []Record {
+	p = p.withDefaults()
+	r := util.NewRand(seed)
+	out := make([]Record, 0, n)
+	var pos int64 // sequential cursor
+	var now int64 // running timestamp in ns
+	for i := 0; i < n; i++ {
+		size := sampleSize(p.SizeCDF, r)
+		var off int64
+		switch {
+		case r.Float64() < p.Sequentiality && pos+int64(size) <= p.VolumeSize:
+			off = pos
+		case r.Float64() < p.HotFraction:
+			off = util.AlignDown(r.Int63n(p.HotSetSize-int64(size)+1), util.SectorSize)
+		default:
+			off = util.AlignDown(r.Int63n(p.VolumeSize-int64(size)+1), util.SectorSize)
+		}
+		pos = off + int64(size)
+		if p.MeanGap > 0 {
+			now += int64(float64(p.MeanGap) * r.Exp())
+		}
+		out = append(out, Record{
+			Timestamp: time.Duration(now),
+			Write:     r.Float64() >= p.ReadFraction,
+			Off:       off,
+			Size:      size,
+		})
+	}
+	return out
+}
+
+// SizeCDFOf computes the empirical block-size CDF of a trace, for
+// regenerating Fig 1. It returns parallel slices of sizes (ascending) and
+// cumulative fractions.
+func SizeCDFOf(records []Record) (sizes []int, cum []float64) {
+	if len(records) == 0 {
+		return nil, nil
+	}
+	counts := map[int]int{}
+	for _, rec := range records {
+		counts[rec.Size]++
+	}
+	for s := range counts {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	total := float64(len(records))
+	running := 0
+	for _, s := range sizes {
+		running += counts[s]
+		cum = append(cum, float64(running)/total)
+	}
+	return sizes, cum
+}

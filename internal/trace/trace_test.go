@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ursa/internal/util"
+)
+
+func TestParseMSR(t *testing.T) {
+	csv := `128166372003061629,hm,0,Read,383496192,32768,58000
+128166372016382155,hm,0,Write,2822144,4096,11000
+128166372026382245,hm,0,read,512,512,1000
+`
+	recs, err := ParseMSR(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records", len(recs))
+	}
+	if recs[0].Write || recs[0].Off != 383496192 || recs[0].Size != 32768 {
+		t.Errorf("rec0 = %+v", recs[0])
+	}
+	if !recs[1].Write || recs[1].Size != 4096 {
+		t.Errorf("rec1 = %+v", recs[1])
+	}
+	if recs[1].Timestamp <= 0 {
+		t.Errorf("timestamp delta = %v", recs[1].Timestamp)
+	}
+	if recs[2].Write {
+		t.Error("lower-case read parsed as write")
+	}
+}
+
+func TestParseMSRErrors(t *testing.T) {
+	for _, bad := range []string{
+		"not,enough,fields\n",
+		"x,hm,0,Read,100,4096,1\n",
+		"1,hm,0,Read,x,4096,1\n",
+		"1,hm,0,Read,100,x,1\n",
+	} {
+		if _, err := ParseMSR(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsed bad line %q", bad)
+		}
+	}
+	// Blank lines and comments are skipped.
+	recs, err := ParseMSR(strings.NewReader("\n# comment\n1,hm,0,Read,512,512,1\n"))
+	if err != nil || len(recs) != 1 {
+		t.Errorf("comment handling: %v, %d recs", err, len(recs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{Name: "t", ReadFraction: 0.5, VolumeSize: util.GiB}
+	a := p.Generate(7, 1000)
+	b := p.Generate(7, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	c := p.Generate(8, 1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestGenerateRespectsProfile(t *testing.T) {
+	p := Profile{Name: "t", ReadFraction: 0.7, VolumeSize: util.GiB}
+	recs := p.Generate(3, 20000)
+	reads := 0
+	for _, r := range recs {
+		if !r.Write {
+			reads++
+		}
+		if r.Off < 0 || r.Off+int64(r.Size) > util.GiB {
+			t.Fatalf("record out of volume: %+v", r)
+		}
+		if r.Off%util.SectorSize != 0 {
+			t.Fatalf("unaligned offset: %+v", r)
+		}
+	}
+	frac := float64(reads) / float64(len(recs))
+	if frac < 0.66 || frac > 0.74 {
+		t.Errorf("read fraction = %.3f, want ≈0.7", frac)
+	}
+}
+
+func TestGenerateMatchesFig1CDF(t *testing.T) {
+	// The synthetic size distribution must reproduce the paper's headline
+	// numbers: >70% ≤ 8 KB, ≥98% ≤ 64 KB.
+	p := Profile{Name: "t", ReadFraction: 0.5, VolumeSize: util.GiB}
+	recs := p.Generate(11, 50000)
+	le8k, le64k := 0, 0
+	for _, r := range recs {
+		if r.Size <= 8*util.KiB {
+			le8k++
+		}
+		if r.Size <= 64*util.KiB {
+			le64k++
+		}
+	}
+	n := float64(len(recs))
+	if f := float64(le8k) / n; f < 0.70 {
+		t.Errorf("≤8KB fraction = %.3f, want >0.70", f)
+	}
+	if f := float64(le64k) / n; f < 0.98 {
+		t.Errorf("≤64KB fraction = %.3f, want ≥0.98", f)
+	}
+}
+
+func TestSizeCDFOf(t *testing.T) {
+	recs := []Record{{Size: 512}, {Size: 512}, {Size: 4096}, {Size: 1024}}
+	sizes, cum := SizeCDFOf(recs)
+	if len(sizes) != 3 || sizes[0] != 512 || sizes[2] != 4096 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if cum[0] != 0.5 || cum[2] != 1.0 {
+		t.Fatalf("cum = %v", cum)
+	}
+	if s, c := SizeCDFOf(nil); s != nil || c != nil {
+		t.Error("empty trace CDF not nil")
+	}
+}
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 36 {
+		t.Fatalf("catalog has %d volumes, want 36", len(cat))
+	}
+	low := 0
+	seen := map[string]bool{}
+	for _, e := range cat {
+		if seen[e.Name] {
+			t.Errorf("duplicate volume %s", e.Name)
+		}
+		seen[e.Name] = true
+		if e.LowHit {
+			low++
+		}
+	}
+	if low != 17 {
+		t.Errorf("low-hit volumes = %d, want 17 (Fig 2)", low)
+	}
+}
+
+func TestFig14ProfilesMixes(t *testing.T) {
+	ps := Fig14Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	byName := map[string]Profile{}
+	for _, p := range ps {
+		byName[p.Name] = p
+	}
+	if byName["prxy_0"].ReadFraction > 0.1 {
+		t.Error("prxy_0 should be write-dominated")
+	}
+	if byName["mds_1"].ReadFraction < 0.6 {
+		t.Error("mds_1 should be read-dominated")
+	}
+}
+
+func TestGenerateTimestampsMonotonic(t *testing.T) {
+	p := Profile{Name: "t", ReadFraction: 0.5, VolumeSize: util.GiB,
+		MeanGap: 100 * 1000} // 100µs
+	recs := p.Generate(5, 1000)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Timestamp < recs[i-1].Timestamp {
+			t.Fatal("timestamps not monotonic")
+		}
+	}
+	if recs[len(recs)-1].Timestamp == 0 {
+		t.Error("timestamps never advanced")
+	}
+}

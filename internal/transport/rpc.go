@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/proto"
+	"ursa/internal/util"
+)
+
+// Client is a pipelined RPC endpoint over one MsgConn: many calls may be in
+// flight simultaneously (the paper's in-network pipelining, §3.4), and
+// responses are matched to callers by message ID, so servers may complete
+// them out of order.
+type Client struct {
+	conn MsgConn
+	clk  clock.Clock
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *proto.Message
+	closed  bool
+	done    chan struct{}
+}
+
+// NewClient starts the response dispatcher over conn.
+func NewClient(conn MsgConn, clk clock.Clock) *Client {
+	c := &Client{
+		conn:    conn,
+		clk:     clk,
+		pending: make(map[uint64]chan *proto.Message),
+		done:    make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c
+}
+
+func (c *Client) recvLoop() {
+	defer close(c.done)
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			c.failAll()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m // buffered; never blocks
+		}
+		// Unknown IDs are late responses to timed-out calls: dropped.
+	}
+}
+
+func (c *Client) failAll() {
+	c.mu.Lock()
+	c.closed = true
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// Go sends m and returns a channel that yields the response, or is closed
+// on connection failure. The caller owns timeout policy.
+func (c *Client) Go(m *proto.Message) <-chan *proto.Message {
+	ch := make(chan *proto.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		close(ch)
+		return ch
+	}
+	c.nextID++
+	m.ID = c.nextID
+	c.pending[m.ID] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Send(m); err != nil {
+		c.mu.Lock()
+		if _, ok := c.pending[m.ID]; ok {
+			delete(c.pending, m.ID)
+			close(ch)
+		}
+		c.mu.Unlock()
+	}
+	return ch
+}
+
+// Call sends m and waits up to timeout for the response. A zero timeout
+// waits indefinitely (until connection failure).
+func (c *Client) Call(m *proto.Message, timeout time.Duration) (*proto.Message, error) {
+	ch := c.Go(m)
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = c.clk.After(timeout)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, ErrConnClosed)
+		}
+		return resp, nil
+	case <-timer:
+		c.mu.Lock()
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc call op=%d after %v: %w", m.Op, timeout, util.ErrTimeout)
+	}
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() {
+	c.conn.Close()
+	<-c.done
+}
+
+// Handler processes one request and returns the response. Handlers are
+// invoked concurrently — out-of-order execution is the transport default;
+// per-chunk ordering is the chunk server's job (§3.4).
+type Handler func(m *proto.Message) *proto.Message
+
+// Server accepts connections on a listener and dispatches requests.
+type Server struct {
+	l Listener
+	h Handler
+
+	mu     sync.Mutex
+	conns  map[MsgConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// maxInflightPerConn bounds concurrent handlers per connection, the moral
+// equivalent of a device queue depth; beyond it requests queue in the read
+// loop.
+const maxInflightPerConn = 256
+
+// Serve starts accepting. It returns immediately; Close stops everything.
+func Serve(l Listener, h Handler) *Server {
+	s := &Server{l: l, h: h, conns: make(map[MsgConn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.connLoop(conn)
+	}
+}
+
+func (s *Server) connLoop(conn MsgConn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sem := make(chan struct{}, maxInflightPerConn)
+	var inner sync.WaitGroup
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		sem <- struct{}{}
+		inner.Add(1)
+		go func(m *proto.Message) {
+			defer inner.Done()
+			defer func() { <-sem }()
+			if resp := s.h(m); resp != nil {
+				_ = conn.Send(resp) // conn teardown surfaces at Recv
+			}
+		}(m)
+	}
+	inner.Wait()
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.l.Addr() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]MsgConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+
+	"ursa/internal/proto"
+)
+
+// tcpConn frames proto messages over a net.Conn. Writes go through a
+// mutex-guarded buffered writer flushed per message: the caller-side RPC
+// layer already batches by pipelining many requests before any response is
+// awaited.
+type tcpConn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex
+	w  *bufio.Writer
+	rm sync.Mutex
+}
+
+// NewTCPConn wraps an established net.Conn.
+func NewTCPConn(c net.Conn) MsgConn {
+	return &tcpConn{
+		c: c,
+		r: bufio.NewReaderSize(c, 256<<10),
+		w: bufio.NewWriterSize(c, 256<<10),
+	}
+}
+
+func (t *tcpConn) Send(m *proto.Message) error {
+	t.wm.Lock()
+	defer t.wm.Unlock()
+	if err := m.Encode(t.w); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+func (t *tcpConn) Recv() (*proto.Message, error) {
+	t.rm.Lock()
+	defer t.rm.Unlock()
+	m := new(proto.Message)
+	if err := m.Decode(t.r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// tcpListener adapts net.Listener.
+type tcpListener struct{ l net.Listener }
+
+// ListenTCP starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (MsgConn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// TCPDialer dials real TCP connections.
+type TCPDialer struct{}
+
+// Dial implements Dialer.
+func (TCPDialer) Dial(addr string) (MsgConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewTCPConn(c), nil
+}

@@ -1,0 +1,40 @@
+// Package transport moves proto messages between URSA components. Two
+// interchangeable fabrics implement the same interfaces: real TCP for the
+// cmd/ binaries, and an in-process simulated network with per-node
+// bandwidth shaping, propagation delay, and fault injection (partitions,
+// node crashes) for the cluster harness and benchmarks.
+//
+// The RPC layer on top provides exactly the parallelism the paper exploits
+// (§3.4): requests are pipelined per connection, servers execute them
+// concurrently, and responses complete out of order.
+package transport
+
+import (
+	"errors"
+
+	"ursa/internal/proto"
+)
+
+// ErrConnClosed reports I/O on a closed connection.
+var ErrConnClosed = errors.New("transport: connection closed")
+
+// MsgConn is a bidirectional, ordered message pipe. Send and Recv may be
+// used concurrently with each other, but each must be called from at most
+// one goroutine at a time.
+type MsgConn interface {
+	Send(m *proto.Message) error
+	Recv() (*proto.Message, error)
+	Close() error
+}
+
+// Listener accepts inbound connections at an address.
+type Listener interface {
+	Accept() (MsgConn, error)
+	Close() error
+	Addr() string
+}
+
+// Dialer opens connections to addresses.
+type Dialer interface {
+	Dial(addr string) (MsgConn, error)
+}

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/proto"
+	"ursa/internal/util"
+)
+
+// echoHandler responds with the request payload reversed in status OK.
+func echoHandler(m *proto.Message) *proto.Message {
+	r := m.Reply(proto.StatusOK)
+	r.Payload = m.Payload
+	return r
+}
+
+func TestTCPCallRoundTrip(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	resp, err := cli.Call(&proto.Message{Op: proto.OpRead, Payload: []byte("ping")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != proto.StatusOK || string(resp.Payload) != "ping" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestTCPPipelining(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow handler: 10ms each. 32 pipelined calls should take ~10ms, not
+	// 320ms, because they execute concurrently.
+	srv := Serve(l, func(m *proto.Message) *proto.Message {
+		time.Sleep(10 * time.Millisecond)
+		return m.Reply(proto.StatusOK)
+	})
+	defer srv.Close()
+
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	start := time.Now()
+	var chans []<-chan *proto.Message
+	for i := 0; i < 32; i++ {
+		chans = append(chans, cli.Go(&proto.Message{Op: proto.OpNop}))
+	}
+	for _, ch := range chans {
+		if resp, ok := <-ch; !ok || resp.Status != proto.StatusOK {
+			t.Fatal("pipelined call failed")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("32 pipelined 10ms calls took %v", elapsed)
+	}
+}
+
+func TestOutOfOrderCompletion(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First request is slow, second fast: the second must complete first.
+	srv := Serve(l, func(m *proto.Message) *proto.Message {
+		if m.Op == proto.OpRead {
+			time.Sleep(50 * time.Millisecond)
+		}
+		return m.Reply(proto.StatusOK)
+	})
+	defer srv.Close()
+
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	slow := cli.Go(&proto.Message{Op: proto.OpRead})
+	fast := cli.Go(&proto.Message{Op: proto.OpNop})
+	select {
+	case <-fast:
+	case <-slow:
+		t.Fatal("slow request completed before fast one")
+	case <-time.After(time.Second):
+		t.Fatal("no completion")
+	}
+	<-slow
+}
+
+func simPair(t *testing.T, latency time.Duration, cfg NodeConfig) (*SimNet, *Client, *Server) {
+	t.Helper()
+	clk := clock.Realtime
+	net := NewSimNet(clk, latency)
+	l, err := net.Listen("server", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, echoHandler)
+	conn, err := net.Dialer("client", cfg).Dial("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clk)
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return net, cli, srv
+}
+
+func TestSimNetRoundTrip(t *testing.T) {
+	_, cli, _ := simPair(t, 0, NodeConfig{})
+	resp, err := cli.Call(&proto.Message{Op: proto.OpRead, Payload: []byte("x")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != proto.StatusOK {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestSimNetLatency(t *testing.T) {
+	_, cli, _ := simPair(t, 5*time.Millisecond, NodeConfig{})
+	start := time.Now()
+	if _, err := cli.Call(&proto.Message{Op: proto.OpNop}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 10*time.Millisecond {
+		t.Errorf("RTT %v < 2×5ms propagation", rtt)
+	}
+}
+
+func TestSimNetBandwidth(t *testing.T) {
+	// 1 MB payload over a 10 MB/s link must take ≥ ~100ms.
+	_, cli, _ := simPair(t, 0, NodeConfig{InRate: 10e6, OutRate: 10e6})
+	payload := make([]byte, util.MiB)
+	start := time.Now()
+	if _, err := cli.Call(&proto.Message{Op: proto.OpWrite, Payload: payload}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Request 1MB out + response 1MB back, each shaped twice (out+in)
+	// but pipelined; lower bound is ~100ms for one direction.
+	if elapsed < 90*time.Millisecond {
+		t.Errorf("1MB over 10MB/s took only %v", elapsed)
+	}
+}
+
+func TestSimNetPartitionDropsAndTimesOut(t *testing.T) {
+	net, cli, _ := simPair(t, 0, NodeConfig{})
+	net.Partition("client", "server")
+	_, err := cli.Call(&proto.Message{Op: proto.OpNop}, 30*time.Millisecond)
+	if !errors.Is(err, util.ErrTimeout) {
+		t.Fatalf("partitioned call: %v", err)
+	}
+	net.Heal("client", "server")
+	if _, err := cli.Call(&proto.Message{Op: proto.OpNop}, time.Second); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+}
+
+func TestSimNetCrash(t *testing.T) {
+	net, cli, _ := simPair(t, 0, NodeConfig{})
+	net.Crash("server")
+	if _, err := cli.Call(&proto.Message{Op: proto.OpNop}, 50*time.Millisecond); err == nil {
+		t.Fatal("call to crashed node succeeded")
+	}
+	// Dials to a crashed node fail fast.
+	if _, err := net.Dialer("client2", NodeConfig{}).Dial("server"); err == nil {
+		t.Fatal("dial to crashed node succeeded")
+	}
+	net.Restart("server")
+	if net.Down("server") {
+		t.Error("server still down after restart")
+	}
+}
+
+func TestSimNetDialUnknown(t *testing.T) {
+	net := NewSimNet(clock.Realtime, 0)
+	if _, err := net.Dialer("a", NodeConfig{}).Dial("nowhere"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+}
+
+func TestSimNetDuplicateListen(t *testing.T) {
+	net := NewSimNet(clock.Realtime, 0)
+	if _, err := net.Listen("a", NodeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("a", NodeConfig{}); !errors.Is(err, util.ErrExists) {
+		t.Fatalf("duplicate listen: %v", err)
+	}
+}
+
+func TestClientTimeoutLeavesConnectionUsable(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, func(m *proto.Message) *proto.Message {
+		if m.Op == proto.OpRead {
+			time.Sleep(100 * time.Millisecond)
+		}
+		return m.Reply(proto.StatusOK)
+	})
+	defer srv.Close()
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	if _, err := cli.Call(&proto.Message{Op: proto.OpRead}, 10*time.Millisecond); !errors.Is(err, util.ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	// The late response must be discarded and later calls still work.
+	if _, err := cli.Call(&proto.Message{Op: proto.OpNop}, time.Second); err != nil {
+		t.Fatalf("post-timeout call: %v", err)
+	}
+}
+
+func TestClientConnFailureFailsPending(t *testing.T) {
+	net, cli, srv := simPair(t, 0, NodeConfig{})
+	_ = net
+	ch := cli.Go(&proto.Message{Op: proto.OpRead})
+	srv.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			// A response may have raced the close; that's fine too.
+			return
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not failed after server close")
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	clk := clock.Realtime
+	b := NewTokenBucket(clk, 1e6) // 1 MB/s
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		b.Take(10_000) // 100 KB total => 100ms
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("100KB at 1MB/s took only %v", elapsed)
+	}
+	if elapsed > 400*time.Millisecond {
+		t.Errorf("100KB at 1MB/s took %v", elapsed)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	b := NewTokenBucket(clock.Realtime, 0)
+	start := time.Now()
+	b.Take(1 << 30)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("unlimited bucket blocked")
+	}
+	var nilBucket *TokenBucket
+	nilBucket.Take(100) // must not panic
+	if nilBucket.Rate() != 0 {
+		t.Error("nil bucket rate")
+	}
+}
+
+func TestTokenBucketConcurrentSharing(t *testing.T) {
+	// Two goroutines sharing one bucket halve each other's rate.
+	b := NewTokenBucket(clock.Realtime, 2e6)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				b.Take(10_000)
+			}
+		}()
+	}
+	wg.Wait()
+	// 200KB total at 2MB/s = 100ms.
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("shared bucket too fast: %v", elapsed)
+	}
+}

@@ -1,0 +1,208 @@
+package util
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hist is a concurrency-safe log-scale latency histogram. Buckets grow
+// geometrically from 1 µs so that percentiles are accurate to a few percent
+// across six orders of magnitude, which is enough to reproduce the paper's
+// latency figures (Fig 6b, Fig 15, Fig 16).
+type Hist struct {
+	mu      sync.Mutex
+	buckets [nbuckets]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const (
+	nbuckets   = 256
+	histBase   = 1.06 // geometric bucket growth factor
+	histOrigin = time.Microsecond
+)
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= histOrigin {
+		return 0
+	}
+	b := int(math.Log(float64(d)/float64(histOrigin)) / math.Log(histBase))
+	if b >= nbuckets {
+		b = nbuckets - 1
+	}
+	return b
+}
+
+// bucketValue returns the representative duration of bucket b (geometric
+// midpoint of its range).
+func bucketValue(b int) time.Duration {
+	lo := float64(histOrigin) * math.Pow(histBase, float64(b))
+	return time.Duration(lo * math.Sqrt(histBase))
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{min: math.MaxInt64} }
+
+// Observe records one sample.
+func (h *Hist) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (h *Hist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean of all samples (0 if empty).
+func (h *Hist) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Hist) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Hist) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as a bucket-representative
+// duration; q=0.5 is the median, q=0.99 the p99.
+func (h *Hist) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return bucketValue(b)
+		}
+	}
+	return h.max
+}
+
+// CDF returns (latency, cumulative fraction) points for plotting Fig 16.
+// Only non-empty buckets are emitted.
+func (h *Hist) CDF() (xs []time.Duration, ys []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return nil, nil
+	}
+	var cum int64
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		xs = append(xs, bucketValue(b))
+		ys = append(ys, float64(cum)/float64(h.count))
+	}
+	return xs, ys
+}
+
+// PDF returns (latency, probability mass) points for plotting Fig 16.
+func (h *Hist) PDF() (xs []time.Duration, ys []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return nil, nil
+	}
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		xs = append(xs, bucketValue(b))
+		ys = append(ys, float64(n)/float64(h.count))
+	}
+	return xs, ys
+}
+
+// Merge adds all samples of other into h.
+func (h *Hist) Merge(other *Hist) {
+	other.mu.Lock()
+	var o Hist
+	o.buckets = other.buckets
+	o.count, o.sum, o.min, o.max = other.count, other.sum, other.min, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 && o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// String summarizes the histogram for logs: count, mean, p50/p99, max.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// Percentiles is a convenience for Fig 15's (mean, p1, p99) triple.
+func (h *Hist) Percentiles() (mean, p1, p99 time.Duration) {
+	return h.Mean(), h.Quantile(0.01), h.Quantile(0.99)
+}
+
+// ExactQuantile computes a quantile from a raw sample slice (used by tests
+// to validate the histogram's bucketed quantiles). It sorts a copy.
+func ExactQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

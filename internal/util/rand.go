@@ -1,0 +1,103 @@
+package util
+
+import "math"
+
+// Rand is a small, fast, deterministic PRNG (splitmix64 seeded xorshift)
+// safe to embed per goroutine. It is not cryptographically secure; it exists
+// so workloads and simulations are reproducible under a fixed seed without
+// the lock contention of the global math/rand source.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded from seed via splitmix64 so that
+// consecutive seeds produce well-separated streams.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{state: seed}
+	// Run splitmix64 once to avoid weak all-zero / tiny-seed states.
+	r.state = splitmix64(&r.state)
+	if r.state == 0 {
+		r.state = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits (xorshift64*).
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("util.Rand.Intn: n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("util.Rand.Int63n: n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Fill fills b with pseudo-random bytes.
+func (r *Rand) Fill(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		b[i] = byte(v)
+		b[i+1] = byte(v >> 8)
+		b[i+2] = byte(v >> 16)
+		b[i+3] = byte(v >> 24)
+		b[i+4] = byte(v >> 32)
+		b[i+5] = byte(v >> 40)
+		b[i+6] = byte(v >> 48)
+		b[i+7] = byte(v >> 56)
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Exp returns an exponentially distributed float64 with mean 1, suitable
+// for Poisson arrival/lifetime sampling in simulations.
+func (r *Rand) Exp() float64 {
+	// Inverse CDF; 1-u is in (0,1] so the log argument is never zero.
+	return -math.Log(1 - r.Float64())
+}

@@ -1,0 +1,69 @@
+// Package util provides small shared primitives for the URSA block store:
+// byte-size constants and formatting, checksums, deterministic PRNG,
+// latency histograms, and common errors.
+package util
+
+import "fmt"
+
+// Byte size units.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// SectorSize is the block-device sector granularity. HDDs support 512-byte
+// sectors in physical or emulated modes; URSA addresses all disk and journal
+// space in sectors.
+const SectorSize = 512
+
+// ChunkSize is the fixed size of a data chunk, the unit of replication and
+// placement for virtual-disk data (the paper uses 64 MB chunks).
+const ChunkSize = 64 * MiB
+
+// SectorsPerChunk is the number of sectors in one chunk.
+const SectorsPerChunk = ChunkSize / SectorSize
+
+// FormatBytes renders n as a human-readable byte count ("4.0KiB", "64MiB").
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TiB:
+		return fmt.Sprintf("%.1fTiB", float64(n)/TiB)
+	case n >= GiB:
+		return fmt.Sprintf("%.1fGiB", float64(n)/GiB)
+	case n >= MiB:
+		return fmt.Sprintf("%.1fMiB", float64(n)/MiB)
+	case n >= KiB:
+		return fmt.Sprintf("%.1fKiB", float64(n)/KiB)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// FormatCount renders n with K/M suffixes ("42.5K", "1.2M") for IOPS-style
+// numbers.
+func FormatCount(n float64) string {
+	switch {
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", n/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fK", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f", n)
+	}
+}
+
+// AlignDown rounds v down to the nearest multiple of align.
+func AlignDown(v, align int64) int64 { return v - v%align }
+
+// AlignUp rounds v up to the nearest multiple of align.
+func AlignUp(v, align int64) int64 {
+	if r := v % align; r != 0 {
+		return v + align - r
+	}
+	return v
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 { return (a + b - 1) / b }

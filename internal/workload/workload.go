@@ -1,0 +1,298 @@
+// Package workload is the fio-style load generator of the evaluation: it
+// drives any block device (URSA vdisks, baseline volumes, cloud profile
+// devices) with the paper's micro-benchmark patterns — random/sequential
+// reads/writes at a block size and queue depth — and with trace replays,
+// collecting IOPS, throughput and latency histograms.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/trace"
+	"ursa/internal/util"
+)
+
+// Device is the minimal block target.
+type Device interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+}
+
+// Pattern selects the access pattern.
+type Pattern int
+
+// Access patterns (§6.1's micro-benchmarks).
+const (
+	RandRead Pattern = iota
+	RandWrite
+	SeqRead
+	SeqWrite
+	Mixed // ReadFraction controls the mix; offsets random
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case RandRead:
+		return "randread"
+	case RandWrite:
+		return "randwrite"
+	case SeqRead:
+		return "seqread"
+	case SeqWrite:
+		return "seqwrite"
+	default:
+		return "mixed"
+	}
+}
+
+// Spec describes one run.
+type Spec struct {
+	Pattern   Pattern
+	BlockSize int
+	// QueueDepth is the number of concurrent issuing workers (the paper's
+	// qd, bounded at 16 by QEMU's NBD driver).
+	QueueDepth int
+	// Ops is the total operation budget.
+	Ops int
+	// WorkingSet restricts offsets to the device's first WorkingSet bytes
+	// (0 = whole device).
+	WorkingSet int64
+	// ReadFraction applies to Mixed.
+	ReadFraction float64
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Fill pre-writes the working set so reads hit real data.
+	Fill bool
+	// MaxTime stops issuing new ops after this much model time even if
+	// the op budget is not exhausted (0 = no cap). Results stay valid:
+	// rates are computed over completed ops and actual elapsed time.
+	MaxTime time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	Spec    Spec
+	Ops     int64
+	Bytes   int64
+	Errors  int64
+	Elapsed time.Duration // model time
+	Lat     *util.Hist
+}
+
+// IOPS returns operations per second of model time.
+func (r Result) IOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// MBps returns throughput in MB/s of model time.
+func (r Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s bs=%s qd=%d: %s IOPS, %.1f MB/s, lat %v/%v (mean/p99)",
+		r.Spec.Pattern, util.FormatBytes(int64(r.Spec.BlockSize)), r.Spec.QueueDepth,
+		util.FormatCount(r.IOPS()), r.MBps(), r.Lat.Mean(), r.Lat.Quantile(0.99))
+}
+
+// Run executes the spec against dev on clk.
+func Run(clk clock.Clock, dev Device, spec Spec) Result {
+	if spec.BlockSize <= 0 {
+		spec.BlockSize = 4 * util.KiB
+	}
+	if spec.QueueDepth <= 0 {
+		spec.QueueDepth = 1
+	}
+	if spec.Ops <= 0 {
+		spec.Ops = 1000
+	}
+	ws := spec.WorkingSet
+	if ws <= 0 || ws > dev.Size() {
+		ws = dev.Size()
+	}
+	ws = util.AlignDown(ws, int64(spec.BlockSize))
+	if ws < int64(spec.BlockSize) {
+		ws = int64(spec.BlockSize)
+	}
+
+	if spec.Fill {
+		fill(dev, ws, spec.BlockSize, spec.Seed)
+	}
+
+	res := Result{Spec: spec, Lat: util.NewHist()}
+	var opCounter atomic.Int64
+	var bytesDone, errs atomic.Int64
+	var seqCursor atomic.Int64
+
+	start := clk.Now()
+	var deadline time.Time
+	if spec.MaxTime > 0 {
+		deadline = start.Add(spec.MaxTime)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < spec.QueueDepth; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := util.NewRand(spec.Seed + uint64(w)*7919)
+			buf := make([]byte, spec.BlockSize)
+			r.Fill(buf)
+			for {
+				n := opCounter.Add(1)
+				if n > int64(spec.Ops) {
+					return
+				}
+				if !deadline.IsZero() && clk.Now().After(deadline) {
+					return
+				}
+				var off int64
+				write := false
+				switch spec.Pattern {
+				case RandRead:
+					off = randOff(r, ws, spec.BlockSize)
+				case RandWrite:
+					off = randOff(r, ws, spec.BlockSize)
+					write = true
+				case SeqRead, SeqWrite:
+					off = (seqCursor.Add(int64(spec.BlockSize)) - int64(spec.BlockSize)) % ws
+					write = spec.Pattern == SeqWrite
+				case Mixed:
+					off = randOff(r, ws, spec.BlockSize)
+					write = r.Float64() >= spec.ReadFraction
+				}
+				t0 := clk.Now()
+				var err error
+				if write {
+					err = dev.WriteAt(buf, off)
+				} else {
+					err = dev.ReadAt(buf, off)
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				res.Lat.Observe(clk.Now().Sub(t0))
+				bytesDone.Add(int64(spec.BlockSize))
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = clk.Now().Sub(start)
+	res.Ops = res.Lat.Count()
+	res.Bytes = bytesDone.Load()
+	res.Errors = errs.Load()
+	return res
+}
+
+func randOff(r *util.Rand, ws int64, bs int) int64 {
+	blocks := ws / int64(bs)
+	return r.Int63n(blocks) * int64(bs)
+}
+
+// fill pre-writes the working set with 1 MiB sequential writes.
+func fill(dev Device, ws int64, bs int, seed uint64) {
+	const chunk = util.MiB
+	buf := make([]byte, chunk)
+	util.NewRand(seed ^ 0xf111).Fill(buf)
+	for off := int64(0); off < ws; off += chunk {
+		n := int64(chunk)
+		if ws-off < n {
+			n = ws - off
+		}
+		_ = dev.WriteAt(buf[:n], off)
+	}
+}
+
+// ReplayResult extends Result with per-kind counts for trace replays.
+type ReplayResult struct {
+	Result
+	Reads, Writes int64
+}
+
+// Replay issues the trace's records against dev with the given queue
+// depth, ignoring timestamps — the paper's custom replay tool (§6.4).
+// Records are clipped to the device size and sector-aligned.
+func Replay(clk clock.Clock, dev Device, records []trace.Record, queueDepth int) ReplayResult {
+	if queueDepth <= 0 {
+		queueDepth = 16
+	}
+	res := ReplayResult{Result: Result{Lat: util.NewHist()}}
+	var idx atomic.Int64
+	var bytesDone, errs, reads, writes atomic.Int64
+
+	start := clk.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < queueDepth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(records) {
+					return
+				}
+				rec := clip(records[i], dev.Size())
+				if rec.Size == 0 {
+					continue
+				}
+				if cap(buf) < rec.Size {
+					buf = make([]byte, rec.Size)
+				}
+				b := buf[:rec.Size]
+				t0 := clk.Now()
+				var err error
+				if rec.Write {
+					err = dev.WriteAt(b, rec.Off)
+					writes.Add(1)
+				} else {
+					err = dev.ReadAt(b, rec.Off)
+					reads.Add(1)
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				res.Lat.Observe(clk.Now().Sub(t0))
+				bytesDone.Add(int64(rec.Size))
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = clk.Now().Sub(start)
+	res.Ops = res.Lat.Count()
+	res.Bytes = bytesDone.Load()
+	res.Errors = errs.Load()
+	res.Reads = reads.Load()
+	res.Writes = writes.Load()
+	return res
+}
+
+// clip aligns and bounds a record to the device.
+func clip(rec trace.Record, size int64) trace.Record {
+	rec.Off = util.AlignDown(rec.Off, util.SectorSize)
+	rec.Size = int(util.AlignUp(int64(rec.Size), util.SectorSize))
+	if rec.Size == 0 {
+		rec.Size = util.SectorSize
+	}
+	if int64(rec.Size) > size {
+		rec.Size = util.SectorSize
+	}
+	if rec.Off+int64(rec.Size) > size {
+		rec.Off = rec.Off % (size - int64(rec.Size) + 1)
+		rec.Off = util.AlignDown(rec.Off, util.SectorSize)
+	}
+	return rec
+}

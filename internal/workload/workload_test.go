@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/trace"
+	"ursa/internal/util"
+)
+
+// memDevice is an in-memory device with an optional fixed op latency.
+type memDevice struct {
+	mu      sync.Mutex
+	data    []byte
+	latency time.Duration
+	clk     clock.Clock
+	reads   int
+	writes  int
+}
+
+func newMemDevice(size int64, lat time.Duration) *memDevice {
+	return &memDevice{data: make([]byte, size), latency: lat, clk: clock.Realtime}
+}
+
+func (d *memDevice) ReadAt(p []byte, off int64) error {
+	if d.latency > 0 {
+		d.clk.Sleep(d.latency)
+	}
+	d.mu.Lock()
+	copy(p, d.data[off:])
+	d.reads++
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *memDevice) WriteAt(p []byte, off int64) error {
+	if d.latency > 0 {
+		d.clk.Sleep(d.latency)
+	}
+	d.mu.Lock()
+	copy(d.data[off:], p)
+	d.writes++
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *memDevice) Size() int64 { return int64(len(d.data)) }
+
+func TestRunCounts(t *testing.T) {
+	dev := newMemDevice(16*util.MiB, 0)
+	res := Run(clock.Realtime, dev, Spec{
+		Pattern: RandWrite, BlockSize: 4096, QueueDepth: 4, Ops: 500, Seed: 1,
+	})
+	if res.Ops != 500 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Bytes != 500*4096 {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	if res.IOPS() <= 0 || res.Lat.Count() != 500 {
+		t.Error("rates not computed")
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestRunPatterns(t *testing.T) {
+	for _, p := range []Pattern{RandRead, RandWrite, SeqRead, SeqWrite, Mixed} {
+		dev := newMemDevice(4*util.MiB, 0)
+		res := Run(clock.Realtime, dev, Spec{
+			Pattern: p, BlockSize: 4096, QueueDepth: 2, Ops: 100,
+			ReadFraction: 0.5, Seed: 2,
+		})
+		if res.Ops != 100 {
+			t.Errorf("%v: ops = %d", p, res.Ops)
+		}
+		dev.mu.Lock()
+		r, w := dev.reads, dev.writes
+		dev.mu.Unlock()
+		switch p {
+		case RandRead, SeqRead:
+			if w != 0 {
+				t.Errorf("%v issued %d writes", p, w)
+			}
+		case RandWrite, SeqWrite:
+			if r != 0 {
+				t.Errorf("%v issued %d reads", p, r)
+			}
+		case Mixed:
+			if r == 0 || w == 0 {
+				t.Errorf("Mixed: reads=%d writes=%d", r, w)
+			}
+		}
+	}
+}
+
+func TestRunQueueDepthParallelism(t *testing.T) {
+	// With a 2ms per-op device, 64 ops at qd8 should take ≈16ms, not
+	// 128ms.
+	dev := newMemDevice(4*util.MiB, 2*time.Millisecond)
+	res := Run(clock.Realtime, dev, Spec{
+		Pattern: RandRead, BlockSize: 4096, QueueDepth: 8, Ops: 64, Seed: 3,
+	})
+	if res.Elapsed > 80*time.Millisecond {
+		t.Errorf("qd8 run took %v; queue depth not parallel", res.Elapsed)
+	}
+	if res.Lat.Mean() < time.Millisecond {
+		t.Errorf("latency %v below device latency", res.Lat.Mean())
+	}
+}
+
+func TestRunFill(t *testing.T) {
+	dev := newMemDevice(2*util.MiB, 0)
+	Run(clock.Realtime, dev, Spec{
+		Pattern: RandRead, BlockSize: 4096, QueueDepth: 1, Ops: 10,
+		Fill: true, Seed: 4,
+	})
+	// Fill must have written the working set.
+	nonzero := false
+	for _, b := range dev.data[:4096] {
+		if b != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Error("Fill did not write data")
+	}
+}
+
+func TestSeqPatternIsSequential(t *testing.T) {
+	dev := newMemDevice(util.MiB, 0)
+	Run(clock.Realtime, dev, Spec{
+		Pattern: SeqWrite, BlockSize: 4096, QueueDepth: 1, Ops: 64, Seed: 5,
+	})
+	// With qd=1, all 64 writes land on consecutive blocks (wrapping).
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	if dev.writes != 64 {
+		t.Fatalf("writes = %d", dev.writes)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	dev := newMemDevice(8*util.MiB, 0)
+	recs := trace.Profile{
+		Name: "t", ReadFraction: 0.5, VolumeSize: 8 * util.MiB,
+	}.Generate(6, 300)
+	res := Replay(clock.Realtime, dev, recs, 4)
+	if res.Ops != 300 || res.Errors != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Errorf("reads=%d writes=%d", res.Reads, res.Writes)
+	}
+}
+
+func TestReplayClipsOutOfRange(t *testing.T) {
+	dev := newMemDevice(util.MiB, 0)
+	recs := []trace.Record{
+		{Off: 100 * util.MiB, Size: 4096},    // far out of range
+		{Off: 0, Size: 8 * util.MiB},         // bigger than device
+		{Off: util.MiB - 512, Size: 513},     // straddles the end
+		{Write: true, Off: 12345, Size: 100}, // unaligned
+	}
+	res := Replay(clock.Realtime, dev, recs, 2)
+	if res.Errors != 0 {
+		t.Fatalf("clip failed: %+v", res)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for _, p := range []Pattern{RandRead, RandWrite, SeqRead, SeqWrite, Mixed} {
+		if p.String() == "" {
+			t.Error("empty pattern name")
+		}
+	}
+}
