@@ -1,0 +1,22 @@
+# Tier-1 gates. `make check` is the pre-commit bar: vet + full tests with
+# the race detector (the RPC/replication paths are goroutine-heavy).
+GO ?= go
+
+.PHONY: build test race vet check bench-quick
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test race
+
+bench-quick:
+	$(GO) run ./cmd/ursa-bench -all -quick

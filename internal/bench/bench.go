@@ -21,6 +21,7 @@ import (
 	"ursa/internal/clock"
 	"ursa/internal/core"
 	"ursa/internal/master"
+	"ursa/internal/metrics"
 	"ursa/internal/simdisk"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -55,6 +56,9 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Extra holds companion tables rendered after the main one (e.g. the
+	// per-stage latency decomposition under Fig 6b).
+	Extra []Table
 }
 
 // String renders the table as aligned text.
@@ -87,6 +91,10 @@ func (t Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, ex := range t.Extra {
+		b.WriteByte('\n')
+		b.WriteString(ex.String())
 	}
 	return b.String()
 }
@@ -154,6 +162,7 @@ type ursaSUT struct {
 	cluster *core.Cluster
 	client  *client.Client
 	vd      *client.VDisk
+	metrics *metrics.Registry // the cluster-wide stage registry
 }
 
 func (s *ursaSUT) Close() {
@@ -197,7 +206,7 @@ func buildUrsa(mode core.Mode, machines int, volumeSize int64, stripeGroup int) 
 		c.Close()
 		return nil, err
 	}
-	return &ursaSUT{cluster: c, client: cl, vd: vd}, nil
+	return &ursaSUT{cluster: c, client: cl, vd: vd, metrics: c.Metrics()}, nil
 }
 
 // cephSUT wraps a Ceph-like pool and volume.
@@ -262,11 +271,13 @@ func buildSheep(machines int, volumeSize int64) (*sheepSUT, error) {
 	return &sheepSUT{cluster: c, vol: vol}, nil
 }
 
-// system pairs a name with a device for comparison sweeps.
+// system pairs a name with a device for comparison sweeps. metrics is the
+// system's stage-latency registry; nil for baselines without op threading.
 type system struct {
-	name  string
-	dev   workload.Device
-	close func()
+	name    string
+	dev     workload.Device
+	close   func()
+	metrics *metrics.Registry
 }
 
 // buildComparison assembles the paper's §6.1 line-up: Sheepdog, Ceph,
@@ -283,22 +294,22 @@ func buildComparison(volumeSize int64) ([]system, error) {
 	if err != nil {
 		return fail(err)
 	}
-	out = append(out, system{"Sheepdog", sheep.vol, sheep.Close})
+	out = append(out, system{name: "Sheepdog", dev: sheep.vol, close: sheep.Close})
 	ceph, err := buildCeph(3, volumeSize)
 	if err != nil {
 		return fail(err)
 	}
-	out = append(out, system{"Ceph", ceph.vol, ceph.Close})
+	out = append(out, system{name: "Ceph", dev: ceph.vol, close: ceph.Close})
 	ussd, err := buildUrsa(core.SSDOnly, 3, volumeSize, 1)
 	if err != nil {
 		return fail(err)
 	}
-	out = append(out, system{"Ursa-SSD", ussd.vd, ussd.Close})
+	out = append(out, system{name: "Ursa-SSD", dev: ussd.vd, close: ussd.Close, metrics: ussd.metrics})
 	uhyb, err := buildUrsa(core.Hybrid, 3, volumeSize, 1)
 	if err != nil {
 		return fail(err)
 	}
-	out = append(out, system{"Ursa-Hybrid", uhyb.vd, uhyb.Close})
+	out = append(out, system{name: "Ursa-Hybrid", dev: uhyb.vd, close: uhyb.Close, metrics: uhyb.metrics})
 	return out, nil
 }
 

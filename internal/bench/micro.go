@@ -5,6 +5,8 @@ import (
 
 	"ursa/internal/clock"
 	"ursa/internal/core"
+	"ursa/internal/metrics"
+	"ursa/internal/opctx"
 	"ursa/internal/util"
 	"ursa/internal/workload"
 )
@@ -24,15 +26,18 @@ func Fig06a(cfg Config) Table {
 	}, func(r workload.Result) string { return util.FormatCount(r.IOPS()) })
 }
 
-// Fig06b regenerates random I/O latency (BS=4KB, QD=1).
+// Fig06b regenerates random I/O latency (BS=4KB, QD=1), plus the
+// per-stage decomposition of where that latency goes: the opctx
+// breadcrumbs every layer records, aggregated by the cluster's metrics
+// registry and rendered as companion tables per URSA system.
 func Fig06b(cfg Config) Table {
-	return microCompare(cfg, Table{
+	return microCompareStages(cfg, Table{
 		ID:    "Fig 6b",
 		Title: "Random I/O latency (BS=4KB, QD=1), mean",
 	}, workload.Spec{
 		BlockSize: 4 * util.KiB, QueueDepth: 1, Ops: 20000,
 		WorkingSet: microVolume / 2, MaxTime: cfg.cellTime(),
-	}, func(r workload.Result) string { return us(r.Lat.Mean()) })
+	}, func(r workload.Result) string { return us(r.Lat.Mean()) }, true)
 }
 
 // Fig06c regenerates sequential throughput (BS=1MB, QD=1). For
@@ -51,6 +56,16 @@ func Fig06c(cfg Config) Table {
 // microCompare runs the read and write variants of spec on all systems.
 func microCompare(cfg Config, t Table, spec workload.Spec,
 	metric func(workload.Result) string) Table {
+	return microCompareStages(cfg, t, spec, metric, false)
+}
+
+// microCompareStages is microCompare with optional per-stage latency
+// companion tables: when stages is set, each system with a metrics
+// registry gets its read- and write-run breadcrumbs snapshotted
+// separately (the registry is reset between runs) and rendered after the
+// main table.
+func microCompareStages(cfg Config, t Table, spec workload.Spec,
+	metric func(workload.Result) string, stages bool) Table {
 
 	t.Header = []string{"system", "read", "write"}
 	systems, err := buildComparison(microVolume)
@@ -70,9 +85,59 @@ func microCompare(cfg Config, t Table, spec workload.Spec,
 		if spec.BlockSize >= util.MiB {
 			rs.Pattern, ws.Pattern = workload.SeqRead, workload.SeqWrite
 		}
+		if s.metrics != nil {
+			s.metrics.ResetStages() // drop open/creation noise
+		}
 		rres := workload.Run(clock.Realtime, s.dev, rs)
+		var readStages []metrics.StageStat
+		if s.metrics != nil {
+			readStages = s.metrics.StageSnapshot()
+			s.metrics.ResetStages()
+		}
 		wres := workload.Run(clock.Realtime, s.dev, ws)
 		t.Rows = append(t.Rows, []string{s.name, metric(rres), metric(wres)})
+		if stages && s.metrics != nil {
+			t.Extra = append(t.Extra, stageTable(s.name, readStages, s.metrics.StageSnapshot()))
+		}
+	}
+	if stages {
+		t.Notes = append(t.Notes,
+			"stage tables decompose URSA request latency; baselines have no op threading")
+	}
+	return t
+}
+
+// stageTable renders one system's per-stage latency breakdown, stages in
+// request-path order, read and write runs side by side.
+func stageTable(name string, read, write []metrics.StageStat) Table {
+	byStage := func(stats []metrics.StageStat) map[string]metrics.StageStat {
+		m := make(map[string]metrics.StageStat, len(stats))
+		for _, st := range stats {
+			m[st.Stage] = st
+		}
+		return m
+	}
+	rm, wm := byStage(read), byStage(write)
+	t := Table{
+		ID:     name,
+		Title:  "per-stage latency (mean over stage visits)",
+		Header: []string{"stage", "read-n", "read-mean", "write-n", "write-mean"},
+	}
+	cell := func(st metrics.StageStat, ok bool) (string, string) {
+		if !ok || st.Count == 0 {
+			return "-", "-"
+		}
+		return util.FormatCount(float64(st.Count)), us(st.Mean)
+	}
+	for _, stage := range opctx.Stages() {
+		r, rok := rm[stage.String()]
+		w, wok := wm[stage.String()]
+		if !rok && !wok {
+			continue
+		}
+		rn, rmean := cell(r, rok)
+		wn, wmean := cell(w, wok)
+		t.Rows = append(t.Rows, []string{stage.String(), rn, rmean, wn, wmean})
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package chunkserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,8 @@ import (
 	"ursa/internal/blockstore"
 	"ursa/internal/clock"
 	"ursa/internal/journal"
+	"ursa/internal/metrics"
+	"ursa/internal/opctx"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -26,9 +29,16 @@ type Config struct {
 	Clock clock.Clock
 	// Dialer reaches peer servers for replication and recovery.
 	Dialer transport.Dialer
-	// ReplTimeout is how long the primary waits for backup acks before
-	// falling back to the majority rule (§4.2.1).
+	// ReplTimeout is the commit-rule window (§4.2.1) for operations that
+	// arrive WITHOUT a propagated deadline — background work and peers
+	// predating op threading. Client-initiated ops never use it: their
+	// replication budget derives from the op's remaining deadline
+	// (see opBudget), so the majority rule fires relative to the client's
+	// actual budget.
 	ReplTimeout time.Duration
+	// Metrics, when non-nil, receives per-stage latency observations for
+	// every op this server services (shared cluster-wide by core).
+	Metrics *metrics.Registry
 	// BypassThreshold is Tj: backup writes larger than this skip the
 	// journal (§3.2). 0 means the 64 KB paper default.
 	BypassThreshold int
@@ -51,7 +61,8 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Stats counts server activity for the efficiency benches (Fig 7).
+// Stats is a snapshot of server activity for the efficiency benches
+// (Fig 7). It is a read-only view over the server's metrics counters.
 type Stats struct {
 	Reads, Writes, Replicates int64
 	BytesRead, BytesWritten   int64
@@ -73,10 +84,10 @@ type Server struct {
 	draining atomic.Bool
 	upGen    atomic.Int64
 
-	reads, writes, replicates  atomic.Int64
-	bytesRead, bytesWritten    atomic.Int64
-	repairCount, cloneCount    atomic.Int64
-	degradedCommits, noQuorums atomic.Int64
+	reads, writes, replicates  metrics.Counter
+	bytesRead, bytesWritten    metrics.Counter
+	repairCount, cloneCount    metrics.Counter
+	degradedCommits, noQuorums metrics.Counter
 
 	rpc *transport.Server
 }
@@ -189,17 +200,25 @@ func (s *Server) Handle(m *proto.Message) *proto.Message {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
+	// Rebuild the request context the message belongs to: same op ID, the
+	// sender's remaining budget re-anchored on our clock. Every wait below
+	// derives its window from this op, never from a fixed constant.
+	op := opctx.FromWire(s.cfg.Clock, m.OpID, m.Budget)
+	if s.cfg.Metrics != nil {
+		op = op.WithSink(s.cfg.Metrics)
+	}
+
 	switch m.Op {
 	case proto.OpNop:
 		return m.Reply(proto.StatusOK)
 	case proto.OpRead:
-		return s.handleRead(m)
+		return s.handleRead(op, m)
 	case proto.OpWrite:
-		return s.handleWrite(m, true)
+		return s.handleWrite(op, m, true)
 	case proto.OpWritePrimary:
-		return s.handleWrite(m, false)
+		return s.handleWrite(op, m, false)
 	case proto.OpReplicate:
-		return s.handleReplicate(m)
+		return s.handleReplicate(op, m)
 	case proto.OpGetVersion:
 		return s.handleGetVersion(m)
 	case proto.OpCreateChunk:
@@ -215,15 +234,33 @@ func (s *Server) Handle(m *proto.Message) *proto.Message {
 	case proto.OpSetView:
 		return s.handleSetView(m)
 	case proto.OpCloneChunk:
-		return s.handleCloneChunk(m)
+		return s.handleCloneChunk(op, m)
 	case proto.OpRepairFrom:
-		return s.handleRepairFrom(m)
+		return s.handleRepairFrom(op, m)
 	case proto.OpUpgrade:
 		go s.Upgrade()
 		return m.Reply(proto.StatusOK)
 	default:
 		return m.Reply(proto.StatusError)
 	}
+}
+
+// opBudget derives the window this server may spend waiting on op's behalf
+// (backup acks, version-slot queueing, recovery pulls). Ops carrying a
+// deadline get 3/4 of the remaining budget — the rest is reserved for the
+// response's return trip and the caller's bookkeeping, so the §4.2.1
+// majority rule fires while the client is still listening. Deadline-less
+// ops (background work, peers predating op threading) fall back to the
+// configured window.
+func (s *Server) opBudget(op *opctx.Op, fallback time.Duration) time.Duration {
+	rem, ok := op.Remaining()
+	if !ok {
+		return fallback
+	}
+	if rem <= 0 {
+		return time.Nanosecond // fail fast, but never "wait forever"
+	}
+	return rem * 3 / 4
 }
 
 // CreateChunkReq is the JSON payload of OpCreateChunk.
@@ -317,7 +354,7 @@ func (s *Server) handleSetView(m *proto.Message) *proto.Message {
 // handleRead serves a read from the local replica. Any replica with data at
 // least as new as the client's version may serve (§4.1); primaries read
 // the SSD store, backups resolve journal extents first.
-func (s *Server) handleRead(m *proto.Message) *proto.Message {
+func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 	cs := s.chunk(m.Chunk)
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
@@ -344,9 +381,13 @@ func (s *Server) handleRead(m *proto.Message) *proto.Message {
 	buf := make([]byte, m.Length)
 	var err error
 	if s.jset != nil {
+		stop := op.StartStage(opctx.StageBackupJournal)
 		err = s.jset.Read(m.Chunk, buf, m.Off)
+		stop()
 	} else {
+		stop := op.StartStage(opctx.StagePrimarySSD)
 		err = s.store.ReadAt(m.Chunk, buf, m.Off)
+		stop()
 	}
 	if err != nil {
 		return m.Reply(proto.StatusError)
@@ -361,8 +402,9 @@ func (s *Server) handleRead(m *proto.Message) *proto.Message {
 
 // checkWriteVersionLocked applies the paper's version rules (§4.2.1) for a
 // write carrying version v against state cs. It returns (skipLocal, resp):
-// a non-nil resp short-circuits the request.
-func (s *Server) checkWriteVersionLocked(cs *chunkState, m *proto.Message) (bool, *proto.Message) {
+// a non-nil resp short-circuits the request. Waiting for a predecessor
+// pipelined write's version slot is bounded by the op's remaining budget.
+func (s *Server) checkWriteVersionLocked(cs *chunkState, op *opctx.Op, m *proto.Message) (bool, *proto.Message) {
 	if cs.view != m.View {
 		r := m.Reply(proto.StatusStaleView)
 		r.View = cs.view
@@ -382,7 +424,10 @@ func (s *Server) checkWriteVersionLocked(cs *chunkState, m *proto.Message) (bool
 	default: // m.Version > cs.version
 		// A predecessor pipelined write may still be applying; wait for
 		// our slot, then recheck.
-		if !cs.waitVersionLocked(m.Version, s.cfg.Clock, s.cfg.ReplTimeout) {
+		stop := op.StartStage(opctx.StageReplay)
+		reached := cs.waitVersionLocked(m.Version, op, s.opBudget(op, s.cfg.ReplTimeout))
+		stop()
+		if !reached {
 			r := m.Reply(proto.StatusBehind)
 			r.Version = cs.version
 			return false, r
@@ -402,7 +447,7 @@ func (s *Server) checkWriteVersionLocked(cs *chunkState, m *proto.Message) (bool
 // handleWrite is the primary write path: apply locally, optionally
 // replicate to backups (forward=false under client-directed replication),
 // and commit by the all-or-majority-after-timeout rule.
-func (s *Server) handleWrite(m *proto.Message, forward bool) *proto.Message {
+func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *proto.Message {
 	if err := validRange(m.Off, len(m.Payload)); err != nil {
 		return m.Reply(proto.StatusError)
 	}
@@ -411,7 +456,7 @@ func (s *Server) handleWrite(m *proto.Message, forward bool) *proto.Message {
 		return m.Reply(proto.StatusNotFound)
 	}
 	cs.mu.Lock()
-	skipLocal, resp := s.checkWriteVersionLocked(cs, m)
+	skipLocal, resp := s.checkWriteVersionLocked(cs, op, m)
 	if resp != nil {
 		cs.mu.Unlock()
 		return resp
@@ -424,10 +469,13 @@ func (s *Server) handleWrite(m *proto.Message, forward bool) *proto.Message {
 	if forward && len(cs.backups) > 0 {
 		backups := cs.backups
 		replCh = make(chan bool, 1)
-		go func() { replCh <- s.replicateToBackups(backups, m) }()
+		go func() { replCh <- s.replicateToBackups(op, backups, m) }()
 	}
 	if !skipLocal {
-		if err := s.store.WriteAt(m.Chunk, m.Payload, m.Off); err != nil {
+		stop := op.StartStage(opctx.StagePrimarySSD)
+		err := s.store.WriteAt(m.Chunk, m.Payload, m.Off)
+		stop()
+		if err != nil {
 			cs.mu.Unlock()
 			if replCh != nil {
 				<-replCh
@@ -456,8 +504,12 @@ func (s *Server) handleWrite(m *proto.Message, forward bool) *proto.Message {
 
 // replicateToBackups fans the write out and applies the commit rule: true
 // when all backups ack, or when a majority of the replica group (backups
-// plus this primary) acks within the timeout (§4.2.1).
-func (s *Server) replicateToBackups(backups []string, m *proto.Message) bool {
+// plus this primary) acks within the commit window (§4.2.1). The window is
+// NOT a server constant: it derives from the incoming op's remaining
+// deadline, so the majority rule fires relative to the client's budget —
+// only deadline-less ops fall back to the configured ReplTimeout.
+func (s *Server) replicateToBackups(op *opctx.Op, backups []string, m *proto.Message) bool {
+	window := s.opBudget(op, s.cfg.ReplTimeout)
 	type result struct{ ok bool }
 	results := make(chan result, len(backups))
 	for _, addr := range backups {
@@ -475,9 +527,11 @@ func (s *Server) replicateToBackups(backups []string, m *proto.Message) bool {
 				results <- result{false}
 				return
 			}
-			resp, err := cli.Call(req, s.cfg.ReplTimeout)
+			resp, err := cli.Do(op, req, window)
 			if err != nil {
-				if !errors.Is(err, util.ErrTimeout) {
+				// Timeouts and op expiry/cancellation say nothing about the
+				// connection's health; only real transport faults evict it.
+				if !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled) {
 					s.dropPeer(addr, cli)
 				}
 				results <- result{false}
@@ -489,6 +543,7 @@ func (s *Server) replicateToBackups(backups []string, m *proto.Message) bool {
 	acks := 1 // self
 	total := len(backups) + 1
 	failures := 0
+	stop := op.StartStage(opctx.StageReplWait)
 	for i := 0; i < len(backups); i++ {
 		if r := <-results; r.ok {
 			acks++
@@ -496,6 +551,7 @@ func (s *Server) replicateToBackups(backups []string, m *proto.Message) bool {
 			failures++
 		}
 	}
+	stop()
 	if failures == 0 {
 		return true
 	}
@@ -510,7 +566,7 @@ func (s *Server) replicateToBackups(backups []string, m *proto.Message) bool {
 
 // handleReplicate is the backup write path: journal small writes, bypass
 // for large ones (§3.2).
-func (s *Server) handleReplicate(m *proto.Message) *proto.Message {
+func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message {
 	if err := validRange(m.Off, len(m.Payload)); err != nil {
 		return m.Reply(proto.StatusError)
 	}
@@ -519,13 +575,16 @@ func (s *Server) handleReplicate(m *proto.Message) *proto.Message {
 		return m.Reply(proto.StatusNotFound)
 	}
 	cs.mu.Lock()
-	skipLocal, resp := s.checkWriteVersionLocked(cs, m)
+	skipLocal, resp := s.checkWriteVersionLocked(cs, op, m)
 	if resp != nil {
 		cs.mu.Unlock()
 		return resp
 	}
 	if !skipLocal {
-		if err := s.applyBackupWrite(m); err != nil {
+		stop := op.StartStage(opctx.StageBackupJournal)
+		err := s.applyBackupWrite(m)
+		stop()
+		if err != nil {
 			cs.mu.Unlock()
 			return m.Reply(proto.StatusError)
 		}
@@ -679,7 +738,7 @@ const cloneFetchSize = 1 * util.MiB
 // its data and version locally. The master invokes it on newly allocated
 // replicas during failure recovery (§4.2.2); the transfer is what Fig 12
 // measures.
-func (s *Server) handleCloneChunk(m *proto.Message) *proto.Message {
+func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message {
 	var req CloneChunkReq
 	if err := json.Unmarshal(m.Payload, &req); err != nil {
 		return m.Reply(proto.StatusError)
@@ -692,8 +751,8 @@ func (s *Server) handleCloneChunk(m *proto.Message) *proto.Message {
 	if err != nil {
 		return m.Reply(proto.StatusError)
 	}
-	vresp, err := cli.Call(&proto.Message{Op: proto.OpGetVersion, Chunk: m.Chunk},
-		s.cfg.ReplTimeout)
+	vresp, err := cli.Do(op, &proto.Message{Op: proto.OpGetVersion, Chunk: m.Chunk},
+		s.opBudget(op, s.cfg.ReplTimeout))
 	if err != nil || vresp.Status != proto.StatusOK {
 		return m.Reply(proto.StatusError)
 	}
@@ -759,7 +818,7 @@ func (s *Server) handleCloneChunk(m *proto.Message) *proto.Message {
 // handleRepairFrom pulls incremental repair from a source replica: ask for
 // the mods since our version (journal lite), apply them; when the source's
 // history is garbage-collected, fall back to a full chunk clone (§4.2.1).
-func (s *Server) handleRepairFrom(m *proto.Message) *proto.Message {
+func (s *Server) handleRepairFrom(op *opctx.Op, m *proto.Message) *proto.Message {
 	var req CloneChunkReq
 	if err := json.Unmarshal(m.Payload, &req); err != nil {
 		return m.Reply(proto.StatusError)
@@ -776,11 +835,11 @@ func (s *Server) handleRepairFrom(m *proto.Message) *proto.Message {
 	if err != nil {
 		return m.Reply(proto.StatusError)
 	}
-	resp, err := cli.Call(&proto.Message{
+	resp, err := cli.Do(op, &proto.Message{
 		Op:      proto.OpRepairSince,
 		Chunk:   m.Chunk,
 		Version: myVersion,
-	}, 10*s.cfg.ReplTimeout)
+	}, s.opBudget(op, 10*s.cfg.ReplTimeout))
 	if err != nil {
 		return m.Reply(proto.StatusError)
 	}
@@ -796,7 +855,7 @@ func (s *Server) handleRepairFrom(m *proto.Message) *proto.Message {
 		}
 		return s.handleApplyRepair(apply)
 	case proto.StatusFallback:
-		return s.handleCloneChunk(m) // same payload shape: {source}
+		return s.handleCloneChunk(op, m) // same payload shape: {source}
 	default:
 		return m.Reply(proto.StatusError)
 	}

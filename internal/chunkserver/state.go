@@ -13,8 +13,8 @@ import (
 	"sync"
 	"time"
 
-	"ursa/internal/clock"
 	"ursa/internal/journal"
+	"ursa/internal/opctx"
 )
 
 // Role distinguishes primary (SSD) from backup (HDD+journal) servers.
@@ -60,13 +60,14 @@ func newChunkState(view uint64, backups []string, liteCap int) *chunkState {
 const versionGapPoll = 50 * time.Microsecond
 
 // waitVersionLocked blocks until the chunk's version reaches want (an
-// earlier pipelined write is mid-flight), the chunk is deleted, or maxWait
-// elapses. It returns whether want was reached. Called and returns with
-// cs.mu held.
-func (cs *chunkState) waitVersionLocked(want uint64, clk clock.Clock, maxWait time.Duration) bool {
+// earlier pipelined write is mid-flight), the chunk is deleted, maxWait
+// elapses, or the op is cancelled. It returns whether want was reached.
+// Called and returns with cs.mu held.
+func (cs *chunkState) waitVersionLocked(want uint64, op *opctx.Op, maxWait time.Duration) bool {
+	clk := op.Clock()
 	var waited time.Duration
 	for cs.version < want && !cs.deleted {
-		if waited >= maxWait {
+		if waited >= maxWait || op.Canceled() {
 			return false
 		}
 		cs.mu.Unlock()

@@ -8,6 +8,8 @@ import (
 
 	"ursa/internal/clock"
 	"ursa/internal/master"
+	"ursa/internal/metrics"
+	"ursa/internal/opctx"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -29,9 +31,26 @@ type Config struct {
 	// CallTimeout bounds individual chunk-server RPCs; it is also the
 	// commit-rule timeout for client-directed writes.
 	CallTimeout time.Duration
+	// MasterTimeout bounds master RPCs (metadata, leases, failure
+	// reports). The master path tolerates far more latency than the data
+	// path — a view change may be repairing replicas behind the call — so
+	// it gets its own budget instead of borrowing CallTimeout. 0 means
+	// 20× CallTimeout.
+	MasterTimeout time.Duration
+	// IOTimeout is the end-to-end deadline budget of one ReadAt/WriteAt.
+	// This is the single place an absolute deadline enters the I/O path:
+	// the budget is stamped into every RPC the operation fans out to, and
+	// every layer below (transport waits, primary replication fan-out,
+	// version queueing) derives its window from what remains of it. 0
+	// means (MaxRetries+1) × CallTimeout, enough for every retry round to
+	// run its course.
+	IOTimeout time.Duration
 	// MaxRetries bounds how many recover-and-retry rounds an I/O attempts
 	// before failing.
 	MaxRetries int
+	// Metrics, when non-nil, receives per-stage latency breadcrumbs from
+	// this client's operations.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -46,6 +65,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 6
+	}
+	if c.MasterTimeout <= 0 {
+		c.MasterTimeout = 20 * c.CallTimeout
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = time.Duration(c.MaxRetries+1) * c.CallTimeout
 	}
 	if c.Name == "" {
 		c.Name = "client"
@@ -116,7 +141,18 @@ func (c *Client) masterClient() (*transport.Client, error) {
 	return mc, nil
 }
 
-// masterCall performs one JSON-payload master RPC.
+// newOp starts a request context on the client's clock with the given
+// deadline budget (<=0 means none), wired to the client's metrics sink.
+func (c *Client) newOp(budget time.Duration) *opctx.Op {
+	op := opctx.New(c.cfg.Clock, budget)
+	if c.cfg.Metrics != nil {
+		op = op.WithSink(c.cfg.Metrics)
+	}
+	return op
+}
+
+// masterCall performs one JSON-payload master RPC under its own
+// MasterTimeout-budgeted op.
 func (c *Client) masterCall(op proto.Op, req any, out any) (proto.Status, error) {
 	mc, err := c.masterClient()
 	if err != nil {
@@ -129,7 +165,7 @@ func (c *Client) masterCall(op proto.Op, req any, out any) (proto.Status, error)
 			return proto.StatusError, err
 		}
 	}
-	resp, err := mc.Call(&proto.Message{Op: op, Payload: payload}, 20*c.cfg.CallTimeout)
+	resp, err := mc.Do(c.newOp(c.cfg.MasterTimeout), &proto.Message{Op: op, Payload: payload}, 0)
 	if err != nil {
 		c.mu.Lock()
 		if c.masterC == mc {

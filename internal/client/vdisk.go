@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,8 @@ import (
 
 	"ursa/internal/blockstore"
 	"ursa/internal/master"
+	"ursa/internal/metrics"
+	"ursa/internal/opctx"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -44,10 +47,10 @@ type VDisk struct {
 	closed    atomic.Bool
 	leaseOK   atomic.Bool
 
-	reads, writes         atomic.Int64
-	bytesRead, bytesWrite atomic.Int64
-	retries, failovers    atomic.Int64
-	tinyWrites            atomic.Int64
+	reads, writes         metrics.Counter
+	bytesRead, bytesWrite metrics.Counter
+	retries, failovers    metrics.Counter
+	tinyWrites            metrics.Counter
 }
 
 func newVDisk(c *Client, meta master.VDiskMeta) *VDisk {
@@ -114,6 +117,9 @@ func (vd *VDisk) confirmVersions() error {
 
 func (vd *VDisk) confirmChunk(idx int) error {
 	ch := vd.chunks[idx]
+	// Initialization is maintenance, not a client I/O: no deadline; each
+	// probe is still individually bounded by CallTimeout.
+	op := vd.c.newOp(0)
 	for attempt := 0; attempt < vd.c.cfg.MaxRetries; attempt++ {
 		ch.mu.Lock()
 		cm := ch.meta
@@ -123,7 +129,7 @@ func (vd *VDisk) confirmChunk(idx int) error {
 		consistent := true
 		var failedAddr string
 		for _, r := range cm.Replicas {
-			resp, err := vd.call(r.Addr, &proto.Message{
+			resp, err := vd.call(op, r.Addr, &proto.Message{
 				Op:    proto.OpGetVersion,
 				Chunk: vd.chunkID(idx),
 			})
@@ -168,14 +174,17 @@ func (vd *VDisk) chunkID(idx int) blockstore.ChunkID {
 	return blockstore.MakeChunkID(vd.meta.ID, uint32(idx))
 }
 
-// call performs one chunk-server RPC with connection recycling.
-func (vd *VDisk) call(addr string, m *proto.Message) (*proto.Message, error) {
+// call performs one chunk-server RPC on op's behalf with connection
+// recycling: bounded by the op's remaining budget, capped per attempt at
+// CallTimeout. Timeouts and op expiry/cancellation don't condemn the
+// connection; only real transport faults recycle it.
+func (vd *VDisk) call(op *opctx.Op, addr string, m *proto.Message) (*proto.Message, error) {
 	cli, err := vd.c.peer(addr)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := cli.Call(m, vd.c.cfg.CallTimeout)
-	if err != nil && !errors.Is(err, util.ErrTimeout) {
+	resp, err := cli.Do(op, m, vd.c.cfg.CallTimeout)
+	if err != nil && !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled) {
 		vd.c.dropPeer(addr, cli)
 	}
 	return resp, err
@@ -230,7 +239,8 @@ func (vd *VDisk) refreshMeta(idx int) error {
 }
 
 // ReadAt implements Device: fragments the request by striping geometry and
-// reads fragments in parallel, preferably from primary (SSD) replicas.
+// reads fragments in parallel, preferably from primary (SSD) replicas. The
+// whole operation runs under one IOTimeout-budgeted request context.
 func (vd *VDisk) ReadAt(p []byte, off int64) error {
 	if err := vd.usable(); err != nil {
 		return err
@@ -238,9 +248,10 @@ func (vd *VDisk) ReadAt(p []byte, off int64) error {
 	if err := checkRange(off, len(p), vd.meta.Size); err != nil {
 		return err
 	}
+	op := vd.c.newOp(vd.c.cfg.IOTimeout)
 	frags := mapRange(&vd.meta, off, len(p))
 	err := vd.forEachFragment(frags, func(f fragment) error {
-		return vd.readFragment(f.chunk, p[f.bufLo:f.bufHi], f.chunkOff)
+		return vd.readFragment(op, f.chunk, p[f.bufLo:f.bufHi], f.chunkOff)
 	})
 	if err != nil {
 		return err
@@ -251,7 +262,10 @@ func (vd *VDisk) ReadAt(p []byte, off int64) error {
 }
 
 // WriteAt implements Device: fragments the request; tiny fragments use
-// client-directed replication, larger ones go through the primary.
+// client-directed replication, larger ones go through the primary. The
+// whole operation runs under one IOTimeout-budgeted request context; the
+// budget starts ticking before rate-limit admission, so a throttled client
+// cannot also spend a full budget on the network.
 func (vd *VDisk) WriteAt(p []byte, off int64) error {
 	if err := vd.usable(); err != nil {
 		return err
@@ -259,12 +273,15 @@ func (vd *VDisk) WriteAt(p []byte, off int64) error {
 	if err := checkRange(off, len(p), vd.meta.Size); err != nil {
 		return err
 	}
+	op := vd.c.newOp(vd.c.cfg.IOTimeout)
 	if vd.wlimit != nil {
+		stop := op.StartStage(opctx.StageQueue)
 		vd.wlimit.Take(len(p))
+		stop()
 	}
 	frags := mapRange(&vd.meta, off, len(p))
 	err := vd.forEachFragment(frags, func(f fragment) error {
-		return vd.writeFragment(f.chunk, p[f.bufLo:f.bufHi], f.chunkOff)
+		return vd.writeFragment(op, f.chunk, p[f.bufLo:f.bufHi], f.chunkOff)
 	})
 	if err != nil {
 		return err
@@ -306,10 +323,17 @@ func (vd *VDisk) usable() error {
 // readFragment reads one chunk-local range, failing over across replicas:
 // if the primary is unavailable it resorts to a backup as temporary primary
 // (§4.2.1) and tells the master to recover in parallel.
-func (vd *VDisk) readFragment(idx int, buf []byte, off int64) error {
+func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) error {
 	ch := vd.chunks[idx]
 	var lastErr error
 	for attempt := 0; attempt < vd.c.cfg.MaxRetries; attempt++ {
+		if err := op.Err(); err != nil {
+			// Budget spent or caller gone: retrying would answer nobody.
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
 		ch.mu.Lock()
 		cm := ch.meta
 		primary := ch.primary
@@ -317,7 +341,7 @@ func (vd *VDisk) readFragment(idx int, buf []byte, off int64) error {
 		ch.mu.Unlock()
 		addr := cm.Replicas[primary%len(cm.Replicas)].Addr
 
-		resp, err := vd.call(addr, &proto.Message{
+		resp, err := vd.call(op, addr, &proto.Message{
 			Op:      proto.OpRead,
 			Chunk:   vd.chunkID(idx),
 			Off:     off,
@@ -347,7 +371,7 @@ func (vd *VDisk) readFragment(idx int, buf []byte, off int64) error {
 			vd.rotatePrimary(idx, primary)
 		}
 		vd.retries.Add(1)
-		vd.backoff(attempt)
+		vd.backoff(op, attempt)
 	}
 	return fmt.Errorf("client: read chunk %d failed: %w", idx, lastErr)
 }
@@ -363,15 +387,26 @@ func (vd *VDisk) rotatePrimary(idx, sawPrimary int) {
 	ch.mu.Unlock()
 }
 
-func (vd *VDisk) backoff(attempt int) {
-	vd.c.cfg.Clock.Sleep(time.Duration(attempt+1) * 500 * time.Microsecond)
+// backoff sleeps between retry rounds; the wait is admission queueing from
+// the op's point of view and never exceeds its remaining budget.
+func (vd *VDisk) backoff(op *opctx.Op, attempt int) {
+	d := time.Duration(attempt+1) * 500 * time.Microsecond
+	if rem, ok := op.Remaining(); ok && rem < d {
+		d = rem
+	}
+	if d <= 0 {
+		return
+	}
+	stop := op.StartStage(opctx.StageQueue)
+	vd.c.cfg.Clock.Sleep(d)
+	stop()
 }
 
 // writeFragment writes one chunk-local range. The version is assigned
 // optimistically under the chunk lock so same-chunk writes pipeline; the
 // write then commits by the all-or-majority rule and retries with its
 // assigned version until it lands (§4.2.1).
-func (vd *VDisk) writeFragment(idx int, data []byte, off int64) error {
+func (vd *VDisk) writeFragment(op *opctx.Op, idx int, data []byte, off int64) error {
 	ch := vd.chunks[idx]
 	ch.mu.Lock()
 	version := ch.next
@@ -380,6 +415,12 @@ func (vd *VDisk) writeFragment(idx int, data []byte, off int64) error {
 
 	var lastErr error
 	for attempt := 0; attempt < vd.c.cfg.MaxRetries; attempt++ {
+		if err := op.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
 		ch.mu.Lock()
 		cm := ch.meta
 		healthy := ch.primary == 0
@@ -388,10 +429,10 @@ func (vd *VDisk) writeFragment(idx int, data []byte, off int64) error {
 		var committed bool
 		var staleView bool
 		if len(data) <= vd.c.cfg.TinyThreshold || !healthy {
-			committed, staleView = vd.writeClientDirected(idx, cm, data, off, version)
+			committed, staleView = vd.writeClientDirected(op, idx, cm, data, off, version)
 			vd.tinyWrites.Add(1)
 		} else {
-			committed, staleView = vd.writeViaPrimary(idx, cm, data, off, version)
+			committed, staleView = vd.writeViaPrimary(op, idx, cm, data, off, version)
 		}
 		if committed {
 			ch.mu.Lock()
@@ -410,17 +451,18 @@ func (vd *VDisk) writeFragment(idx int, data []byte, off int64) error {
 			lastErr = err
 		}
 		vd.retries.Add(1)
-		vd.backoff(attempt)
+		vd.backoff(op, attempt)
 	}
 	return fmt.Errorf("client: write chunk %d v%d failed: %w", idx, version, lastErr)
 }
 
-// writeViaPrimary sends the write to the primary, which replicates it.
-func (vd *VDisk) writeViaPrimary(idx int, cm master.ChunkMeta, data []byte,
+// writeViaPrimary sends the write to the primary, which replicates it
+// within the op's remaining budget.
+func (vd *VDisk) writeViaPrimary(op *opctx.Op, idx int, cm master.ChunkMeta, data []byte,
 	off int64, version uint64) (committed, staleView bool) {
 
 	addr := cm.Replicas[0].Addr
-	resp, err := vd.call(addr, &proto.Message{
+	resp, err := vd.call(op, addr, &proto.Message{
 		Op:      proto.OpWrite,
 		Chunk:   vd.chunkID(idx),
 		Off:     off,
@@ -445,7 +487,7 @@ func (vd *VDisk) writeViaPrimary(idx int, cm master.ChunkMeta, data []byte,
 // writeClientDirected replicates directly to every replica (tiny writes,
 // §3.2; and all writes while the chunk is degraded): commit when all ack,
 // or when a majority acks within the timeout (§4.2.1).
-func (vd *VDisk) writeClientDirected(idx int, cm master.ChunkMeta, data []byte,
+func (vd *VDisk) writeClientDirected(op *opctx.Op, idx int, cm master.ChunkMeta, data []byte,
 	off int64, version uint64) (committed, staleView bool) {
 
 	type res struct {
@@ -454,13 +496,13 @@ func (vd *VDisk) writeClientDirected(idx int, cm master.ChunkMeta, data []byte,
 	}
 	results := make(chan res, len(cm.Replicas))
 	for i, r := range cm.Replicas {
-		op := proto.OpReplicate
+		wireOp := proto.OpReplicate
 		if i == 0 {
-			op = proto.OpWritePrimary
+			wireOp = proto.OpWritePrimary
 		}
-		go func(addr string, op proto.Op) {
-			resp, err := vd.call(addr, &proto.Message{
-				Op:      op,
+		go func(addr string, wireOp proto.Op) {
+			resp, err := vd.call(op, addr, &proto.Message{
+				Op:      wireOp,
 				Chunk:   vd.chunkID(idx),
 				Off:     off,
 				View:    cm.View,
@@ -475,7 +517,7 @@ func (vd *VDisk) writeClientDirected(idx int, cm master.ChunkMeta, data []byte,
 				ok:    resp.Status == proto.StatusOK,
 				stale: resp.Status == proto.StatusStaleView,
 			}
-		}(r.Addr, op)
+		}(r.Addr, wireOp)
 	}
 	acks, stales := 0, 0
 	for range cm.Replicas {

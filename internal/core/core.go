@@ -16,6 +16,7 @@ import (
 	"ursa/internal/clock"
 	"ursa/internal/journal"
 	"ursa/internal/master"
+	"ursa/internal/metrics"
 	"ursa/internal/simdisk"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -82,6 +83,13 @@ type Options struct {
 	// ReplTimeout / CallTimeout are the protocol timeouts.
 	ReplTimeout time.Duration
 	CallTimeout time.Duration
+	// IOTimeout is the client's end-to-end budget per ReadAt/WriteAt (0 =
+	// the client default derived from CallTimeout and its retry count).
+	IOTimeout time.Duration
+	// Metrics collects per-stage latency breadcrumbs cluster-wide: every
+	// server and client feeds the same registry, so one table decomposes
+	// where an I/O's time went. nil = a fresh registry.
+	Metrics *metrics.Registry
 	// LeaseTTL is the vdisk lease duration.
 	LeaseTTL time.Duration
 	// WriteRateLimit is the master-imposed per-client write budget.
@@ -130,6 +138,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.CallTimeout <= 0 {
 		o.CallTimeout = 2 * time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
 	}
 }
 
@@ -242,6 +253,7 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 				Clock:       c.clk,
 				Dialer:      c.Net.Dialer(addr, nodeCfg),
 				ReplTimeout: opts.ReplTimeout,
+				Metrics:     opts.Metrics,
 			}, store, nil)
 			if err := c.startServer(m, srv, nodeCfg); err != nil {
 				return nil, err
@@ -270,6 +282,7 @@ func (c *Cluster) addSSDServers(m *Machine, nodeCfg transport.NodeConfig, regist
 			Clock:       c.clk,
 			Dialer:      c.Net.Dialer(addr, nodeCfg),
 			ReplTimeout: opts.ReplTimeout,
+			Metrics:     opts.Metrics,
 		}, store, nil)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
 			return err
@@ -318,6 +331,7 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 			Clock:           c.clk,
 			Dialer:          c.Net.Dialer(addr, nodeCfg),
 			ReplTimeout:     opts.ReplTimeout,
+			Metrics:         opts.Metrics,
 			BypassThreshold: opts.BypassThreshold,
 		}, store, jset)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
@@ -363,6 +377,8 @@ func (c *Cluster) NewClient(name string) *client.Client {
 		Dialer:        c.Net.Dialer(name, cfg),
 		TinyThreshold: c.opts.TinyThreshold,
 		CallTimeout:   c.opts.CallTimeout,
+		IOTimeout:     c.opts.IOTimeout,
+		Metrics:       c.opts.Metrics,
 	})
 	c.clients = append(c.clients, cl)
 	return cl
@@ -401,3 +417,6 @@ func (c *Cluster) Mode() Mode { return c.opts.Mode }
 
 // Clock returns the cluster clock.
 func (c *Cluster) Clock() clock.Clock { return c.clk }
+
+// Metrics returns the cluster-wide stage-latency registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.opts.Metrics }

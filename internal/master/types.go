@@ -40,6 +40,19 @@ type VDiskMeta struct {
 	WriteRateLimit float64 `json:"writeRateLimit"`
 }
 
+// Clone deep-copies the metadata. Handlers must hand clones to anything
+// that runs outside the master lock (jsonReply marshals after Handle
+// returns) because RecoverChunk installs new views into Chunks in place.
+func (v VDiskMeta) Clone() VDiskMeta {
+	out := v
+	out.Chunks = make([]ChunkMeta, len(v.Chunks))
+	for i, cm := range v.Chunks {
+		out.Chunks[i] = cm
+		out.Chunks[i].Replicas = append([]ReplicaInfo(nil), cm.Replicas...)
+	}
+	return out
+}
+
 // CreateVDiskReq is the payload of MOpCreateVDisk.
 type CreateVDiskReq struct {
 	Name        string `json:"name"`

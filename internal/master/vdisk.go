@@ -102,7 +102,7 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 			return nil, err
 		}
 	}
-	out := meta
+	out := meta.Clone()
 	return &out, nil
 }
 
@@ -197,7 +197,7 @@ func (m *Master) handleOpen(msg *proto.Message) jsonResult {
 		return fail(proto.StatusLeaseHeld)
 	}
 	vd.lease = lease{holder: req.Client, expiry: now.Add(m.cfg.LeaseTTL)}
-	return ok(vd.meta)
+	return ok(vd.meta.Clone())
 }
 
 func (m *Master) handleRenew(msg *proto.Message) jsonResult {
@@ -258,7 +258,7 @@ func (m *Master) handleGet(msg *proto.Message) jsonResult {
 	if !okID {
 		return fail(proto.StatusNotFound)
 	}
-	return ok(vd.meta)
+	return ok(vd.meta.Clone())
 }
 
 func (m *Master) handleDelete(msg *proto.Message) jsonResult {
@@ -290,7 +290,7 @@ func (m *Master) deleteVDiskByID(id uint32) {
 	}
 	delete(m.vdisks, id)
 	delete(m.byName, vd.meta.Name)
-	chunks := vd.meta.Chunks
+	chunks := vd.meta.Clone().Chunks // RPC fan-out below runs unlocked
 	m.mu.Unlock()
 	for i, cm := range chunks {
 		for _, r := range cm.Replicas {

@@ -1,0 +1,136 @@
+// Package metrics is URSA's shared measurement layer: one counter type for
+// component activity and one registry aggregating per-stage latency
+// observations. It replaces the hand-rolled atomic.Int64 fields the
+// per-package Stats structs used to carry — components now hold
+// metrics.Counter fields for their snapshots and feed their stage timings
+// (via opctx breadcrumbs) into a cluster-wide Registry, which is what lets
+// a figure regeneration print where a hybrid write's time went without any
+// per-bench plumbing.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/util"
+)
+
+// Counter is a concurrency-safe monotonic counter. The zero value is ready
+// to use, so components embed Counters directly in place of atomic.Int64
+// fields.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// StageStat is one stage's aggregated latency distribution.
+type StageStat struct {
+	Stage string
+	Count int64
+	Total time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Registry aggregates named counters and per-stage latency histograms. One
+// Registry serves a whole cluster: every component the cluster builds gets
+// it as the sink for its ops' stage breadcrumbs.
+type Registry struct {
+	mu       sync.Mutex
+	stages   map[string]*util.Hist
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		stages:   make(map[string]*util.Hist),
+		counters: make(map[string]*Counter),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// ObserveStage records one stage latency sample. It implements opctx.Sink.
+func (r *Registry) ObserveStage(stage string, d time.Duration) {
+	r.mu.Lock()
+	h, ok := r.stages[stage]
+	if !ok {
+		h = util.NewHist()
+		r.stages[stage] = h
+	}
+	r.mu.Unlock()
+	h.Observe(d)
+}
+
+// StageHist returns the named stage's histogram, or nil if never observed.
+func (r *Registry) StageHist(stage string) *util.Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stages[stage]
+}
+
+// StageSnapshot returns every observed stage's distribution, sorted by
+// total time descending — the stage eating the most of the budget first.
+func (r *Registry) StageSnapshot() []StageStat {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.stages))
+	hists := make([]*util.Hist, 0, len(r.stages))
+	for name, h := range r.stages {
+		names = append(names, name)
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	out := make([]StageStat, 0, len(names))
+	for i, h := range hists {
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		out = append(out, StageStat{
+			Stage: names[i],
+			Count: n,
+			Total: h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// ResetStages clears all stage histograms (counters are untouched). Benches
+// use it to isolate one measurement cell's breakdown from warm-up traffic.
+func (r *Registry) ResetStages() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stages = make(map[string]*util.Hist)
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads").Add(3)
+	if got := r.Counter("reads").Load(); got != 3 {
+		t.Fatalf("named counter = %d", got)
+	}
+}
+
+func TestStageSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveStage("net", 10*time.Millisecond)
+	r.ObserveStage("net", 20*time.Millisecond)
+	r.ObserveStage("primary-ssd", 2*time.Millisecond)
+	snap := r.StageSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot entries = %d", len(snap))
+	}
+	// Sorted by total descending: net (30ms) first.
+	if snap[0].Stage != "net" || snap[0].Count != 2 {
+		t.Fatalf("first stage = %+v", snap[0])
+	}
+	if snap[0].Total != 30*time.Millisecond || snap[0].Mean != 15*time.Millisecond {
+		t.Fatalf("net totals = %+v", snap[0])
+	}
+	if snap[1].Stage != "primary-ssd" {
+		t.Fatalf("second stage = %+v", snap[1])
+	}
+
+	r.ResetStages()
+	if len(r.StageSnapshot()) != 0 {
+		t.Fatal("snapshot not empty after reset")
+	}
+}

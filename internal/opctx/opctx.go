@@ -1,0 +1,312 @@
+// Package opctx carries one I/O operation's identity, time budget, and
+// latency breadcrumbs through every layer of the stack. URSA's replication
+// protocol is built on timeout-governed commit rules (all-ack or
+// majority-after-timeout, §4.2.1); opctx makes that timeout policy a single
+// client-owned decision instead of a per-layer constant: the client derives
+// an absolute deadline once at the top of the stack, the remaining budget
+// is stamped into every wire message, and each layer below (transport
+// waits, chunk-server replication fan-out, version-gap queueing) bounds its
+// own waits by what is left of the op's budget.
+//
+// An Op also records where its time went: each layer that services the op
+// observes a named stage (queue, net, primary-ssd, backup-journal, replay,
+// repl-wait) into the op's breadcrumb trail and, when one is attached, a
+// metrics sink — the per-stage latency decomposition the figure benches
+// report.
+//
+// Op implements context.Context, so code that already speaks the standard
+// library's cancellation idiom can consume it directly. Deadlines are model
+// time (the clock.Clock the op was built with), which is wall time under
+// the real clock and compressed time under scaled test clocks.
+package opctx
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/util"
+)
+
+// Stage names a point on the request path where an op spends time. The
+// stages decompose one hybrid write end to end: client admission (queue),
+// RPC round trips (net), the primary's SSD service (primary-ssd), the
+// backup's journal append or bypass write (backup-journal), waiting on a
+// predecessor pipelined write's version slot (replay), and the primary's
+// wait for backup acks (repl-wait).
+type Stage uint8
+
+// Request-path stages.
+const (
+	// StageQueue is client-side admission: rate limiting and fragment
+	// fan-out scheduling before the first byte hits the network.
+	StageQueue Stage = iota
+	// StageNet is one RPC round trip: request sent until the response is
+	// matched (includes the remote handler's service time).
+	StageNet
+	// StagePrimarySSD is the primary replica's local store service.
+	StagePrimarySSD
+	// StageBackupJournal is the backup replica's journal append, journal
+	// bypass, or direct store write.
+	StageBackupJournal
+	// StageReplay is time spent queued on a chunk's version slot while a
+	// predecessor pipelined write is still applying.
+	StageReplay
+	// StageReplWait is the primary's wait for backup acks (the §4.2.1
+	// commit-rule window).
+	StageReplWait
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"queue",
+	"net",
+	"primary-ssd",
+	"backup-journal",
+	"replay",
+	"repl-wait",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// Stages lists every stage in path order (for table rendering).
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Sink receives completed stage measurements. *metrics.Registry implements
+// it; the indirection keeps opctx free of dependencies above clock/util.
+type Sink interface {
+	ObserveStage(stage string, d time.Duration)
+}
+
+// nextID assigns process-wide monotonic op IDs. Ops reconstructed from the
+// wire keep the originator's ID so one op is traceable across layers.
+var nextID atomic.Uint64
+
+// errExpired satisfies both the standard-library and URSA timeout idioms.
+var errExpired = fmt.Errorf("%w: %w", context.DeadlineExceeded, util.ErrTimeout)
+
+// Op is one operation's request context. The zero value is not usable;
+// construct with New, Background, or FromWire. Ops are safe for concurrent
+// use by the goroutines servicing one operation.
+type Op struct {
+	id       uint64
+	clk      clock.Clock
+	deadline time.Time // zero = no deadline
+	sink     Sink
+
+	cancelOnce sync.Once
+	done       chan struct{}
+
+	mu    sync.Mutex
+	trail [numStages]stageCell
+}
+
+type stageCell struct {
+	count int64
+	total time.Duration
+}
+
+// New starts an op with a fresh ID and a deadline budget from now on clk.
+// budget<=0 means no deadline. This is the one place on the request path
+// where an absolute deadline is derived; every layer below decrements it.
+func New(clk clock.Clock, budget time.Duration) *Op {
+	if clk == nil {
+		clk = clock.Realtime
+	}
+	o := &Op{
+		id:   nextID.Add(1),
+		clk:  clk,
+		done: make(chan struct{}),
+	}
+	if budget > 0 {
+		o.deadline = clk.Now().Add(budget)
+	}
+	return o
+}
+
+// Background returns an op with no deadline — for maintenance work that is
+// not answering a client (journal replay, background repair).
+func Background(clk clock.Clock) *Op { return New(clk, 0) }
+
+// FromWire reconstructs the op a received message belongs to: the sender's
+// op ID and its remaining budget at send time, re-anchored at the local
+// clock. The one-way transit time is accepted skew — the originator still
+// enforces its own absolute deadline, so a receiver can only ever err on
+// the side of working slightly too long, never of cutting the client short.
+// id==0 (a peer that predates op threading, or a locally originated
+// message) yields a fresh-ID, deadline-less op when budget==0.
+func FromWire(clk clock.Clock, id uint64, budget time.Duration) *Op {
+	o := New(clk, budget)
+	if id != 0 {
+		o.id = id
+	}
+	return o
+}
+
+// WithSink attaches a stage-measurement sink and returns the op.
+func (o *Op) WithSink(s Sink) *Op {
+	o.sink = s
+	return o
+}
+
+// ID returns the op's identifier.
+func (o *Op) ID() uint64 { return o.id }
+
+// Clock returns the clock the op's deadline lives on.
+func (o *Op) Clock() clock.Clock { return o.clk }
+
+// Deadline implements context.Context. ok=false when the op has no
+// deadline. The time is model time on the op's clock.
+func (o *Op) Deadline() (time.Time, bool) {
+	return o.deadline, !o.deadline.IsZero()
+}
+
+// Done implements context.Context. The channel fires on Cancel. Deadline
+// expiry does not fire it (no per-op timer goroutine exists); waits must
+// additionally bound themselves with Budget/Remaining.
+func (o *Op) Done() <-chan struct{} { return o.done }
+
+// Err implements context.Context: context.Canceled after Cancel, an error
+// matching both context.DeadlineExceeded and util.ErrTimeout after the
+// deadline, else nil.
+func (o *Op) Err() error {
+	select {
+	case <-o.done:
+		return context.Canceled
+	default:
+	}
+	if !o.deadline.IsZero() && !o.clk.Now().Before(o.deadline) {
+		return errExpired
+	}
+	return nil
+}
+
+// Value implements context.Context; ops carry no values.
+func (o *Op) Value(any) any { return nil }
+
+// Cancel abandons the op: Done fires, and every in-flight wait bound to
+// the op (RPC waits, version-slot queueing) unblocks promptly.
+func (o *Op) Cancel() {
+	o.cancelOnce.Do(func() { close(o.done) })
+}
+
+// Canceled reports whether Cancel was called.
+func (o *Op) Canceled() bool {
+	select {
+	case <-o.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Remaining returns the unspent deadline budget. ok=false when the op has
+// no deadline; a non-positive duration means the deadline has passed.
+func (o *Op) Remaining() (time.Duration, bool) {
+	if o.deadline.IsZero() {
+		return 0, false
+	}
+	return o.deadline.Sub(o.clk.Now()), true
+}
+
+// Expired reports whether the op's deadline has passed.
+func (o *Op) Expired() bool {
+	if o.deadline.IsZero() {
+		return false
+	}
+	return !o.clk.Now().Before(o.deadline)
+}
+
+// Budget bounds a sub-step's wait by the op's remaining budget and an
+// optional cap (cap<=0 means the deadline alone governs). ok=false means
+// the deadline has already passed and the step must not start. A returned
+// wait of 0 with ok=true means "wait without bound" (deadline-less op, no
+// cap) — the conventions of transport.Client.Call.
+func (o *Op) Budget(cap time.Duration) (wait time.Duration, ok bool) {
+	rem, has := o.Remaining()
+	if !has {
+		return max(cap, 0), true
+	}
+	if rem <= 0 {
+		return 0, false
+	}
+	if cap > 0 && cap < rem {
+		return cap, true
+	}
+	return rem, true
+}
+
+// WireBudget returns the remaining budget to stamp into an outbound
+// message (0 = no deadline). Negative remainders encode as the smallest
+// positive budget so a receiver fails fast rather than treating the op as
+// unbounded.
+func (o *Op) WireBudget() time.Duration {
+	rem, has := o.Remaining()
+	if !has {
+		return 0
+	}
+	if rem <= 0 {
+		return time.Nanosecond
+	}
+	return rem
+}
+
+// ObserveStage records d spent in stage on the op's trail and sink.
+func (o *Op) ObserveStage(s Stage, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	o.mu.Lock()
+	o.trail[s].count++
+	o.trail[s].total += d
+	o.mu.Unlock()
+	if o.sink != nil {
+		o.sink.ObserveStage(s.String(), d)
+	}
+}
+
+// StartStage begins timing a stage; calling the returned func records it.
+//
+//	defer op.StartStage(opctx.StagePrimarySSD)()
+func (o *Op) StartStage(s Stage) func() {
+	t0 := o.clk.Now()
+	return func() { o.ObserveStage(s, o.clk.Now().Sub(t0)) }
+}
+
+// StageSample is one breadcrumb trail entry.
+type StageSample struct {
+	Stage Stage
+	Count int64
+	Total time.Duration
+}
+
+// Trail snapshots the op's breadcrumbs in path order, skipping untouched
+// stages.
+func (o *Op) Trail() []StageSample {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []StageSample
+	for i, c := range o.trail {
+		if c.count > 0 {
+			out = append(out, StageSample{Stage: Stage(i), Count: c.count, Total: c.total})
+		}
+	}
+	return out
+}
+
+var _ context.Context = (*Op)(nil)

@@ -1,15 +1,21 @@
 // Package proto defines URSA's binary wire protocol. One fixed-layout
 // message type serves requests and responses alike; the hot data path
-// (read/write/replicate) costs a single 56-byte header plus the payload,
+// (read/write/replicate) costs a single 72-byte header plus the payload,
 // with no reflection or allocation beyond the payload buffer — a deliberate
 // contrast with the verbose serialization the Ceph-like baseline uses,
 // which Fig 7's CPU-efficiency comparison measures.
+//
+// Every request carries its operation's identity and remaining time budget
+// (OpID, Budget) so receivers can derive their own sub-deadlines from the
+// client's budget instead of fixed per-layer timeouts — the deadline
+// decrement rule internal/opctx implements.
 package proto
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"ursa/internal/blockstore"
 )
@@ -133,6 +139,13 @@ type Message struct {
 	Length  uint32
 	View    uint64
 	Version uint64
+	// OpID identifies the end-to-end operation this message serves (the
+	// client's opctx ID); all messages an op fans out to share it.
+	OpID uint64
+	// Budget is the op's remaining deadline budget at send time (0 = no
+	// deadline). Receivers re-anchor it on their own clock and bound every
+	// wait they perform on the op's behalf by it.
+	Budget  time.Duration
 	Payload []byte
 }
 
@@ -149,7 +162,9 @@ type Message struct {
 //	40 Version  uint64
 //	48 PayloadN uint32
 //	52 _        uint32 (pad)
-const HeaderSize = 56
+//	56 OpID     uint64
+//	64 Budget   int64 (nanoseconds of remaining deadline; 0 = none)
+const HeaderSize = 72
 
 // MaxPayload bounds a frame's payload (one striped request never exceeds a
 // few MB; this guards against corrupt length fields).
@@ -169,6 +184,8 @@ func (m *Message) EncodeHeader(buf []byte) {
 	binary.LittleEndian.PutUint64(buf[40:], m.Version)
 	binary.LittleEndian.PutUint32(buf[48:], uint32(len(m.Payload)))
 	binary.LittleEndian.PutUint32(buf[52:], 0)
+	binary.LittleEndian.PutUint64(buf[56:], m.OpID)
+	binary.LittleEndian.PutUint64(buf[64:], uint64(m.Budget))
 }
 
 // DecodeHeader parses a header into m, returning the payload length the
@@ -189,6 +206,8 @@ func (m *Message) DecodeHeader(buf []byte) (payloadLen int, err error) {
 	if n > MaxPayload {
 		return 0, fmt.Errorf("proto: payload %d exceeds limit", n)
 	}
+	m.OpID = binary.LittleEndian.Uint64(buf[56:])
+	m.Budget = time.Duration(binary.LittleEndian.Uint64(buf[64:]))
 	return int(n), nil
 }
 
@@ -231,7 +250,8 @@ func (m *Message) Decode(r io.Reader) error {
 	return nil
 }
 
-// Reply builds a response echoing m's correlation fields.
+// Reply builds a response echoing m's correlation fields (including the
+// end-to-end op ID, so responses remain traceable to their operation).
 func (m *Message) Reply(status Status) *Message {
 	return &Message{
 		ID:      m.ID,
@@ -240,6 +260,7 @@ func (m *Message) Reply(status Status) *Message {
 		Chunk:   m.Chunk,
 		View:    m.View,
 		Version: m.Version,
+		OpID:    m.OpID,
 	}
 }
 

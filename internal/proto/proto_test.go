@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ursa/internal/blockstore"
 )
@@ -18,6 +19,8 @@ func TestMessageRoundTrip(t *testing.T) {
 		Length:  4096,
 		View:    5,
 		Version: 99,
+		OpID:    77,
+		Budget:  250 * time.Millisecond,
 		Payload: []byte("hello block storage"),
 	}
 	var buf bytes.Buffer
@@ -34,6 +37,7 @@ func TestMessageRoundTrip(t *testing.T) {
 	if got.ID != m.ID || got.Op != m.Op || got.Status != m.Status ||
 		got.Chunk != m.Chunk || got.Off != m.Off || got.Length != m.Length ||
 		got.View != m.View || got.Version != m.Version ||
+		got.OpID != m.OpID || got.Budget != m.Budget ||
 		!bytes.Equal(got.Payload, m.Payload) {
 		t.Errorf("round trip mismatch: %+v != %+v", got, m)
 	}
@@ -56,14 +60,15 @@ func TestMessageEmptyPayload(t *testing.T) {
 
 func TestMessagePropertyRoundTrip(t *testing.T) {
 	f := func(id uint64, op, status uint8, chunk uint64, off int64,
-		length uint32, view, version uint64, payload []byte) bool {
+		length uint32, view, version, opID uint64, budget int64, payload []byte) bool {
 		if len(payload) > 1024 {
 			payload = payload[:1024]
 		}
 		m := &Message{
 			ID: id, Op: Op(op), Status: Status(status),
 			Chunk: blockstore.ChunkID(chunk), Off: off, Length: length,
-			View: view, Version: version, Payload: payload,
+			View: view, Version: version,
+			OpID: opID, Budget: time.Duration(budget), Payload: payload,
 		}
 		var buf bytes.Buffer
 		if err := m.Encode(&buf); err != nil {
@@ -76,7 +81,8 @@ func TestMessagePropertyRoundTrip(t *testing.T) {
 		return got.ID == m.ID && got.Op == m.Op && got.Status == m.Status &&
 			got.Chunk == m.Chunk && got.Off == m.Off &&
 			got.Length == m.Length && got.View == m.View &&
-			got.Version == m.Version && bytes.Equal(got.Payload, m.Payload)
+			got.Version == m.Version && got.OpID == m.OpID &&
+			got.Budget == m.Budget && bytes.Equal(got.Payload, m.Payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -96,10 +102,10 @@ func TestDecodeRejectsHugePayload(t *testing.T) {
 }
 
 func TestReplyEchoesCorrelation(t *testing.T) {
-	m := &Message{ID: 9, Op: OpWrite, Chunk: 5, View: 2, Version: 3}
+	m := &Message{ID: 9, Op: OpWrite, Chunk: 5, View: 2, Version: 3, OpID: 17}
 	r := m.Reply(StatusStaleView)
 	if r.ID != 9 || r.Op != OpWrite || r.Status != StatusStaleView ||
-		r.Chunk != 5 || r.View != 2 || r.Version != 3 {
+		r.Chunk != 5 || r.View != 2 || r.Version != 3 || r.OpID != 17 {
 		t.Errorf("Reply = %+v", r)
 	}
 }

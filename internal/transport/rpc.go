@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ursa/internal/clock"
+	"ursa/internal/opctx"
 	"ursa/internal/proto"
 	"ursa/internal/util"
 )
@@ -94,26 +95,70 @@ func (c *Client) Go(m *proto.Message) <-chan *proto.Message {
 	return ch
 }
 
-// Call sends m and waits up to timeout for the response. A zero timeout
-// waits indefinitely (until connection failure).
-func (c *Client) Call(m *proto.Message, timeout time.Duration) (*proto.Message, error) {
+// Do sends m on behalf of op and waits for the response, bounded by the
+// op's remaining deadline budget and the optional per-call cap (cap<=0
+// means the deadline alone governs the wait). The op's identity and
+// remaining budget are stamped into the message so the receiver can derive
+// its own sub-budgets — the deadline decrement rule. Cancelling the op
+// unblocks the wait promptly; in either early-exit case the pending entry
+// is removed, so a late response is dropped by the dispatcher instead of
+// leaking.
+func (c *Client) Do(op *opctx.Op, m *proto.Message, cap time.Duration) (*proto.Message, error) {
+	if err := op.Err(); err != nil {
+		return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, err)
+	}
+	wait, ok := op.Budget(cap)
+	if !ok {
+		return nil, fmt.Errorf("rpc call op=%d: budget spent: %w", m.Op, util.ErrTimeout)
+	}
+	m.OpID = op.ID()
+	m.Budget = op.WireBudget()
+
+	stop := op.StartStage(opctx.StageNet)
 	ch := c.Go(m)
 	var timer <-chan time.Time
-	if timeout > 0 {
-		timer = c.clk.After(timeout)
+	if wait > 0 {
+		timer = c.clk.After(wait)
 	}
 	select {
-	case resp, ok := <-ch:
-		if !ok {
+	case resp, respOK := <-ch:
+		stop()
+		if !respOK {
 			return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, ErrConnClosed)
 		}
 		return resp, nil
 	case <-timer:
-		c.mu.Lock()
-		delete(c.pending, m.ID)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc call op=%d after %v: %w", m.Op, timeout, util.ErrTimeout)
+		stop()
+		c.forget(m.ID)
+		return nil, fmt.Errorf("rpc call op=%d after %v: %w", m.Op, wait, util.ErrTimeout)
+	case <-op.Done():
+		stop()
+		c.forget(m.ID)
+		return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, op.Err())
 	}
+}
+
+// forget abandons an in-flight call so the dispatcher drops its late
+// response instead of delivering it (and instead of leaking the entry).
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// pendingCalls reports the number of in-flight calls (tests).
+func (c *Client) pendingCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Call sends m and waits up to timeout for the response. A zero timeout
+// waits indefinitely (until connection failure). It is Do with a
+// single-purpose op: callers that hold a real request context should pass
+// it to Do instead so the whole operation shares one deadline.
+func (c *Client) Call(m *proto.Message, timeout time.Duration) (*proto.Message, error) {
+	return c.Do(opctx.New(c.clk, timeout), m, 0)
 }
 
 // Close tears down the connection; in-flight calls fail.

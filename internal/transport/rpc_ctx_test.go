@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/opctx"
+	"ursa/internal/proto"
+	"ursa/internal/util"
+)
+
+// blockingServer serves connections with a handler that parks every
+// request until release is closed.
+func blockingServer(t *testing.T) (*Server, chan struct{}) {
+	t.Helper()
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	srv := Serve(l, func(m *proto.Message) *proto.Message {
+		<-release
+		return m.Reply(proto.StatusOK)
+	})
+	return srv, release
+}
+
+// TestCallUnblocksOnConnDeath pins the shutdown contract: a Call blocked
+// in flight when the connection dies must return promptly with an error
+// matching util.ErrClosed — not hang until some timeout.
+func TestCallUnblocksOnConnDeath(t *testing.T) {
+	srv, release := blockingServer(t)
+	// LIFO: release the parked handler before srv.Close, which waits for
+	// in-flight handlers to drain.
+	defer srv.Close()
+	defer close(release)
+
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(&proto.Message{Op: proto.OpRead}, 0) // no timeout: only conn death can end it
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call get in flight
+	conn.Close()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, util.ErrClosed) {
+			t.Fatalf("call after conn death: %v (want util.ErrClosed)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call hung after connection death")
+	}
+	if n := cli.pendingCalls(); n != 0 {
+		t.Errorf("pending entries leaked after conn death: %d", n)
+	}
+}
+
+// TestLateResponseDropped pins the timeout contract: when a call times
+// out, its pending entry is removed immediately, and the server's late
+// response is dropped by the dispatcher without leaking or corrupting
+// later calls.
+func TestLateResponseDropped(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	delay := 200 * time.Millisecond
+	srv := Serve(l, func(m *proto.Message) *proto.Message {
+		mu.Lock()
+		d := delay
+		mu.Unlock()
+		time.Sleep(d)
+		return m.Reply(proto.StatusOK)
+	})
+	defer srv.Close()
+
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	if _, err := cli.Call(&proto.Message{Op: proto.OpRead}, 20*time.Millisecond); !errors.Is(err, util.ErrTimeout) {
+		t.Fatalf("short-timeout call: %v (want util.ErrTimeout)", err)
+	}
+	if n := cli.pendingCalls(); n != 0 {
+		t.Fatalf("pending entries leaked after timeout: %d", n)
+	}
+
+	// Let the late response arrive, then verify the client still works and
+	// nothing leaked.
+	mu.Lock()
+	delay = 0
+	mu.Unlock()
+	time.Sleep(300 * time.Millisecond)
+	resp, err := cli.Call(&proto.Message{Op: proto.OpNop}, time.Second)
+	if err != nil || resp.Status != proto.StatusOK {
+		t.Fatalf("call after late response: %v %+v", err, resp)
+	}
+	if n := cli.pendingCalls(); n != 0 {
+		t.Errorf("pending entries leaked after late response: %d", n)
+	}
+}
+
+// TestCancelUnblocksDo pins the cancellation contract: cancelling the op
+// unblocks an in-flight Do promptly, removes the pending entry, and the
+// connection remains usable for later calls.
+func TestCancelUnblocksDo(t *testing.T) {
+	srv, release := blockingServer(t)
+	defer srv.Close()
+
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	op := opctx.New(clock.Realtime, time.Hour)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.Do(op, &proto.Message{Op: proto.OpRead}, 0)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	op.Cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Do: %v (want context.Canceled)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do hung after cancel")
+	}
+	if n := cli.pendingCalls(); n != 0 {
+		t.Errorf("pending entries leaked after cancel: %d", n)
+	}
+
+	close(release) // unpark the handler; its response must be dropped
+	time.Sleep(50 * time.Millisecond)
+	resp, err := cli.Call(&proto.Message{Op: proto.OpNop}, time.Second)
+	if err != nil || resp.Status != proto.StatusOK {
+		t.Fatalf("call after cancel: %v %+v", err, resp)
+	}
+}
+
+// TestDoStampsDeadline verifies the decrement rule at the wire: Do stamps
+// the op's ID and its *remaining* budget into the outbound message.
+func TestDoStampsDeadline(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type stamp struct {
+		opID   uint64
+		budget time.Duration
+	}
+	got := make(chan stamp, 1)
+	srv := Serve(l, func(m *proto.Message) *proto.Message {
+		got <- stamp{m.OpID, m.Budget}
+		return m.Reply(proto.StatusOK)
+	})
+	defer srv.Close()
+
+	conn, err := TCPDialer{}.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Realtime)
+	defer cli.Close()
+
+	budget := 500 * time.Millisecond
+	op := opctx.New(clock.Realtime, budget)
+	time.Sleep(10 * time.Millisecond) // spend some budget before the call
+	if _, err := cli.Do(op, &proto.Message{Op: proto.OpNop}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := <-got
+	if s.opID != op.ID() {
+		t.Errorf("wire op id = %d, want %d", s.opID, op.ID())
+	}
+	if s.budget <= 0 || s.budget >= budget {
+		t.Errorf("wire budget = %v, want in (0, %v): remaining, not original", s.budget, budget)
+	}
+
+	// An expired op must not even hit the wire.
+	spent := opctx.New(clock.Realtime, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if _, err := cli.Do(spent, &proto.Message{Op: proto.OpNop}, 0); !errors.Is(err, util.ErrTimeout) {
+		t.Errorf("expired-op Do: %v (want util.ErrTimeout)", err)
+	}
+}

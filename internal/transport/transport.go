@@ -10,13 +10,15 @@
 package transport
 
 import (
-	"errors"
+	"fmt"
 
 	"ursa/internal/proto"
+	"ursa/internal/util"
 )
 
-// ErrConnClosed reports I/O on a closed connection.
-var ErrConnClosed = errors.New("transport: connection closed")
+// ErrConnClosed reports I/O on a closed connection. It wraps
+// util.ErrClosed so callers can match either sentinel with errors.Is.
+var ErrConnClosed = fmt.Errorf("transport: connection closed: %w", util.ErrClosed)
 
 // MsgConn is a bidirectional, ordered message pipe. Send and Recv may be
 // used concurrently with each other, but each must be called from at most

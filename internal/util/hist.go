@@ -81,6 +81,13 @@ func (h *Hist) Mean() time.Duration {
 	return h.sum / time.Duration(h.count)
 }
 
+// Sum returns the total of all samples.
+func (h *Hist) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Min returns the smallest sample (0 if empty).
 func (h *Hist) Min() time.Duration {
 	h.mu.Lock()
