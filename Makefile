@@ -2,7 +2,7 @@
 # the race detector (the RPC/replication paths are goroutine-heavy).
 GO ?= go
 
-.PHONY: build test race vet check bench-quick
+.PHONY: build test race vet check bench-quick bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test race
+check: vet build test race bench-smoke
 
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
+
+# Short-run sanity pass over the journal group-commit microbenchmark: vet
+# plus a quick `-fig journal`, which also refreshes BENCH_journal.json.
+bench-smoke: vet
+	$(GO) run ./cmd/ursa-bench -fig journal -quick

@@ -77,10 +77,11 @@ func BenchmarkFig16LatencyDist(b *testing.B)      { runFigure(b, bench.Fig16) }
 
 // --- Ablations (design choices beyond the paper's figures) ---------------
 
-func BenchmarkAblJournalMedia(b *testing.B)    { runFigure(b, bench.AblJournalMedia) }
-func BenchmarkAblClientDirected(b *testing.B)  { runFigure(b, bench.AblClientDirected) }
-func BenchmarkAblIndexLevels(b *testing.B)     { runFigure(b, bench.AblIndexLevels) }
-func BenchmarkAblBypassThreshold(b *testing.B) { runFigure(b, bench.AblBypassThreshold) }
+func BenchmarkFigJournalGroupCommit(b *testing.B) { runFigure(b, bench.FigJournal) }
+func BenchmarkAblJournalMedia(b *testing.B)       { runFigure(b, bench.AblJournalMedia) }
+func BenchmarkAblClientDirected(b *testing.B)     { runFigure(b, bench.AblClientDirected) }
+func BenchmarkAblIndexLevels(b *testing.B)        { runFigure(b, bench.AblIndexLevels) }
+func BenchmarkAblBypassThreshold(b *testing.B)    { runFigure(b, bench.AblBypassThreshold) }
 
 // --- Core data-structure micro-benchmarks --------------------------------
 

@@ -52,7 +52,7 @@ func AblJournalMedia(cfg Config) Table {
 		for version := uint64(1); clk.Now().Before(deadline); version++ {
 			off := util.AlignDown(r.Int63n(util.ChunkSize-4096), util.SectorSize)
 			t0 := clk.Now()
-			err := set.Append(id, off, data, version)
+			err := set.Append(nil, id, off, data, version)
 			if err != nil {
 				// Quota exhausted or no journal: direct backup write.
 				if werr := set.WriteDirect(id, data, off); werr != nil {

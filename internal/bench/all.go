@@ -28,6 +28,7 @@ func All() []Entry {
 		{"14", Fig14},
 		{"15", Fig15},
 		{"16", Fig16},
+		{"journal", FigJournal},
 		{"a1", AblJournalMedia},
 		{"a2", AblClientDirected},
 		{"a3", AblIndexLevels},

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/clock"
+	"ursa/internal/journal"
+	"ursa/internal/metrics"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// journalBenchJSON is the machine-readable artifact FigJournal emits
+// alongside its table, for regression tracking across PRs.
+const journalBenchJSON = "BENCH_journal.json"
+
+// journalCell is one (mode, queue depth) measurement.
+type journalCell struct {
+	Mode          string  `json:"mode"`
+	QD            int     `json:"qd"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	MeanLatUs     float64 `json:"mean_lat_us"`
+	P99LatUs      float64 `json:"p99_lat_us"`
+	MeanBatch     float64 `json:"mean_batch"`
+	Flushes       int64   `json:"flushes"`
+	FlushP50Us    float64 `json:"flush_p50_us"`
+	FlushP99Us    float64 `json:"flush_p99_us"`
+}
+
+type journalBenchDoc struct {
+	Bench    string        `json:"bench"`
+	Quick    bool          `json:"quick"`
+	Baseline string        `json:"baseline"`
+	Cells    []journalCell `json:"cells"`
+	// SpeedupQD maps queue depth to grouped/unbatched throughput ratio.
+	SpeedupQD map[string]float64 `json:"speedup_by_qd"`
+}
+
+// runJournalCell measures 4 KiB random backup appends against a fresh
+// HDD journal at the given queue depth. maxBatch 1 reproduces the
+// pre-group-commit path (every record its own disk write); 0 uses the
+// default group-commit batching. The set is not Started: the cell
+// isolates the append/commit pipeline from replay traffic.
+func runJournalCell(cfg Config, maxBatch, qd int) journalCell {
+	clk := clock.Realtime
+	hdd := simdisk.NewHDD(benchHDD(), clk)
+	defer hdd.Close()
+	store := blockstore.New(hdd, util.AlignDown(hdd.Size()/2, util.ChunkSize))
+
+	reg := metrics.NewRegistry()
+	jcfg := journal.DefaultConfig()
+	jcfg.MaxBatch = maxBatch
+	jcfg.Metrics = reg
+	set := journal.NewSet(clk, store, jcfg)
+	// Journal at the backup HDD's own tail, as §3.2 places it.
+	base := util.AlignDown(hdd.Size()/2, util.ChunkSize)
+	set.AddHDDJournal("jhdd", hdd, base, util.GiB)
+	defer set.Close()
+
+	var ops atomic.Int64
+	hists := make([]*util.Hist, qd)
+	deadline := clk.Now().Add(cfg.cellTime() / 2)
+	var wg sync.WaitGroup
+	for w := 0; w < qd; w++ {
+		wg.Add(1)
+		hists[w] = util.NewHist()
+		go func(w int) {
+			defer wg.Done()
+			// One chunk per worker: the chunkserver contract serializes
+			// appends within a chunk, so cross-worker concurrency must come
+			// from distinct chunks.
+			id := blockstore.MakeChunkID(1, uint32(w))
+			r := util.NewRand(cfg.Seed + uint64(w)*7919)
+			data := make([]byte, 4*util.KiB)
+			for version := uint64(1); clk.Now().Before(deadline); version++ {
+				off := util.AlignDown(r.Int63n(util.ChunkSize-4096), util.SectorSize)
+				t0 := clk.Now()
+				if err := set.Append(nil, id, off, data, version); err != nil {
+					return // quota exhausted: stop this worker
+				}
+				hists[w].Observe(clk.Now().Sub(t0))
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lat := util.NewHist()
+	for _, h := range hists {
+		lat.Merge(h)
+	}
+	elapsed := cfg.cellTime() / 2
+	cell := journalCell{
+		QD:            qd,
+		AppendsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+		MeanLatUs:     float64(lat.Mean()) / float64(time.Microsecond),
+		P99LatUs:      float64(lat.Quantile(0.99)) / float64(time.Microsecond),
+	}
+	if maxBatch == 1 {
+		cell.Mode = "unbatched"
+	} else {
+		cell.Mode = "grouped"
+	}
+	st := set.Stats()
+	cell.MeanBatch = st.MeanBatch()
+	cell.Flushes = st.Flushes
+	if fh := reg.LatencyHist("journal-flush"); fh != nil {
+		cell.FlushP50Us = float64(fh.Quantile(0.50)) / float64(time.Microsecond)
+		cell.FlushP99Us = float64(fh.Quantile(0.99)) / float64(time.Microsecond)
+	}
+	return cell
+}
+
+// FigJournal benchmarks the journal group-commit pipeline: 4 KiB random
+// backup appends to an HDD journal at queue depths 1/8/32, unbatched
+// (MaxBatch=1, the pre-group-commit write-per-record path) vs grouped
+// (leader flushes the whole commit queue as one sequential write). The HDD
+// journal is the interesting medium: a single-actuator device serializes
+// the queue, so per-record write dispatch is exactly what batching
+// collapses. Results are also written to BENCH_journal.json.
+func FigJournal(cfg Config) Table {
+	t := Table{
+		ID:    "Fig J",
+		Title: "Journal group commit: 4KiB random backup appends, HDD journal",
+		Header: []string{"QD", "unbatched/s", "grouped/s", "speedup",
+			"mean batch", "flush p50", "flush p99"},
+	}
+	doc := journalBenchDoc{
+		Bench:     "journal",
+		Quick:     cfg.Quick,
+		Baseline:  "unbatched = MaxBatch 1 (pre-group-commit write-per-record)",
+		SpeedupQD: map[string]float64{},
+	}
+	for _, qd := range []int{1, 8, 32} {
+		un := runJournalCell(cfg, 1, qd)
+		gr := runJournalCell(cfg, 0, qd)
+		doc.Cells = append(doc.Cells, un, gr)
+		speedup := 0.0
+		if un.AppendsPerSec > 0 {
+			speedup = gr.AppendsPerSec / un.AppendsPerSec
+		}
+		doc.SpeedupQD[f0(float64(qd))] = speedup
+		t.Rows = append(t.Rows, []string{
+			f0(float64(qd)),
+			f0(un.AppendsPerSec),
+			f0(gr.AppendsPerSec),
+			f2(speedup) + "x",
+			f1(gr.MeanBatch),
+			us(time.Duration(gr.FlushP50Us * float64(time.Microsecond))),
+			us(time.Duration(gr.FlushP99Us * float64(time.Microsecond))),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"grouped: concurrent Append callers enqueue; the leader writes the whole batch as one",
+		"contiguous sequential journal write and wakes every waiter. At QD 1 there is nothing",
+		"to batch and the modes converge; at QD >= 8 batching collapses per-record dispatch.")
+	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
+		if werr := os.WriteFile(journalBenchJSON, append(buf, '\n'), 0o644); werr != nil {
+			t.Notes = append(t.Notes, "write "+journalBenchJSON+": "+werr.Error())
+		}
+	}
+	return t
+}

@@ -582,7 +582,7 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 	}
 	if !skipLocal {
 		stop := op.StartStage(opctx.StageBackupJournal)
-		err := s.applyBackupWrite(m)
+		err := s.applyBackupWrite(op, m)
 		stop()
 		if err != nil {
 			cs.mu.Unlock()
@@ -603,14 +603,16 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 
 // applyBackupWrite routes a backup write through the journal or directly to
 // the HDD, falling back to a direct write when journals overflow entirely.
-func (s *Server) applyBackupWrite(m *proto.Message) error {
+// The op rides into the journal so group-commit queue/flush time lands on
+// the op's backup-jqueue/backup-jflush stages.
+func (s *Server) applyBackupWrite(op *opctx.Op, m *proto.Message) error {
 	if s.jset == nil {
 		// A primary-role server can hold backup replicas in SSD-only
 		// deployments (Ursa-SSD mode): plain store write.
 		return s.store.WriteAt(m.Chunk, m.Payload, m.Off)
 	}
 	if len(m.Payload) <= s.cfg.BypassThreshold {
-		err := s.jset.Append(m.Chunk, m.Off, m.Payload, m.Version+1)
+		err := s.jset.Append(op, m.Chunk, m.Off, m.Payload, m.Version+1)
 		if errors.Is(err, util.ErrQuota) {
 			return s.jset.WriteDirect(m.Chunk, m.Payload, m.Off)
 		}

@@ -312,7 +312,9 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 		}
 		store := blockstore.New(hdd, storeLimit)
 
-		jset := journal.NewSet(c.clk, store, journal.DefaultConfig())
+		jcfg := journal.DefaultConfig()
+		jcfg.Metrics = opts.Metrics // group-commit batch/flush distributions
+		jset := journal.NewSet(c.clk, store, jcfg)
 		ssdIdx := k % opts.SSDsPerMachine
 		slot := int64(k / opts.SSDsPerMachine)
 		ssd := m.SSDs[ssdIdx]

@@ -47,6 +47,36 @@ func (ix *Index) update(off, length uint32, joff uint64) {
 		return
 	}
 	ix.mu.Lock()
+	ix.insertRangeLocked(off, length, joff)
+	trigger := ix.maybeTriggerMergeLocked()
+	ix.mu.Unlock()
+	if trigger {
+		go ix.mergeAsync()
+	}
+}
+
+// InsertBatch applies several inserts in order under one lock acquisition —
+// the journal's group-commit flush indexes a whole batch of records at
+// once. Later entries win over earlier ones on overlap, matching a sequence
+// of Insert calls.
+func (ix *Index) InsertBatch(entries []Extent) {
+	if len(entries) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	for _, e := range entries {
+		ix.insertRangeLocked(e.Off, e.Len, e.JOff)
+	}
+	trigger := ix.maybeTriggerMergeLocked()
+	ix.mu.Unlock()
+	if trigger {
+		go ix.mergeAsync()
+	}
+}
+
+// insertRangeLocked splits one logical insert across composite keys of at
+// most MaxLen sectors each.
+func (ix *Index) insertRangeLocked(off, length uint32, joff uint64) {
 	for length > 0 {
 		n := length
 		if n > MaxLen {
@@ -59,14 +89,16 @@ func (ix *Index) update(off, length uint32, joff uint64) {
 		off += n
 		length -= n
 	}
+}
+
+// maybeTriggerMergeLocked claims the background-merge slot when the tree
+// has outgrown the threshold; the caller spawns mergeAsync after unlocking.
+func (ix *Index) maybeTriggerMergeLocked() bool {
 	trigger := ix.autoMergeAt > 0 && ix.tree.len() >= ix.autoMergeAt && !ix.merging
 	if trigger {
 		ix.merging = true
 	}
-	ix.mu.Unlock()
-	if trigger {
-		go ix.mergeAsync()
-	}
+	return trigger
 }
 
 func joffAdvance(joff uint64, by uint32) uint64 {

@@ -31,8 +31,19 @@ type Journal struct {
 	// fifo holds unreplayed records in reservation (position) order.
 	fifo []*pendingRecord
 
-	appends      int64 // total records appended (stats)
-	bytesAppened int64
+	// commitq holds appends awaiting a group-commit flush, in reservation
+	// order; flushing marks an active batch leader. Both are guarded by the
+	// Set's mutex. The invariant flushing==false ⇒ commitq empty holds:
+	// a leader only clears flushing after emptying the queue or handing
+	// leadership to the new queue head.
+	commitq  []*commitReq
+	flushing bool
+	queued   int // commit-queue depth incl. the in-flight batch (striping)
+
+	appends        int64 // total records appended (stats)
+	bytesAppended  int64
+	flushes        int64 // group-commit device write batches
+	batchedRecords int64 // records committed across those batches
 }
 
 // pendingRecord is the in-memory replay queue entry for one record (or a
@@ -43,7 +54,7 @@ type pendingRecord struct {
 	dataLen  int    // payload bytes
 	version  uint64 // chunk version of the write
 	dataJOff uint64 // first journal sector of the payload
-	footant  int64  // total bytes consumed (header+data+pad)
+	footer   int64  // total bytes consumed (header+data+pad)
 	ready    bool   // payload durable in the journal; index updated
 	failed   bool   // device write failed; skip at replay
 }
@@ -83,6 +94,21 @@ func (j *Journal) Appends() int64 { return j.appends }
 // Name returns the journal's human-readable name ("ssd0", "hdd").
 func (j *Journal) Name() string { return j.name }
 
+// fits reports whether a record of dataLen payload bytes could be reserved
+// right now, counting any wrap pad the reservation would insert. Caller
+// holds the Set lock.
+func (j *Journal) fits(dataLen int) bool {
+	need := recordBytes(dataLen)
+	if need > j.size {
+		return false
+	}
+	pad := int64(0)
+	if diskPos := j.head % j.size; diskPos+need > j.size {
+		pad = j.size - diskPos
+	}
+	return j.head+pad+need-j.tail <= j.size
+}
+
 // reserve claims space for a record of dataLen payload bytes, handling
 // wrap-around, and returns the byte position (monotonic counter) for the
 // header. Returns false if the record does not fit. Caller holds the Set
@@ -103,22 +129,12 @@ func (j *Journal) reserve(dataLen int) (pos int64, ok bool) {
 		return 0, false
 	}
 	if pad > 0 {
-		j.fifo = append(j.fifo, &pendingRecord{chunk: padChunk, footant: pad, ready: true})
+		j.fifo = append(j.fifo, &pendingRecord{chunk: padChunk, footer: pad, ready: true})
 		j.head += pad
 	}
 	pos = j.head
 	j.head += need
 	return pos, true
-}
-
-// writeRecord performs the device I/O for a record reserved at pos. It is
-// called outside the Set lock; the space is already reserved so concurrent
-// appends cannot collide.
-func (j *Journal) writeRecord(pos int64, h header, data []byte) error {
-	buf := make([]byte, recordBytes(len(data)))
-	h.encode(buf)
-	copy(buf[headerSize:], data)
-	return j.disk.WriteAt(buf, j.base+pos%j.size)
 }
 
 // dataJOff computes the global journal sector of the payload of a record

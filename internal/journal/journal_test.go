@@ -106,7 +106,7 @@ func TestAppendReadThroughJournal(t *testing.T) {
 
 	data := make([]byte, 4*util.KiB)
 	util.NewRand(1).Fill(data)
-	if err := e.set.Append(id, 8192, data, 1); err != nil {
+	if err := e.set.Append(nil, id, 8192, data, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Read must be served from the journal even before replay.
@@ -126,7 +126,7 @@ func TestReplayReachesSink(t *testing.T) {
 
 	data := make([]byte, 4*util.KiB)
 	util.NewRand(2).Fill(data)
-	if err := e.set.Append(id, 0, data, 1); err != nil {
+	if err := e.set.Append(nil, id, 0, data, 1); err != nil {
 		t.Fatal(err)
 	}
 	e.set.Drain()
@@ -160,10 +160,10 @@ func TestOverwriteMergesAtReplay(t *testing.T) {
 
 	old := bytes.Repeat([]byte{0x01}, 4096)
 	new1 := bytes.Repeat([]byte{0x02}, 4096)
-	if err := e.set.Append(id, 0, old, 1); err != nil {
+	if err := e.set.Append(nil, id, 0, old, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.set.Append(id, 0, new1, 2); err != nil {
+	if err := e.set.Append(nil, id, 0, new1, 2); err != nil {
 		t.Fatal(err)
 	}
 	e.set.Start()
@@ -188,10 +188,10 @@ func TestPartialOverwriteKeepsTails(t *testing.T) {
 
 	base := bytes.Repeat([]byte{0xaa}, 8192)
 	mid := bytes.Repeat([]byte{0xbb}, 1024)
-	if err := e.set.Append(id, 0, base, 1); err != nil {
+	if err := e.set.Append(nil, id, 0, base, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.set.Append(id, 2048, mid, 2); err != nil {
+	if err := e.set.Append(nil, id, 2048, mid, 2); err != nil {
 		t.Fatal(err)
 	}
 	want := make([]byte, 8192)
@@ -222,7 +222,7 @@ func TestInvalidate(t *testing.T) {
 
 	jdata := bytes.Repeat([]byte{0x11}, 4096)
 	direct := bytes.Repeat([]byte{0x22}, 4096)
-	if err := e.set.Append(id, 0, jdata, 1); err != nil {
+	if err := e.set.Append(nil, id, 0, jdata, 1); err != nil {
 		t.Fatal(err)
 	}
 	// A journal-bypass write: straight to the backup disk with journal
@@ -250,16 +250,17 @@ func TestInvalidate(t *testing.T) {
 
 func TestQuotaExhaustionAndExpansion(t *testing.T) {
 	// A tiny SSD journal (64 KiB) overflows quickly; with an HDD journal
-	// configured, appends expand there instead of failing.
-	e := newEnv(t, 64*util.KiB, true)
+	// configured, appends expand there instead of failing. The replayer is
+	// deferred: batched replay coalesces these adjacent appends into single
+	// large sink writes and would otherwise drain the tiny journal as fast
+	// as one goroutine can fill it, making expansion timing-dependent.
+	e := newEnvStart(t, 64*util.KiB, true, false)
 	id := blockstore.MakeChunkID(1, 0)
 	e.mustChunk(t, id)
 
 	data := make([]byte, 4*util.KiB)
-	// Keep the HDD busy so the idle-only journal is not replayed and its
-	// usage observable... not needed: appends alone prove expansion.
 	for i := 0; i < 64; i++ {
-		if err := e.set.Append(id, int64(i)*4096, data, uint64(i+1)); err != nil {
+		if err := e.set.Append(nil, id, int64(i)*4096, data, uint64(i+1)); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
@@ -270,6 +271,7 @@ func TestQuotaExhaustionAndExpansion(t *testing.T) {
 	if st.Journals[1].Appends == 0 {
 		t.Errorf("HDD journal never used: %+v", st.Journals)
 	}
+	e.set.Start()
 	e.set.Drain()
 	// All data must land on the sink correctly.
 	got := make([]byte, 4096)
@@ -293,7 +295,7 @@ func TestQuotaErrorWithoutExpansion(t *testing.T) {
 	data := make([]byte, 8*util.KiB)
 	var sawQuota bool
 	for i := 0; i < 32; i++ {
-		err := e.set.Append(id, int64(i)*8192, data, uint64(i+1))
+		err := e.set.Append(nil, id, int64(i)*8192, data, uint64(i+1))
 		if errors.Is(err, util.ErrQuota) {
 			sawQuota = true
 			break
@@ -321,7 +323,7 @@ func TestJournalWrapAround(t *testing.T) {
 		data := make([]byte, 4*util.KiB)
 		r.Fill(data)
 		off := int64(i%10) * 4096
-		if err := e.set.Append(id, off, data, uint64(i+1)); err != nil {
+		if err := e.set.Append(nil, id, off, data, uint64(i+1)); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 		e.set.Drain()
@@ -339,16 +341,16 @@ func TestUnalignedRejected(t *testing.T) {
 	e := newEnv(t, util.MiB, false)
 	id := blockstore.MakeChunkID(1, 0)
 	e.mustChunk(t, id)
-	if err := e.set.Append(id, 100, make([]byte, 512), 1); !errors.Is(err, util.ErrOutOfRange) {
+	if err := e.set.Append(nil, id, 100, make([]byte, 512), 1); !errors.Is(err, util.ErrOutOfRange) {
 		t.Errorf("unaligned offset: %v", err)
 	}
-	if err := e.set.Append(id, 0, make([]byte, 100), 1); !errors.Is(err, util.ErrOutOfRange) {
+	if err := e.set.Append(nil, id, 0, make([]byte, 100), 1); !errors.Is(err, util.ErrOutOfRange) {
 		t.Errorf("unaligned length: %v", err)
 	}
 	if err := e.set.Read(id, make([]byte, 100), 0); !errors.Is(err, util.ErrOutOfRange) {
 		t.Errorf("unaligned read: %v", err)
 	}
-	if err := e.set.Append(id, 0, nil, 1); !errors.Is(err, util.ErrOutOfRange) {
+	if err := e.set.Append(nil, id, 0, nil, 1); !errors.Is(err, util.ErrOutOfRange) {
 		t.Errorf("empty append: %v", err)
 	}
 }
@@ -371,7 +373,7 @@ func TestConcurrentChunks(t *testing.T) {
 			for i := 0; i < 30; i++ {
 				r.Fill(data)
 				off := util.AlignDown(r.Int63n(util.ChunkSize-4096), 512)
-				if err := e.set.Append(ids[c], off, data, uint64(i+1)); err != nil {
+				if err := e.set.Append(nil, ids[c], off, data, uint64(i+1)); err != nil {
 					t.Errorf("chunk %d append: %v", c, err)
 					return
 				}
@@ -395,7 +397,7 @@ func TestDropChunk(t *testing.T) {
 	e := newEnv(t, util.MiB, false)
 	id := blockstore.MakeChunkID(1, 0)
 	e.mustChunk(t, id)
-	if err := e.set.Append(id, 0, make([]byte, 4096), 1); err != nil {
+	if err := e.set.Append(nil, id, 0, make([]byte, 4096), 1); err != nil {
 		t.Fatal(err)
 	}
 	e.set.DropChunk(id)

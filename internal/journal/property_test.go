@@ -83,7 +83,7 @@ func TestJournalModelEquivalence(t *testing.T) {
 			data := make([]byte, n)
 			r.Fill(data)
 			version++
-			if err := set.Append(id, off, data, version); err != nil {
+			if err := set.Append(nil, id, off, data, version); err != nil {
 				t.Fatalf("op %d append: %v", op, err)
 			}
 			copy(model[off:], data)
@@ -146,11 +146,11 @@ func TestJournalSpaceAccounting(t *testing.T) {
 	}
 	data := make([]byte, 4*util.KiB)
 	for i := 0; i < 100; i++ {
-		err := set.Append(id, int64(i%16)*4096, data, uint64(i+1))
+		err := set.Append(nil, id, int64(i%16)*4096, data, uint64(i+1))
 		if err != nil {
 			// Quota pressure: drain and retry once.
 			set.Drain()
-			if err = set.Append(id, int64(i%16)*4096, data, uint64(i+1)); err != nil {
+			if err = set.Append(nil, id, int64(i%16)*4096, data, uint64(i+1)); err != nil {
 				t.Fatalf("append %d after drain: %v", i, err)
 			}
 		}

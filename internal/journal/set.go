@@ -2,12 +2,15 @@ package journal
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"ursa/internal/blockstore"
 	"ursa/internal/clock"
 	"ursa/internal/jindex"
+	"ursa/internal/metrics"
+	"ursa/internal/opctx"
 	"ursa/internal/simdisk"
 	"ursa/internal/util"
 )
@@ -32,19 +35,75 @@ type Config struct {
 	// gap between foreground appends and throttles them to the HDD's
 	// random rate — the exact inversion journals exist to prevent.
 	IdleGrace time.Duration
+	// MaxBatch caps the records one group-commit leader claims per flush.
+	// 1 disables batching (each append is its own device write — the
+	// pre-group-commit behaviour); 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// ReplayWindow caps the records the replayer drains per pass before
+	// reclaiming their journal space. 0 selects DefaultReplayWindow.
+	ReplayWindow int
+	// Metrics, when set, receives the group-commit distributions:
+	// batch sizes ("journal-batch-records"), flush latency
+	// ("journal-flush"), commit-queue wait ("journal-commit-queue"), and
+	// replay window sizes ("journal-replay-window") / coalesced sink
+	// writes per window ("journal-replay-writes").
+	Metrics *metrics.Registry
 }
+
+// Default batching limits: large enough that a burst at the §3.4 queue
+// depths commits in one sequential write, small enough to bound flush
+// latency and replay-window memory.
+const (
+	DefaultMaxBatch     = 64
+	DefaultReplayWindow = 64
+)
 
 // DefaultConfig returns production-like tuning.
 func DefaultConfig() Config {
-	return Config{AutoMergeAt: 4096, PollInterval: 10 * time.Millisecond, IdleGrace: 30 * time.Millisecond}
+	return Config{
+		AutoMergeAt:  4096,
+		PollInterval: 10 * time.Millisecond,
+		IdleGrace:    30 * time.Millisecond,
+		MaxBatch:     DefaultMaxBatch,
+		ReplayWindow: DefaultReplayWindow,
+	}
+}
+
+// commitReq is one Append waiting in a journal's group-commit queue.
+// done/lead signal across goroutines; the timing/result fields are written
+// by the batch leader under the Set lock and read by the waiter only after
+// done is closed.
+type commitReq struct {
+	rec  *pendingRecord
+	pos  int64 // monotonic byte position of the record header
+	hdr  header
+	data []byte
+
+	enq     time.Time // enqueued (commit-queue wait starts)
+	claimed time.Time // a leader claimed it into a batch
+	flushed time.Time // the batch's device write completed
+
+	err  error
+	done chan struct{} // closed when the record's fate is final
+	lead chan struct{} // closed to promote this waiter to batch leader
 }
 
 // Set manages the journals of one backup server, in expansion priority
 // order: local SSD journals first, then (rarely) an HDD journal (§3.2).
-// A single background replayer drains records oldest-first per journal,
-// merging superseded appends away, exactly one writer at a time — the
-// single-threaded elevator-friendly regime the paper prescribes for backup
-// HDDs (§5.3).
+// Appends group-commit: concurrent callers enqueue records on a journal's
+// commit queue and the first of them becomes the batch leader, writing the
+// whole queue as one contiguous sequential device write and waking every
+// waiter with its individual result — at queue depth N the journal device
+// sees ~1 write where it used to see N (§3.4's intra-disk parallelism
+// recovered on a single-writer log). Journal selection stripes concurrent
+// appends across sibling journals by least commit-queue depth (inter-disk
+// parallelism) while keeping the SSD-before-HDD expansion order.
+//
+// A single background replayer drains records oldest-first per journal in
+// windows, merging superseded appends away and coalescing adjacent extents
+// of one chunk into single large sink writes, exactly one writer at a
+// time — the single-threaded elevator-friendly regime the paper prescribes
+// for backup HDDs (§5.3).
 //
 // Per-chunk appends must be serialized by the caller (the chunk server's
 // version protocol already does); appends to different chunks may run
@@ -85,6 +144,12 @@ func NewSet(clk clock.Clock, sink Sink, cfg Config) *Set {
 	}
 	if cfg.IdleGrace < 0 {
 		cfg.IdleGrace = 0
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.ReplayWindow <= 0 {
+		cfg.ReplayWindow = DefaultReplayWindow
 	}
 	s := &Set{
 		clk:        clk,
@@ -153,63 +218,211 @@ func (s *Set) Close() {
 }
 
 // Append journals a backup write: data at chunk-relative byte offset off.
+// Concurrent appends group-commit — the caller enqueues on a journal's
+// commit queue and either leads the next batch flush or waits for a leader
+// to commit it. The record is acked only after the sequential device write
+// containing it has completed. A non-nil op gets the commit-queue wait and
+// flush time recorded as the backup-jqueue/backup-jflush stages.
+//
 // It returns ErrQuota when every journal is full — callers fall back to a
 // direct backup write (and the master should already have rate-limited the
 // client before this point, §3.2).
-func (s *Set) Append(id blockstore.ChunkID, off int64, data []byte, version uint64) error {
+func (s *Set) Append(op *opctx.Op, id blockstore.ChunkID, off int64, data []byte, version uint64) error {
 	if err := checkAligned(off, len(data)); err != nil {
 		return err
 	}
+	// Checksum before taking any lock: it is the CPU-heavy part of the path.
+	h := header{chunk: id, off: off, dataLen: len(data), version: version,
+		checksum: util.Checksum(data)}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return util.ErrClosed
 	}
-	var j *Journal
-	var pos int64
-	for _, cand := range s.journals {
-		if p, ok := cand.reserve(len(data)); ok {
-			j, pos = cand, p
-			break
-		}
-	}
+	j := s.pickJournalLocked(len(data))
 	if j == nil {
 		s.mu.Unlock()
 		return fmt.Errorf("journal: all journals full: %w", util.ErrQuota)
 	}
+	pos, _ := j.reserve(len(data)) // pickJournalLocked checked fits
 	rec := &pendingRecord{
 		chunk:    id,
 		off:      off,
 		dataLen:  len(data),
 		version:  version,
 		dataJOff: j.dataJOff(pos),
-		footant:  recordBytes(len(data)),
+		footer:   recordBytes(len(data)),
 	}
 	j.fifo = append(j.fifo, rec)
 	s.pending++
+	req := &commitReq{
+		rec: rec, pos: pos, hdr: h, data: data,
+		enq:  s.clk.Now(),
+		done: make(chan struct{}),
+		lead: make(chan struct{}),
+	}
+	j.commitq = append(j.commitq, req)
+	j.queued++
+	leader := !j.flushing
+	if leader {
+		j.flushing = true
+	}
 	s.mu.Unlock()
 
-	h := header{chunk: id, off: off, dataLen: len(data), version: version,
-		checksum: util.Checksum(data)}
-	err := j.writeRecord(pos, h, data)
+	if !leader {
+		// Follower: wait for a leader's batch to commit us — or inherit
+		// leadership when the previous batch completes with us at the head.
+		select {
+		case <-req.done:
+			s.observeCommit(op, req)
+			return req.err
+		case <-req.lead:
+		}
+	}
+	s.flush(j)
+	// A leader's own request is always the head of the queue it claims.
+	<-req.done
+	s.observeCommit(op, req)
+	return req.err
+}
+
+// pickJournalLocked selects the journal for a new record: the least
+// commit-queue-depth journal with room among the always-replayable (SSD)
+// journals, falling back to the idle-only (HDD) overflow journals only
+// when every SSD journal is full — least-queue-depth striping for
+// inter-disk parallelism (§3.4) under the §3.2 expansion priority.
+func (s *Set) pickJournalLocked(dataLen int) *Journal {
+	pick := func(idleOnly bool) *Journal {
+		var best *Journal
+		for i, j := range s.journals {
+			if s.idleOnly[i] != idleOnly || !j.fits(dataLen) {
+				continue
+			}
+			if best == nil || j.queued < best.queued {
+				best = j
+			}
+		}
+		return best
+	}
+	if j := pick(false); j != nil {
+		return j
+	}
+	return pick(true)
+}
+
+// flush runs one group-commit batch on j: claim up to MaxBatch queued
+// requests, write them as contiguous sequential device writes (one per run
+// of back-to-back records; wrap pads split runs), publish every record's
+// result and index entries, then hand leadership to the next queue head.
+// The caller must hold j's leadership (j.flushing).
+func (s *Set) flush(j *Journal) {
+	s.mu.Lock()
+	n := len(j.commitq)
+	if n > s.cfg.MaxBatch {
+		n = s.cfg.MaxBatch
+	}
+	batch := j.commitq[:n:n]
+	j.commitq = j.commitq[n:]
+	claimed := s.clk.Now()
+	for _, r := range batch {
+		r.claimed = claimed
+	}
+	s.mu.Unlock()
+
+	// The commit queue is in reservation order, so positions increase
+	// monotonically; a record extends the current run when its header
+	// starts exactly where the previous record ended.
+	for i := 0; i < len(batch); {
+		k := i + 1
+		end := batch[i].pos + batch[i].rec.footer
+		for k < len(batch) && batch[k].pos == end {
+			end += batch[k].rec.footer
+			k++
+		}
+		writeRun(j, batch[i:k])
+		i = k
+	}
+	flushed := s.clk.Now()
 
 	s.mu.Lock()
-	if err != nil {
-		rec.failed = true
-	} else {
-		rec.ready = true
-	}
-	if err == nil {
+	inserts := make(map[blockstore.ChunkID][]jindex.Extent)
+	var order []blockstore.ChunkID
+	for _, r := range batch {
+		r.flushed = flushed
+		j.queued--
+		if r.err != nil {
+			r.rec.failed = true
+			continue
+		}
+		r.rec.ready = true
 		j.appends++
-		j.bytesAppened += int64(len(data))
-		s.indexLocked(id).Insert(
-			uint32(off/util.SectorSize),
-			uint32(len(data)/util.SectorSize),
-			rec.dataJOff)
+		j.bytesAppended += int64(r.rec.dataLen)
+		if _, ok := inserts[r.rec.chunk]; !ok {
+			order = append(order, r.rec.chunk)
+		}
+		inserts[r.rec.chunk] = append(inserts[r.rec.chunk], jindex.Extent{
+			Off:  uint32(r.rec.off / util.SectorSize),
+			Len:  uint32(int64(r.rec.dataLen) / util.SectorSize),
+			JOff: r.rec.dataJOff,
+		})
+	}
+	for _, id := range order {
+		s.indexLocked(id).InsertBatch(inserts[id])
+	}
+	j.flushes++
+	j.batchedRecords += int64(len(batch))
+	if m := s.cfg.Metrics; m != nil {
+		m.ObserveValue("journal-batch-records", int64(len(batch)))
+		m.ObserveLatency("journal-flush", flushed.Sub(claimed))
+		for _, r := range batch {
+			m.ObserveLatency("journal-commit-queue", claimed.Sub(r.enq))
+		}
+	}
+	var next *commitReq
+	if len(j.commitq) > 0 {
+		next = j.commitq[0]
+	} else {
+		j.flushing = false
 	}
 	s.cond.Signal()
 	s.mu.Unlock()
-	return err
+
+	if next != nil {
+		close(next.lead)
+	}
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+// writeRun writes one contiguous run of records as a single sequential
+// device write — headers and payloads laid out back-to-back — and stamps
+// each request with the write's result. Space is already reserved, so no
+// lock is needed.
+func writeRun(j *Journal, run []*commitReq) {
+	first := run[0].pos
+	last := run[len(run)-1]
+	buf := make([]byte, last.pos+last.rec.footer-first)
+	for _, r := range run {
+		at := r.pos - first
+		r.hdr.encode(buf[at:])
+		copy(buf[at+headerSize:], r.data)
+	}
+	err := j.disk.WriteAt(buf, j.base+first%j.size)
+	for _, r := range run {
+		r.err = err
+	}
+}
+
+// observeCommit lands a committed (or failed) append's queue/flush split on
+// its op as the backup-jqueue/backup-jflush stages.
+func (s *Set) observeCommit(op *opctx.Op, req *commitReq) {
+	if op == nil {
+		return
+	}
+	op.ObserveStage(opctx.StageJournalQueue, req.claimed.Sub(req.enq))
+	op.ObserveStage(opctx.StageJournalFlush, req.flushed.Sub(req.claimed))
 }
 
 // chunkLock returns the per-chunk serialization mutex.
@@ -360,15 +573,9 @@ func (s *Set) replayLoop() {
 			s.clk.Sleep(s.cfg.PollInterval)
 			continue
 		}
-		rec := j.fifo[0]
+		window := s.windowLocked(j)
 		s.mu.Unlock()
-		// Chunk lock first (lock order: chunk lock > s.mu) so bypass
-		// writes to the same chunk serialize against this replay. The
-		// record stays at fifo[0]: this loop is the only consumer.
-		l := s.chunkLock(rec.chunk)
-		l.Lock()
-		s.replayRecord(j, rec)
-		l.Unlock()
+		s.replayWindow(j, window)
 	}
 }
 
@@ -393,7 +600,7 @@ func (s *Set) nextJournalLocked() *Journal {
 		for len(j.fifo) > 0 {
 			r := j.fifo[0]
 			if r.chunk == padChunk || r.failed {
-				j.tail += r.footant
+				j.tail += r.footer
 				j.fifo = j.fifo[1:]
 				if r.failed {
 					s.pending--
@@ -413,82 +620,186 @@ func (s *Set) nextJournalLocked() *Journal {
 	return nil
 }
 
-// replayRecord replays rec, the head record of j. The caller holds the
-// record's chunk lock; s.mu is taken as needed around index and space
-// bookkeeping.
-func (s *Set) replayRecord(j *Journal, rec *pendingRecord) {
-	s.mu.Lock()
-	offSec := uint32(rec.off / util.SectorSize)
-	lenSec := uint32(int64(rec.dataLen) / util.SectorSize)
-	jEnd := rec.dataJOff + uint64(lenSec)
+// windowLocked collects the replayable prefix of j's fifo: up to
+// ReplayWindow ready records plus any pads or failed records between them,
+// stopping at the first record still awaiting its commit flush. The
+// entries stay on the fifo — this loop is the only consumer — and are
+// popped together after replay.
+func (s *Set) windowLocked(j *Journal) []*pendingRecord {
+	n, records := 0, 0
+	for n < len(j.fifo) && records < s.cfg.ReplayWindow {
+		r := j.fifo[n]
+		if r.chunk == padChunk || r.failed {
+			n++
+			continue
+		}
+		if !r.ready {
+			break
+		}
+		records++
+		n++
+	}
+	return j.fifo[:n:n]
+}
 
-	// Current extents of this record: index entries still pointing into
-	// its payload. Everything else was overwritten and merges away —
-	// the paper's "overwrites between two successive replays" saving.
+// replayWindow drains one window: records grouped by chunk, each chunk's
+// surviving extents coalesced into the fewest sink writes, then the whole
+// window's journal space reclaimed at once.
+func (s *Set) replayWindow(j *Journal, window []*pendingRecord) {
+	var order []blockstore.ChunkID
+	groups := make(map[blockstore.ChunkID][]*pendingRecord)
+	for _, rec := range window {
+		if rec.chunk == padChunk || rec.failed {
+			continue
+		}
+		if _, ok := groups[rec.chunk]; !ok {
+			order = append(order, rec.chunk)
+		}
+		groups[rec.chunk] = append(groups[rec.chunk], rec)
+	}
+
+	var sinkWrites int64
+	for _, id := range order {
+		sinkWrites += s.replayChunk(id, groups[id])
+	}
+
+	s.mu.Lock()
+	replayed, failed := 0, 0
+	for _, rec := range window {
+		j.tail += rec.footer
+		switch {
+		case rec.chunk == padChunk:
+		case rec.failed:
+			failed++
+		default:
+			replayed++
+			s.replayedBytes += int64(rec.dataLen)
+		}
+	}
+	j.fifo = j.fifo[len(window):]
+	s.pending -= replayed + failed
+	s.replayedRecords += int64(replayed)
+	if m := s.cfg.Metrics; m != nil && replayed > 0 {
+		m.ObserveValue("journal-replay-window", int64(replayed))
+		m.ObserveValue("journal-replay-writes", sinkWrites)
+	}
+	if s.pending == 0 {
+		s.drainCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// replayChunk replays one chunk's records from a window, holding the chunk
+// lock across query → sink write → invalidate so a bypass write cannot
+// interleave with a stale replay (lock order: chunk lock before s.mu). It
+// returns the number of coalesced sink writes issued.
+func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) int64 {
+	l := s.chunkLock(id)
+	l.Lock()
+	defer l.Unlock()
+
+	// jranges are the records' payload regions; only index entries still
+	// pointing inside them are live — everything else was overwritten since
+	// the append and merges away (the paper's "overwrites between two
+	// successive replays" saving).
+	type jrange struct{ lo, hi uint64 }
+	ranges := make([]jrange, 0, len(recs))
+	inRanges := func(joff uint64) bool {
+		for _, rg := range ranges {
+			if joff >= rg.lo && joff < rg.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	s.mu.Lock()
 	var current []jindex.Extent
-	var staleSectors int64
-	ix, haveIx := s.indexes[rec.chunk]
-	if haveIx {
+	ix, haveIx := s.indexes[id]
+	var totalSectors, liveSectors int64
+	for _, rec := range recs {
+		offSec := uint32(rec.off / util.SectorSize)
+		lenSec := uint32(int64(rec.dataLen) / util.SectorSize)
+		totalSectors += int64(lenSec)
+		jEnd := rec.dataJOff + uint64(lenSec)
+		ranges = append(ranges, jrange{rec.dataJOff, jEnd})
+		if !haveIx {
+			continue
+		}
 		for _, e := range ix.Query(offSec, lenSec) {
 			if e.JOff >= rec.dataJOff && e.JOff < jEnd {
 				current = append(current, e)
 			}
 		}
 	}
-	staleSectors = int64(lenSec)
 	for _, e := range current {
-		staleSectors -= int64(e.Len)
+		liveSectors += int64(e.Len)
 	}
+	s.mergedSectors += totalSectors - liveSectors
 
-	// Read the payload pieces from the journal while still holding the
-	// lock (space cannot be reclaimed mid-read), then write to the sink
-	// unlocked.
-	type piece struct {
+	// The index maps each chunk sector to at most one journal location, so
+	// extents surviving from different records never overlap; sorting by
+	// chunk offset and coalescing adjacent extents yields the minimal set
+	// of sequential sink writes (elevator-friendly on the backup HDD).
+	// Payloads are read under the lock — space cannot be reclaimed mid-read.
+	sort.Slice(current, func(a, b int) bool { return current[a].Off < current[b].Off })
+	type run struct {
 		data []byte
 		off  int64
-		ext  jindex.Extent
+		exts []jindex.Extent
 	}
-	pieces := make([]piece, 0, len(current))
-	for _, e := range current {
-		buf := make([]byte, int64(e.Len)*util.SectorSize)
-		if err := j.readAtJOff(buf, e.JOff); err != nil {
-			break // journal device gone; drop the record below
+	var runs []run
+readLoop:
+	for i := 0; i < len(current); {
+		k := i + 1
+		for k < len(current) && current[k].Off == current[k-1].Off+current[k-1].Len {
+			k++
 		}
-		pieces = append(pieces, piece{buf, int64(e.Off) * util.SectorSize, e})
+		exts := current[i:k]
+		lo, hi := exts[0].Off, exts[len(exts)-1].End()
+		buf := make([]byte, int64(hi-lo)*util.SectorSize)
+		for _, e := range exts {
+			dst := buf[int64(e.Off-lo)*util.SectorSize:][:int64(e.Len)*util.SectorSize]
+			jj := s.journalOf(e.JOff)
+			if jj == nil {
+				break readLoop // index corrupt; drop the records
+			}
+			if err := jj.readAtJOff(dst, e.JOff); err != nil {
+				break readLoop // journal device gone; drop the records
+			}
+		}
+		runs = append(runs, run{buf, int64(lo) * util.SectorSize, exts})
+		i = k
 	}
 	s.mu.Unlock()
 
-	written := make([]jindex.Extent, 0, len(pieces))
-	for _, pc := range pieces {
-		if err := s.sink.WriteAt(rec.chunk, pc.data, pc.off); err != nil {
+	// Sink writes run outside s.mu (appends continue meanwhile) but under
+	// the chunk lock (bypass writes to this chunk wait their turn).
+	var writes int64
+	var written []jindex.Extent
+	for _, r := range runs {
+		if err := s.sink.WriteAt(id, r.data, r.off); err != nil {
 			break // sink gone; the chunk will be recovered elsewhere
 		}
-		written = append(written, pc.ext)
+		writes++
+		written = append(written, r.exts...)
 	}
 
 	s.mu.Lock()
 	// Remove mappings we replayed — but only where the index still points
-	// into this record; newer appends that landed during the sink write
+	// into these records; newer appends that landed during the sink write
 	// keep precedence.
-	if ix2, ok := s.indexes[rec.chunk]; ok {
+	if ix2, ok := s.indexes[id]; ok {
 		for _, w := range written {
 			for _, e := range ix2.Query(w.Off, w.Len) {
-				if e.JOff >= rec.dataJOff && e.JOff < jEnd {
+				if inRanges(e.JOff) {
 					ix2.Invalidate(e.Off, e.Len)
 				}
 			}
 		}
 	}
-	j.tail += rec.footant
-	j.fifo = j.fifo[1:]
-	s.pending--
-	s.replayedRecords++
-	s.replayedBytes += int64(rec.dataLen)
-	s.mergedSectors += staleSectors
-	if s.pending == 0 {
-		s.drainCond.Broadcast()
-	}
 	s.mu.Unlock()
+	return writes
 }
 
 // SetStats is a snapshot of journal-set activity.
@@ -497,7 +808,17 @@ type SetStats struct {
 	ReplayedRecords int64
 	ReplayedBytes   int64
 	MergedSectors   int64 // sectors never written to the sink (overwritten)
+	Flushes         int64 // group-commit batches across all journals
+	BatchedRecords  int64 // records committed by those batches
 	Journals        []JournalStats
+}
+
+// MeanBatch returns the average records per group-commit flush.
+func (st SetStats) MeanBatch() float64 {
+	if st.Flushes == 0 {
+		return 0
+	}
+	return float64(st.BatchedRecords) / float64(st.Flushes)
 }
 
 // JournalStats describes one journal's occupancy.
@@ -507,6 +828,8 @@ type JournalStats struct {
 	Size    int64
 	Appends int64
 	Bytes   int64
+	Flushes int64
+	Queued  int // current commit-queue depth
 }
 
 // Stats returns a consistent snapshot.
@@ -520,12 +843,16 @@ func (s *Set) Stats() SetStats {
 		MergedSectors:   s.mergedSectors,
 	}
 	for _, j := range s.journals {
+		st.Flushes += j.flushes
+		st.BatchedRecords += j.batchedRecords
 		st.Journals = append(st.Journals, JournalStats{
 			Name:    j.name,
 			Used:    j.UsedBytes(),
 			Size:    j.size,
 			Appends: j.appends,
-			Bytes:   j.bytesAppened,
+			Bytes:   j.bytesAppended,
+			Flushes: j.flushes,
+			Queued:  j.queued,
 		})
 	}
 	return st

@@ -42,12 +42,51 @@ type StageStat struct {
 	Max   time.Duration
 }
 
-// Registry aggregates named counters and per-stage latency histograms. One
-// Registry serves a whole cluster: every component the cluster builds gets
-// it as the sink for its ops' stage breadcrumbs.
+// ValueHist aggregates dimensionless int64 samples — batch sizes, replay
+// window lengths — in the same geometric buckets the latency histogram
+// uses, with sample values standing in for nanoseconds. Obtain one from
+// Registry.ObserveValue / Registry.ValueHist.
+type ValueHist struct{ h *util.Hist }
+
+// Observe records one sample (negative samples clamp to zero).
+func (v *ValueHist) Observe(x int64) {
+	if x < 0 {
+		x = 0
+	}
+	v.h.Observe(time.Duration(x))
+}
+
+// Count returns the number of samples.
+func (v *ValueHist) Count() int64 { return v.h.Count() }
+
+// Sum returns the total of all samples.
+func (v *ValueHist) Sum() int64 { return int64(v.h.Sum()) }
+
+// Mean returns the average sample (0 when empty).
+func (v *ValueHist) Mean() float64 {
+	n := v.h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(v.h.Sum()) / float64(n)
+}
+
+// Max returns the largest sample observed.
+func (v *ValueHist) Max() int64 { return int64(v.h.Max()) }
+
+// Quantile returns an upper bound on the q-quantile sample.
+func (v *ValueHist) Quantile(q float64) int64 { return int64(v.h.Quantile(q)) }
+
+// Registry aggregates named counters, per-stage latency histograms, and
+// free-form value/latency histograms. One Registry serves a whole cluster:
+// every component the cluster builds gets it as the sink for its ops' stage
+// breadcrumbs; subsystems (the journal group-commit path) feed their own
+// distributions in directly.
 type Registry struct {
 	mu       sync.Mutex
 	stages   map[string]*util.Hist
+	lats     map[string]*util.Hist
+	values   map[string]*ValueHist
 	counters map[string]*Counter
 }
 
@@ -55,6 +94,8 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		stages:   make(map[string]*util.Hist),
+		lats:     make(map[string]*util.Hist),
+		values:   make(map[string]*ValueHist),
 		counters: make(map[string]*Counter),
 	}
 }
@@ -88,6 +129,45 @@ func (r *Registry) StageHist(stage string) *util.Hist {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stages[stage]
+}
+
+// ObserveLatency records one sample into a named free-form latency
+// histogram (distinct from the op-stage family, which ResetStages clears).
+func (r *Registry) ObserveLatency(name string, d time.Duration) {
+	r.mu.Lock()
+	h, ok := r.lats[name]
+	if !ok {
+		h = util.NewHist()
+		r.lats[name] = h
+	}
+	r.mu.Unlock()
+	h.Observe(d)
+}
+
+// LatencyHist returns the named latency histogram, or nil if never observed.
+func (r *Registry) LatencyHist(name string) *util.Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lats[name]
+}
+
+// ObserveValue records one sample into a named value histogram.
+func (r *Registry) ObserveValue(name string, x int64) {
+	r.mu.Lock()
+	v, ok := r.values[name]
+	if !ok {
+		v = &ValueHist{h: util.NewHist()}
+		r.values[name] = v
+	}
+	r.mu.Unlock()
+	v.Observe(x)
+}
+
+// ValueHist returns the named value histogram, or nil if never observed.
+func (r *Registry) ValueHist(name string) *ValueHist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.values[name]
 }
 
 // StageSnapshot returns every observed stage's distribution, sorted by

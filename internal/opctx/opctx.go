@@ -9,10 +9,10 @@
 // own waits by what is left of the op's budget.
 //
 // An Op also records where its time went: each layer that services the op
-// observes a named stage (queue, net, primary-ssd, backup-journal, replay,
-// repl-wait) into the op's breadcrumb trail and, when one is attached, a
-// metrics sink — the per-stage latency decomposition the figure benches
-// report.
+// observes a named stage (queue, net, primary-ssd, backup-journal and its
+// backup-jqueue/backup-jflush split, replay, repl-wait) into the op's
+// breadcrumb trail and, when one is attached, a metrics sink — the
+// per-stage latency decomposition the figure benches report.
 //
 // Op implements context.Context, so code that already speaks the standard
 // library's cancellation idiom can consume it directly. Deadlines are model
@@ -52,6 +52,12 @@ const (
 	// StageBackupJournal is the backup replica's journal append, journal
 	// bypass, or direct store write.
 	StageBackupJournal
+	// StageJournalQueue is the slice of StageBackupJournal spent waiting in
+	// a journal's group-commit queue for a leader to claim the record.
+	StageJournalQueue
+	// StageJournalFlush is the slice of StageBackupJournal spent in the
+	// claimed batch's single sequential journal write.
+	StageJournalFlush
 	// StageReplay is time spent queued on a chunk's version slot while a
 	// predecessor pipelined write is still applying.
 	StageReplay
@@ -67,6 +73,8 @@ var stageNames = [numStages]string{
 	"net",
 	"primary-ssd",
 	"backup-journal",
+	"backup-jqueue",
+	"backup-jflush",
 	"replay",
 	"repl-wait",
 }

@@ -138,7 +138,8 @@ func TestBreadcrumbs(t *testing.T) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"queue", "net", "primary-ssd", "backup-journal", "replay", "repl-wait"}
+	want := []string{"queue", "net", "primary-ssd", "backup-journal",
+		"backup-jqueue", "backup-jflush", "replay", "repl-wait"}
 	got := Stages()
 	if len(got) != len(want) {
 		t.Fatalf("stage count = %d", len(got))

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"ursa/internal/blockstore"
@@ -214,11 +215,20 @@ func (m *Message) DecodeHeader(buf []byte) (payloadLen int, err error) {
 // WireSize returns the total encoded size, used by bandwidth shaping.
 func (m *Message) WireSize() int { return HeaderSize + len(m.Payload) }
 
+// hdrPool recycles header scratch buffers for Encode/Decode. A stack array
+// would escape through the io.Writer/io.Reader interface and cost one heap
+// allocation per message on the Send hot path.
+var hdrPool = sync.Pool{
+	New: func() any { b := new([HeaderSize]byte); return b },
+}
+
 // Encode writes the full frame to w.
 func (m *Message) Encode(w io.Writer) error {
-	var hdr [HeaderSize]byte
+	hdr := hdrPool.Get().(*[HeaderSize]byte)
 	m.EncodeHeader(hdr[:])
-	if _, err := w.Write(hdr[:]); err != nil {
+	_, err := w.Write(hdr[:])
+	hdrPool.Put(hdr)
+	if err != nil {
 		return err
 	}
 	if len(m.Payload) > 0 {
@@ -231,7 +241,8 @@ func (m *Message) Encode(w io.Writer) error {
 
 // Decode reads one full frame from r.
 func (m *Message) Decode(r io.Reader) error {
-	var hdr [HeaderSize]byte
+	hdr := hdrPool.Get().(*[HeaderSize]byte)
+	defer hdrPool.Put(hdr)
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
