@@ -21,7 +21,9 @@ check: vet build test race bench-smoke
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
 
-# Short-run sanity pass over the journal group-commit microbenchmark: vet
-# plus a quick `-fig journal`, which also refreshes BENCH_journal.json.
+# Short-run sanity pass over the write-path microbenchmarks: vet plus a
+# quick `-fig journal` and `-fig hotchunk`, which also refresh
+# BENCH_journal.json and BENCH_hotchunk.json.
 bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig journal -quick
+	$(GO) run ./cmd/ursa-bench -fig hotchunk -quick

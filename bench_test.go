@@ -78,6 +78,7 @@ func BenchmarkFig16LatencyDist(b *testing.B)      { runFigure(b, bench.Fig16) }
 // --- Ablations (design choices beyond the paper's figures) ---------------
 
 func BenchmarkFigJournalGroupCommit(b *testing.B) { runFigure(b, bench.FigJournal) }
+func BenchmarkFigHotchunkPipelining(b *testing.B) { runFigure(b, bench.FigHotchunk) }
 func BenchmarkAblJournalMedia(b *testing.B)       { runFigure(b, bench.AblJournalMedia) }
 func BenchmarkAblClientDirected(b *testing.B)     { runFigure(b, bench.AblClientDirected) }
 func BenchmarkAblIndexLevels(b *testing.B)        { runFigure(b, bench.AblIndexLevels) }

@@ -29,6 +29,7 @@ func All() []Entry {
 		{"15", Fig15},
 		{"16", Fig16},
 		{"journal", FigJournal},
+		{"hotchunk", FigHotchunk},
 		{"a1", AblJournalMedia},
 		{"a2", AblClientDirected},
 		{"a3", AblIndexLevels},

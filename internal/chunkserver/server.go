@@ -44,6 +44,15 @@ type Config struct {
 	BypassThreshold int
 	// LiteCap bounds the per-chunk journal-lite history.
 	LiteCap int
+	// SerialApply disables per-chunk write pipelining: an admitted write
+	// waits for every pending predecessor — not just overlapping ones —
+	// before its device apply, so same-chunk applies run strictly one at
+	// a time (the pre-pipelining behaviour). Benches use it as the locked
+	// baseline.
+	SerialApply bool
+	// MaxInflight bounds concurrent handlers per transport connection
+	// (server-side admission queue depth). 0 means the transport default.
+	MaxInflight int
 }
 
 func (c *Config) fillDefaults() {
@@ -60,6 +69,17 @@ func (c *Config) fillDefaults() {
 		c.LiteCap = 4096
 	}
 }
+
+// Metric names published by the pipelined write path.
+const (
+	// MetricPendingWrites samples the per-chunk pending-write depth at
+	// admission — the queue depth the pipeline actually sustains at the
+	// device.
+	MetricPendingWrites = "chunk-pending-writes"
+	// MetricDepWait is the time a write spends blocked on overlapping
+	// pending predecessors before its own device apply may start.
+	MetricDepWait = "chunk-dep-wait"
+)
 
 // Stats is a snapshot of server activity for the efficiency benches
 // (Fig 7). It is a read-only view over the server's metrics counters.
@@ -80,8 +100,13 @@ type Server struct {
 	chunks map[blockstore.ChunkID]*chunkState
 	peers  map[string]*transport.Client
 
-	inflight atomic.Int64
-	draining atomic.Bool
+	// upMu/upCond gate request admission during a hot upgrade (§5.2):
+	// Handle parks on the condvar while draining, Upgrade parks until the
+	// in-flight count drains — no poll loops, no burnt (simulated) time.
+	upMu     sync.Mutex
+	upCond   *sync.Cond
+	inflight int
+	draining bool
 	upGen    atomic.Int64
 
 	reads, writes, replicates  metrics.Counter
@@ -99,18 +124,27 @@ func New(cfg Config, store *blockstore.Store, jset *journal.Set) *Server {
 	if cfg.Role == RoleBackup && jset == nil {
 		panic("chunkserver: backup role requires a journal set")
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		store:  store,
 		jset:   jset,
 		chunks: make(map[blockstore.ChunkID]*chunkState),
 		peers:  make(map[string]*transport.Client),
 	}
+	s.upCond = sync.NewCond(&s.upMu)
+	return s
 }
 
 // Serve starts handling requests on l. It returns immediately.
 func (s *Server) Serve(l transport.Listener) {
-	s.rpc = transport.Serve(l, s.Handle)
+	var opts []transport.ServeOption
+	if s.cfg.MaxInflight > 0 {
+		opts = append(opts, transport.WithMaxInflight(s.cfg.MaxInflight))
+	}
+	if s.cfg.Metrics != nil {
+		opts = append(opts, transport.WithQueueMetrics(s.cfg.Metrics))
+	}
+	s.rpc = transport.Serve(l, s.Handle, opts...)
 }
 
 // Close stops the RPC server and the journal replayer.
@@ -194,11 +228,20 @@ func (s *Server) dropPeer(addr string, c *transport.Client) {
 // Handle dispatches one request; it is the transport.Handler.
 func (s *Server) Handle(m *proto.Message) *proto.Message {
 	// Graceful upgrade: brief pause while the new "process" takes over.
-	for s.draining.Load() {
-		s.cfg.Clock.Sleep(200 * time.Microsecond)
+	s.upMu.Lock()
+	for s.draining {
+		s.upCond.Wait()
 	}
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	s.inflight++
+	s.upMu.Unlock()
+	defer func() {
+		s.upMu.Lock()
+		s.inflight--
+		if s.draining && s.inflight <= 1 {
+			s.upCond.Broadcast()
+		}
+		s.upMu.Unlock()
+	}()
 
 	// Rebuild the request context the message belongs to: same op ID, the
 	// sender's remaining budget re-anchored on our clock. Every wait below
@@ -289,6 +332,7 @@ func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
 	}
 	cs := newChunkState(req.View, req.Backups, s.cfg.LiteCap)
 	cs.version = req.Version
+	cs.reserved = req.Version
 	s.mu.Lock()
 	s.chunks[m.Chunk] = cs
 	s.mu.Unlock()
@@ -305,6 +349,7 @@ func (s *Server) handleDeleteChunk(m *proto.Message) *proto.Message {
 	}
 	cs.mu.Lock()
 	cs.deleted = true
+	cs.bumpLocked() // wake writers queued on the chunk's state
 	cs.mu.Unlock()
 	if s.jset != nil {
 		s.jset.DropChunk(m.Chunk)
@@ -355,6 +400,11 @@ func (s *Server) handleSetView(m *proto.Message) *proto.Message {
 // least as new as the client's version may serve (§4.1); primaries read
 // the SSD store, backups resolve journal extents first.
 func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
+	// Validate before allocating: a malformed Length would otherwise size
+	// an arbitrary buffer (and only then fail in the store).
+	if err := validRange(m.Off, int(m.Length)); err != nil {
+		return m.Reply(proto.StatusError)
+	}
 	cs := s.chunk(m.Chunk)
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
@@ -400,53 +450,173 @@ func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 	return r
 }
 
-// checkWriteVersionLocked applies the paper's version rules (§4.2.1) for a
-// write carrying version v against state cs. It returns (skipLocal, resp):
-// a non-nil resp short-circuits the request. Waiting for a predecessor
-// pipelined write's version slot is bounded by the op's remaining budget.
-func (s *Server) checkWriteVersionLocked(cs *chunkState, op *opctx.Op, m *proto.Message) (bool, *proto.Message) {
-	if cs.view != m.View {
-		r := m.Reply(proto.StatusStaleView)
-		r.View = cs.view
-		return false, r
-	}
-	switch {
-	case m.Version == cs.version:
-		return false, nil
-	case m.Version == cs.version-1:
-		// Already applied here (retry after a partial failure): skip the
-		// local write but still forward/ack (§4.2.1).
-		return true, nil
-	case m.Version < cs.version:
-		r := m.Reply(proto.StatusStaleVersion)
-		r.Version = cs.version
-		return false, r
-	default: // m.Version > cs.version
-		// A predecessor pipelined write may still be applying; wait for
-		// our slot, then recheck.
-		stop := op.StartStage(opctx.StageReplay)
-		reached := cs.waitVersionLocked(m.Version, op, s.opBudget(op, s.cfg.ReplTimeout))
-		stop()
-		if !reached {
-			r := m.Reply(proto.StatusBehind)
-			r.Version = cs.version
-			return false, r
+// errPredecessorFailed aborts a write whose overlapping predecessor's apply
+// failed: the predecessor's slot will be re-claimed by a retry carrying
+// older data, so writing ours first would let that retry overwrite it.
+var errPredecessorFailed = errors.New("chunkserver: overlapping predecessor write failed")
+
+// admitWriteLocked runs the §4.2.1 version rules for a write carrying
+// version v and, when the write is admitted, claims its version slot and
+// registers its extent in the chunk's pending table — the short in-lock
+// ordering section of the pipelined write path. It returns exactly one of:
+//
+//   - pw != nil: the slot is claimed; deps are the pending predecessors the
+//     caller must wait out (overlapping ones, or all of them under
+//     SerialApply) before applying out of lock.
+//   - skipLocal: the write is the §4.2.1 duplicate (already applied here);
+//     no slot is claimed, the caller still forwards/acks.
+//   - resp != nil: the request short-circuits with this reply.
+//
+// Waits (our slot not yet reserved, or a duplicate of a still-in-flight
+// write) are bounded by the op's remaining budget. Called and returns with
+// cs.mu held.
+func (s *Server) admitWriteLocked(cs *chunkState, op *opctx.Op, m *proto.Message) (pw *pendingWrite, deps []*pendingWrite, skipLocal bool, resp *proto.Message) {
+	deadline := s.cfg.Clock.Now().Add(s.opBudget(op, s.cfg.ReplTimeout))
+	var stopWait func()
+	defer func() {
+		if stopWait != nil {
+			stopWait()
 		}
-		if m.Version == cs.version-1 {
-			return true, nil
+	}()
+	for {
+		if cs.deleted {
+			return nil, nil, false, m.Reply(proto.StatusNotFound)
 		}
-		if m.Version != cs.version {
+		if cs.view != m.View {
+			r := m.Reply(proto.StatusStaleView)
+			r.View = cs.view
+			return nil, nil, false, r
+		}
+		switch {
+		case m.Version+1 == cs.version:
+			// Already applied here (retry after a partial failure): skip the
+			// local write but still forward/ack (§4.2.1).
+			return nil, nil, true, nil
+		case m.Version < cs.version:
 			r := m.Reply(proto.StatusStaleVersion)
 			r.Version = cs.version
-			return false, r
+			return nil, nil, false, r
+		case m.Version == cs.reserved:
+			// Our slot is next: claim it.
+			pw, deps = s.claimSlotLocked(cs, m)
+			return pw, deps, false, nil
+		case m.Version < cs.reserved:
+			// The slot was already handed out. A failed entry is a retry's
+			// to re-claim (its overlapping successors aborted, so nothing
+			// newer can be on disk under our extent); a live entry means a
+			// duplicate delivery — wait for the original's fate and
+			// re-evaluate.
+			if p := cs.pending[m.Version]; p == nil || p.failed {
+				pw, deps = s.claimSlotLocked(cs, m)
+				return pw, deps, false, nil
+			}
+		default:
+			// m.Version > cs.reserved: a predecessor has not arrived yet;
+			// wait for reservations to catch up.
 		}
-		return false, nil
+		if stopWait == nil {
+			stopWait = op.StartStage(opctx.StageReplay)
+		}
+		if !cs.waitChangeLocked(op, deadline) {
+			r := m.Reply(proto.StatusBehind)
+			r.Version = cs.version
+			return nil, nil, false, r
+		}
 	}
+}
+
+// claimSlotLocked registers m's write in the pending table and collects the
+// predecessors it must wait out before touching the device: entries whose
+// extents overlap m's, or every earlier entry under SerialApply. Claiming
+// the next free slot advances the reservation cursor and wakes writers
+// queued on it.
+func (s *Server) claimSlotLocked(cs *chunkState, m *proto.Message) (*pendingWrite, []*pendingWrite) {
+	pw := &pendingWrite{
+		version: m.Version,
+		off:     m.Off,
+		length:  len(m.Payload),
+		done:    make(chan struct{}),
+	}
+	var deps []*pendingWrite
+	for slot, p := range cs.pending {
+		if slot >= m.Version {
+			continue
+		}
+		if s.cfg.SerialApply || p.overlaps(m.Off, len(m.Payload)) {
+			deps = append(deps, p)
+		}
+	}
+	cs.pending[m.Version] = pw
+	if m.Version == cs.reserved {
+		cs.reserved++
+	}
+	cs.bumpLocked()
+	return pw, deps
+}
+
+// awaitDeps blocks until every predecessor in deps has finished its device
+// apply, bounded by the op's budget. A failed dependency aborts the write:
+// its slot must stay re-claimable by the retry that carries the missing
+// data, and our extent overlaps that retry's.
+func (s *Server) awaitDeps(op *opctx.Op, deps []*pendingWrite) error {
+	if len(deps) == 0 {
+		return nil
+	}
+	clk := s.cfg.Clock
+	t0 := clk.Now()
+	deadline := t0.Add(s.opBudget(op, s.cfg.ReplTimeout))
+	stop := op.StartStage(opctx.StageApplyWait)
+	defer stop()
+	for _, dep := range deps {
+		rem := deadline.Sub(clk.Now())
+		if rem <= 0 {
+			return fmt.Errorf("chunkserver: dependency wait: %w", util.ErrTimeout)
+		}
+		select {
+		case <-dep.done:
+		case <-clk.After(rem):
+			return fmt.Errorf("chunkserver: dependency wait: %w", util.ErrTimeout)
+		case <-op.Done():
+			return context.Canceled
+		}
+		if dep.failed {
+			return errPredecessorFailed
+		}
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.ObserveLatency(MetricDepWait, clk.Now().Sub(t0))
+	}
+	return nil
+}
+
+// awaitCommit blocks until the chunk's committed version reaches want —
+// this write's own apply plus every predecessor's has landed — so acks go
+// out strictly in version order and StatusOK at version v still implies
+// every write ≤ v is applied. It returns the committed version and whether
+// want was reached within the op's budget.
+func (s *Server) awaitCommit(cs *chunkState, op *opctx.Op, want uint64) (uint64, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.version >= want {
+		return cs.version, true
+	}
+	deadline := s.cfg.Clock.Now().Add(s.opBudget(op, s.cfg.ReplTimeout))
+	stop := op.StartStage(opctx.StageCommitWait)
+	defer stop()
+	for cs.version < want && !cs.deleted {
+		if !cs.waitChangeLocked(op, deadline) {
+			break
+		}
+	}
+	return cs.version, cs.version >= want
 }
 
 // handleWrite is the primary write path: apply locally, optionally
 // replicate to backups (forward=false under client-directed replication),
-// and commit by the all-or-majority-after-timeout rule.
+// and commit by the all-or-majority-after-timeout rule. The chunk lock is
+// held only for slot admission: the SSD write itself runs out of lock,
+// concurrently with other same-chunk writes whose extents do not overlap,
+// and the ack waits for the committed version to reach this write's slot.
 func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *proto.Message {
 	if err := validRange(m.Off, len(m.Payload)); err != nil {
 		return m.Reply(proto.StatusError)
@@ -456,41 +626,63 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 		return m.Reply(proto.StatusNotFound)
 	}
 	cs.mu.Lock()
-	skipLocal, resp := s.checkWriteVersionLocked(cs, op, m)
+	pw, deps, skipLocal, resp := s.admitWriteLocked(cs, op, m)
 	if resp != nil {
 		cs.mu.Unlock()
 		return resp
 	}
+	backups := cs.backups
+	depth := len(cs.pending)
+	cs.mu.Unlock()
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.ObserveValue(MetricPendingWrites, int64(depth))
+	}
+
 	// Replication overlaps the local write: the primary starts the
 	// fan-out immediately and performs its own write while the data is in
 	// flight to the backups, so the end-to-end latency is max(local,
 	// backup), not their sum. Backups order pipelined versions themselves.
 	var replCh chan bool
-	if forward && len(cs.backups) > 0 {
-		backups := cs.backups
+	if forward && len(backups) > 0 {
 		replCh = make(chan bool, 1)
 		go func() { replCh <- s.replicateToBackups(op, backups, m) }()
 	}
 	if !skipLocal {
+		if err := s.awaitDeps(op, deps); err != nil {
+			cs.applyDone(pw, err)
+			if replCh != nil {
+				<-replCh
+			}
+			cs.mu.Lock()
+			ver := cs.version
+			cs.mu.Unlock()
+			r := m.Reply(proto.StatusBehind)
+			r.Version = ver
+			return r
+		}
 		stop := op.StartStage(opctx.StagePrimarySSD)
 		err := s.store.WriteAt(m.Chunk, m.Payload, m.Off)
 		stop()
+		cs.applyDone(pw, err)
 		if err != nil {
-			cs.mu.Unlock()
 			if replCh != nil {
 				<-replCh
 			}
 			return m.Reply(proto.StatusError)
 		}
-		cs.lite.Record(m.Version+1, m.Off, len(m.Payload))
-		cs.version++
 	}
-	newVer := cs.version
-	cs.mu.Unlock()
-
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(m.Payload)))
 
+	newVer, committed := s.awaitCommit(cs, op, m.Version+1)
+	if !committed {
+		if replCh != nil {
+			<-replCh
+		}
+		r := m.Reply(proto.StatusBehind)
+		r.Version = newVer
+		return r
+	}
 	if replCh != nil && !<-replCh {
 		s.noQuorums.Add(1)
 		r := m.Reply(proto.StatusError)
@@ -565,7 +757,10 @@ func (s *Server) replicateToBackups(op *opctx.Op, backups []string, m *proto.Mes
 }
 
 // handleReplicate is the backup write path: journal small writes, bypass
-// for large ones (§3.2).
+// for large ones (§3.2). Like the primary path, only slot admission runs
+// under the chunk lock: same-chunk appends reach the journal's group-commit
+// queue concurrently, so one flush batches a hot chunk's burst instead of
+// draining it one record per device write.
 func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message {
 	if err := validRange(m.Off, len(m.Payload)); err != nil {
 		return m.Reply(proto.StatusError)
@@ -575,27 +770,43 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 		return m.Reply(proto.StatusNotFound)
 	}
 	cs.mu.Lock()
-	skipLocal, resp := s.checkWriteVersionLocked(cs, op, m)
+	pw, deps, skipLocal, resp := s.admitWriteLocked(cs, op, m)
 	if resp != nil {
 		cs.mu.Unlock()
 		return resp
 	}
+	depth := len(cs.pending)
+	cs.mu.Unlock()
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.ObserveValue(MetricPendingWrites, int64(depth))
+	}
 	if !skipLocal {
+		if err := s.awaitDeps(op, deps); err != nil {
+			cs.applyDone(pw, err)
+			cs.mu.Lock()
+			ver := cs.version
+			cs.mu.Unlock()
+			r := m.Reply(proto.StatusBehind)
+			r.Version = ver
+			return r
+		}
 		stop := op.StartStage(opctx.StageBackupJournal)
 		err := s.applyBackupWrite(op, m)
 		stop()
+		cs.applyDone(pw, err)
 		if err != nil {
-			cs.mu.Unlock()
 			return m.Reply(proto.StatusError)
 		}
-		cs.lite.Record(m.Version+1, m.Off, len(m.Payload))
-		cs.version++
 	}
-	newVer := cs.version
-	cs.mu.Unlock()
-
 	s.replicates.Add(1)
 	s.bytesWritten.Add(int64(len(m.Payload)))
+
+	newVer, committed := s.awaitCommit(cs, op, m.Version+1)
+	if !committed {
+		r := m.Reply(proto.StatusBehind)
+		r.Version = newVer
+		return r
+	}
 	r := m.Reply(proto.StatusOK)
 	r.Version = newVer
 	return r
@@ -688,9 +899,7 @@ func (s *Server) handleApplyRepair(m *proto.Message) *proto.Message {
 		cs.lite.Record(mod.Version, mod.Off, len(mod.Data))
 		s.bytesWritten.Add(int64(len(mod.Data)))
 	}
-	if m.Version > cs.version {
-		cs.version = m.Version
-	}
+	cs.adoptVersionLocked(m.Version)
 	s.repairCount.Add(1)
 	r := m.Reply(proto.StatusOK)
 	r.Version = cs.version
@@ -805,9 +1014,7 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 		}
 		s.bytesWritten.Add(int64(len(fresp.Payload)))
 	}
-	if srcVersion > cs.version {
-		cs.version = srcVersion
-	}
+	cs.adoptVersionLocked(srcVersion)
 	if m.View > cs.view {
 		cs.view = m.View
 	}
@@ -869,14 +1076,19 @@ func (s *Server) handleRepairFrom(op *opctx.Op, m *proto.Message) *proto.Message
 // observable contract — no failed requests, brief pause, state preserved —
 // is identical.
 func (s *Server) Upgrade() {
-	if !s.draining.CompareAndSwap(false, true) {
+	s.upMu.Lock()
+	if s.draining {
+		s.upMu.Unlock()
 		return // an upgrade is already in progress
 	}
-	for s.inflight.Load() > 1 { // >1: the OpUpgrade handler itself
-		s.cfg.Clock.Sleep(200 * time.Microsecond)
+	s.draining = true
+	for s.inflight > 1 { // >1: the OpUpgrade handler itself
+		s.upCond.Wait()
 	}
 	s.upGen.Add(1)
-	s.draining.Store(false)
+	s.draining = false
+	s.upCond.Broadcast()
+	s.upMu.Unlock()
 }
 
 // validRange checks a sector-aligned in-chunk range.

@@ -4,9 +4,11 @@
 // behind a journal set, absorbing small writes as sequential appends and
 // taking large writes directly (journal bypass).
 //
-// Request execution is out-of-order across chunks and version-ordered
-// within a chunk: concurrently dispatched handlers for one chunk queue on
-// its state until their version is next (§3.4).
+// Request execution is out-of-order across chunks and pipelined within a
+// chunk: a write claims its version slot under the chunk lock, registers
+// its extent, and applies to the device outside the lock, concurrently
+// with other same-chunk writes whose extents do not overlap (§3.4). The
+// committed version advances strictly in version order as applies land.
 package chunkserver
 
 import (
@@ -33,12 +35,45 @@ func (r Role) String() string {
 	return "backup"
 }
 
+// pendingWrite is one admitted-but-uncommitted write: its version slot, the
+// extent it will touch, and a channel that closes when its device apply
+// finishes (successfully or not). Writes whose extents overlap an earlier
+// pending entry wait on that entry's done channel before touching the
+// device; disjoint writes proceed in parallel.
+type pendingWrite struct {
+	version uint64 // the slot: a write carrying Version v commits as v+1
+	off     int64
+	length  int
+
+	// applied/failed are written under chunkState.mu before done closes and
+	// read by dependents only after done closes.
+	applied bool
+	failed  bool
+	done    chan struct{}
+}
+
+func (p *pendingWrite) overlaps(off int64, n int) bool {
+	return off < p.off+int64(p.length) && p.off < off+int64(n)
+}
+
 // chunkState is the per-chunk replication state of one replica.
 type chunkState struct {
 	mu sync.Mutex
 
-	version uint64 // number of applied writes
-	view    uint64 // persistent view number (§4.1)
+	version  uint64 // committed: number of fully applied writes
+	reserved uint64 // version slots handed out; reserved >= version
+	view     uint64 // persistent view number (§4.1)
+
+	// pending maps a write's version slot to its in-flight entry. Slots in
+	// [version, reserved) are present until they commit (advanceLocked
+	// removes them in order) or fail (the failed entry stays, blocking the
+	// chain, until a retry re-claims the slot or repair adopts past it).
+	pending map[uint64]*pendingWrite
+
+	// changed is a broadcast channel: closed and replaced whenever version,
+	// reserved, deletion, or a pending entry's fate changes, waking every
+	// handler queued on this chunk's state.
+	changed chan struct{}
 
 	// backups are the peer addresses the primary replicates to; empty on
 	// backup replicas.
@@ -51,29 +86,90 @@ type chunkState struct {
 }
 
 func newChunkState(view uint64, backups []string, liteCap int) *chunkState {
-	return &chunkState{view: view, backups: backups, lite: journal.NewLite(liteCap)}
+	return &chunkState{
+		view:    view,
+		backups: backups,
+		lite:    journal.NewLite(liteCap),
+		pending: make(map[uint64]*pendingWrite),
+		changed: make(chan struct{}),
+	}
 }
 
-// versionGapPoll is how often a handler waiting for its version slot
-// rechecks; gaps exist only while a predecessor pipelined write is still
-// applying, so waits are microseconds in the common case.
-const versionGapPoll = 50 * time.Microsecond
+// bumpLocked wakes everything blocked on the chunk's state.
+func (cs *chunkState) bumpLocked() {
+	close(cs.changed)
+	cs.changed = make(chan struct{})
+}
 
-// waitVersionLocked blocks until the chunk's version reaches want (an
-// earlier pipelined write is mid-flight), the chunk is deleted, maxWait
-// elapses, or the op is cancelled. It returns whether want was reached.
-// Called and returns with cs.mu held.
-func (cs *chunkState) waitVersionLocked(want uint64, op *opctx.Op, maxWait time.Duration) bool {
-	clk := op.Clock()
-	var waited time.Duration
-	for cs.version < want && !cs.deleted {
-		if waited >= maxWait || op.Canceled() {
-			return false
+// advanceLocked commits applied pending writes in version order: the
+// committed version moves up across every consecutively applied slot,
+// recording each extent in the repair history as it commits. It stops at
+// the first missing, still-applying, or failed slot.
+func (cs *chunkState) advanceLocked() {
+	for {
+		p := cs.pending[cs.version]
+		if p == nil || !p.applied {
+			return
 		}
-		cs.mu.Unlock()
-		clk.Sleep(versionGapPoll)
-		waited += versionGapPoll
-		cs.mu.Lock()
+		delete(cs.pending, cs.version)
+		cs.lite.Record(p.version+1, p.off, p.length)
+		cs.version++
 	}
-	return cs.version >= want && !cs.deleted
+}
+
+// applyDone records the outcome of p's device apply, wakes dependents, and
+// advances the committed version over any newly completed prefix.
+func (cs *chunkState) applyDone(p *pendingWrite, err error) {
+	cs.mu.Lock()
+	if err != nil {
+		p.failed = true
+	} else {
+		p.applied = true
+	}
+	close(p.done)
+	cs.advanceLocked()
+	cs.bumpLocked()
+	cs.mu.Unlock()
+}
+
+// adoptVersionLocked jumps the replica to version v (repair/clone installed
+// newer state wholesale). Pending slots below v are superseded by the
+// adopted data and dropped; their handlers still own their entries and
+// close them, but commits no longer consider them.
+func (cs *chunkState) adoptVersionLocked(v uint64) {
+	if v > cs.version {
+		cs.version = v
+	}
+	if cs.reserved < cs.version {
+		cs.reserved = cs.version
+	}
+	for slot := range cs.pending {
+		if slot < cs.version {
+			delete(cs.pending, slot)
+		}
+	}
+	cs.advanceLocked()
+	cs.bumpLocked()
+}
+
+// waitChangeLocked blocks until the chunk's state changes, deadline passes,
+// or the op is cancelled; it reports whether a change fired. Called and
+// returns with cs.mu held; the mutex is released for the wait's duration.
+func (cs *chunkState) waitChangeLocked(op *opctx.Op, deadline time.Time) bool {
+	clk := op.Clock()
+	rem := deadline.Sub(clk.Now())
+	if rem <= 0 || op.Canceled() {
+		return false
+	}
+	ch := cs.changed
+	cs.mu.Unlock()
+	fired := false
+	select {
+	case <-ch:
+		fired = true
+	case <-clk.After(rem):
+	case <-op.Done():
+	}
+	cs.mu.Lock()
+	return fired
 }

@@ -97,6 +97,13 @@ type Options struct {
 	// BypassThreshold is Tj (default 64 KB); TinyThreshold is Tc (8 KB).
 	BypassThreshold int
 	TinyThreshold   int
+	// ServerMaxInflight bounds concurrent handlers per connection on every
+	// chunk server (0 = transport default) — the server-side admission
+	// depth the hotchunk bench sweeps.
+	ServerMaxInflight int
+	// SerialApply disables per-chunk write pipelining on every chunk
+	// server (the locked baseline; see chunkserver.Config.SerialApply).
+	SerialApply bool
 }
 
 func (o *Options) fillDefaults() {
@@ -254,6 +261,8 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 				Dialer:      c.Net.Dialer(addr, nodeCfg),
 				ReplTimeout: opts.ReplTimeout,
 				Metrics:     opts.Metrics,
+				MaxInflight: opts.ServerMaxInflight,
+				SerialApply: opts.SerialApply,
 			}, store, nil)
 			if err := c.startServer(m, srv, nodeCfg); err != nil {
 				return nil, err
@@ -283,6 +292,8 @@ func (c *Cluster) addSSDServers(m *Machine, nodeCfg transport.NodeConfig, regist
 			Dialer:      c.Net.Dialer(addr, nodeCfg),
 			ReplTimeout: opts.ReplTimeout,
 			Metrics:     opts.Metrics,
+			MaxInflight: opts.ServerMaxInflight,
+			SerialApply: opts.SerialApply,
 		}, store, nil)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
 			return err
@@ -335,6 +346,8 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 			ReplTimeout:     opts.ReplTimeout,
 			Metrics:         opts.Metrics,
 			BypassThreshold: opts.BypassThreshold,
+			MaxInflight:     opts.ServerMaxInflight,
+			SerialApply:     opts.SerialApply,
 		}, store, jset)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
 			return err

@@ -105,9 +105,15 @@ type commitReq struct {
 // time — the single-threaded elevator-friendly regime the paper prescribes
 // for backup HDDs (§5.3).
 //
-// Per-chunk appends must be serialized by the caller (the chunk server's
-// version protocol already does); appends to different chunks may run
-// concurrently.
+// Concurrent appends — to different chunks or to the same chunk — are
+// safe; the caller must only order appends whose extents OVERLAP (the
+// chunk server's per-chunk write pipeline waits out overlapping pending
+// predecessors before appending, and its version protocol keeps the
+// version numbers the index carries monotone per extent). An Append
+// returns only after its batch's flush and index insert, so
+// caller-sequenced overlapping appends are index-ordered too. Same-chunk
+// concurrency is what lets one group-commit flush batch a hot chunk's
+// burst instead of draining it one record per device write.
 type Set struct {
 	clk  clock.Clock
 	sink Sink

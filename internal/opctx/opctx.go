@@ -35,8 +35,9 @@ import (
 // stages decompose one hybrid write end to end: client admission (queue),
 // RPC round trips (net), the primary's SSD service (primary-ssd), the
 // backup's journal append or bypass write (backup-journal), waiting on a
-// predecessor pipelined write's version slot (replay), and the primary's
-// wait for backup acks (repl-wait).
+// predecessor pipelined write's version slot (replay), the pipelined write
+// path's extent-dependency and in-order-ack waits (apply-wait,
+// commit-wait), and the primary's wait for backup acks (repl-wait).
 type Stage uint8
 
 // Request-path stages.
@@ -61,6 +62,14 @@ const (
 	// StageReplay is time spent queued on a chunk's version slot while a
 	// predecessor pipelined write is still applying.
 	StageReplay
+	// StageApplyWait is time an admitted write spends blocked on
+	// overlapping pending predecessors before its own device apply may
+	// start (per-chunk write pipelining's extent-dependency wait).
+	StageApplyWait
+	// StageCommitWait is time spent after a write's own apply waiting for
+	// the chunk's committed version to reach the write's slot, so acks go
+	// out strictly in version order.
+	StageCommitWait
 	// StageReplWait is the primary's wait for backup acks (the §4.2.1
 	// commit-rule window).
 	StageReplWait
@@ -76,6 +85,8 @@ var stageNames = [numStages]string{
 	"backup-jqueue",
 	"backup-jflush",
 	"replay",
+	"apply-wait",
+	"commit-wait",
 	"repl-wait",
 }
 

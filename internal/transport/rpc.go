@@ -177,20 +177,61 @@ type Server struct {
 	l Listener
 	h Handler
 
+	maxInflight int
+	qsink       QueueSink
+
 	mu     sync.Mutex
 	conns  map[MsgConn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// maxInflightPerConn bounds concurrent handlers per connection, the moral
-// equivalent of a device queue depth; beyond it requests queue in the read
-// loop.
-const maxInflightPerConn = 256
+// DefaultMaxInflightPerConn bounds concurrent handlers per connection, the
+// moral equivalent of a device queue depth; beyond it requests queue in the
+// read loop. Override per server with WithMaxInflight.
+const DefaultMaxInflightPerConn = 256
+
+// QueueSink receives the server's admission queue-depth samples.
+// *metrics.Registry implements it; the indirection keeps transport free of
+// dependencies above clock/proto/util.
+type QueueSink interface {
+	ObserveValue(name string, x int64)
+}
+
+// MetricConnInflight is the queue-depth sample WithQueueMetrics publishes:
+// concurrent handlers on one connection, observed at each admission.
+const MetricConnInflight = "rpc-conn-inflight"
+
+// ServeOption tunes a Server.
+type ServeOption func(*Server)
+
+// WithMaxInflight overrides the per-connection concurrent-handler bound
+// (n<=0 keeps the default), the server-side admission knob the bench sweeps
+// against the chunk pipeline.
+func WithMaxInflight(n int) ServeOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxInflight = n
+		}
+	}
+}
+
+// WithQueueMetrics publishes the per-connection admission depth to sink as
+// MetricConnInflight value samples.
+func WithQueueMetrics(sink QueueSink) ServeOption {
+	return func(s *Server) { s.qsink = sink }
+}
 
 // Serve starts accepting. It returns immediately; Close stops everything.
-func Serve(l Listener, h Handler) *Server {
-	s := &Server{l: l, h: h, conns: make(map[MsgConn]struct{})}
+func Serve(l Listener, h Handler, opts ...ServeOption) *Server {
+	s := &Server{
+		l: l, h: h,
+		maxInflight: DefaultMaxInflightPerConn,
+		conns:       make(map[MsgConn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -224,7 +265,7 @@ func (s *Server) connLoop(conn MsgConn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	sem := make(chan struct{}, maxInflightPerConn)
+	sem := make(chan struct{}, s.maxInflight)
 	var inner sync.WaitGroup
 	for {
 		m, err := conn.Recv()
@@ -232,6 +273,9 @@ func (s *Server) connLoop(conn MsgConn) {
 			break
 		}
 		sem <- struct{}{}
+		if s.qsink != nil {
+			s.qsink.ObserveValue(MetricConnInflight, int64(len(sem)))
+		}
 		inner.Add(1)
 		go func(m *proto.Message) {
 			defer inner.Done()
