@@ -2,7 +2,7 @@
 # the race detector (the RPC/replication paths are goroutine-heavy).
 GO ?= go
 
-.PHONY: build test race vet check bench-quick bench-smoke
+.PHONY: build test race vet check bench-quick bench-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test race bench-smoke
+check: vet build test race chaos-smoke bench-smoke
 
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
@@ -27,3 +27,10 @@ bench-quick:
 bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig journal -quick
 	$(GO) run ./cmd/ursa-bench -fig hotchunk -quick
+	$(GO) run ./cmd/ursa-bench -fig recovery -quick
+
+# Deterministic chaos acceptance run (fixed seed, scripted schedule, ~2s):
+# every SSD journal in the cluster dies mid-workload and the client must
+# finish with zero failed I/Os and a linearizable history.
+chaos-smoke:
+	$(GO) test ./internal/cluster -run TestChaosJournalDeathNoClientErrors -count=1 -v

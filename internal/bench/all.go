@@ -30,6 +30,7 @@ func All() []Entry {
 		{"16", Fig16},
 		{"journal", FigJournal},
 		{"hotchunk", FigHotchunk},
+		{"recovery", FigRecovery},
 		{"a1", AblJournalMedia},
 		{"a2", AblClientDirected},
 		{"a3", AblIndexLevels},

@@ -55,3 +55,16 @@ func TestFig15Smoke(t *testing.T) {
 	}
 	checkTable(t, Fig15(quickCfg), 6)
 }
+
+func TestFigRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench")
+	}
+	tab := FigRecovery(quickCfg)
+	checkTable(t, tab, 4)
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "ACCEPTANCE FAIL") {
+			t.Fatalf("%s: %s", tab.ID, n)
+		}
+	}
+}

@@ -53,6 +53,16 @@ type Config struct {
 	// MaxInflight bounds concurrent handlers per transport connection
 	// (server-side admission queue depth). 0 means the transport default.
 	MaxInflight int
+	// MasterAddr, when set, is where device I/O failures are reported
+	// (MOpReportFailure): a chunk whose store or journal replay hits a
+	// persistent error asks the master for the §4.2.2 view change that
+	// re-replicates it elsewhere. Empty disables reporting.
+	MasterAddr string
+	// ReportCooldown throttles per-chunk failure reports: a chunk taking
+	// sustained I/O errors reports at most once per cooldown, so a storm of
+	// failing requests cannot flood the master with duplicate view changes.
+	// 0 means 1s.
+	ReportCooldown time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -67,6 +77,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.LiteCap <= 0 {
 		c.LiteCap = 4096
+	}
+	if c.ReportCooldown <= 0 {
+		c.ReportCooldown = time.Second
 	}
 }
 
@@ -114,6 +127,10 @@ type Server struct {
 	repairCount, cloneCount    metrics.Counter
 	degradedCommits, noQuorums metrics.Counter
 
+	// failMu guards the per-chunk report throttle (see reportDeviceFailure).
+	failMu     sync.Mutex
+	lastReport map[blockstore.ChunkID]time.Time
+
 	rpc *transport.Server
 }
 
@@ -125,14 +142,81 @@ func New(cfg Config, store *blockstore.Store, jset *journal.Set) *Server {
 		panic("chunkserver: backup role requires a journal set")
 	}
 	s := &Server{
-		cfg:    cfg,
-		store:  store,
-		jset:   jset,
-		chunks: make(map[blockstore.ChunkID]*chunkState),
-		peers:  make(map[string]*transport.Client),
+		cfg:        cfg,
+		store:      store,
+		jset:       jset,
+		chunks:     make(map[blockstore.ChunkID]*chunkState),
+		peers:      make(map[string]*transport.Client),
+		lastReport: make(map[blockstore.ChunkID]time.Time),
 	}
 	s.upCond = sync.NewCond(&s.upMu)
+	if jset != nil {
+		// A journal dying is handled inside the set (re-route, then bypass)
+		// and needs no view change; a PARKED replay means this chunk's data
+		// cannot reach the backup disk at all — ask the master to
+		// re-replicate it elsewhere.
+		jset.OnFault(nil, func(id blockstore.ChunkID, err error) {
+			s.reportDeviceFailure(id, err)
+		})
+	}
 	return s
+}
+
+// reportFailureReq mirrors master.ReportFailureReq; the master package
+// imports this one, so the wire shape is duplicated here (same JSON tags).
+type reportFailureReq struct {
+	VDisk      uint32 `json:"vdisk"`
+	ChunkIndex uint32 `json:"chunkIndex"`
+	FailedAddr string `json:"failedAddr,omitempty"`
+}
+
+// reportDeviceFailure asks the master (fire-and-forget) to run the §4.2.2
+// view change for a chunk whose local device I/O failed, naming this
+// server as the failed replica. Reports are throttled per chunk so request
+// storms against a dead disk collapse into one view change; the master's
+// recovery is idempotent regardless (a second report after the view moved
+// finds this address already out of the replica set).
+func (s *Server) reportDeviceFailure(id blockstore.ChunkID, cause error) {
+	if cause == nil || s.cfg.MasterAddr == "" {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	s.failMu.Lock()
+	if last, ok := s.lastReport[id]; ok && now.Sub(last) < s.cfg.ReportCooldown {
+		s.failMu.Unlock()
+		return
+	}
+	s.lastReport[id] = now
+	s.failMu.Unlock()
+
+	go func() {
+		payload, err := json.Marshal(reportFailureReq{
+			VDisk:      id.VDisk(),
+			ChunkIndex: id.Index(),
+			FailedAddr: s.cfg.Addr,
+		})
+		if err != nil {
+			return
+		}
+		cli, err := s.peer(s.cfg.MasterAddr)
+		if err != nil {
+			return
+		}
+		// Recovery clones a whole chunk synchronously before the master
+		// replies, so the window is far beyond a normal RPC's.
+		op := opctx.New(s.cfg.Clock, 120*s.cfg.ReplTimeout)
+		if s.cfg.Metrics != nil {
+			op = op.WithSink(s.cfg.Metrics)
+		}
+		if _, err := cli.Do(op, &proto.Message{
+			Op:      proto.MOpReportFailure,
+			Payload: payload,
+		}, 0); err != nil {
+			if !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled) {
+				s.dropPeer(s.cfg.MasterAddr, cli)
+			}
+		}
+	}()
 }
 
 // Serve starts handling requests on l. It returns immediately.
@@ -440,6 +524,7 @@ func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 		stop()
 	}
 	if err != nil {
+		s.reportDeviceFailure(m.Chunk, err)
 		return m.Reply(proto.StatusError)
 	}
 	s.reads.Add(1)
@@ -665,6 +750,7 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 		stop()
 		cs.applyDone(pw, err)
 		if err != nil {
+			s.reportDeviceFailure(m.Chunk, err)
 			if replCh != nil {
 				<-replCh
 			}
@@ -795,6 +881,7 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 		stop()
 		cs.applyDone(pw, err)
 		if err != nil {
+			s.reportDeviceFailure(m.Chunk, err)
 			return m.Reply(proto.StatusError)
 		}
 	}

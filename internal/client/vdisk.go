@@ -388,9 +388,15 @@ func (vd *VDisk) rotatePrimary(idx, sawPrimary int) {
 }
 
 // backoff sleeps between retry rounds; the wait is admission queueing from
-// the op's point of view and never exceeds its remaining budget.
+// the op's point of view and never exceeds its remaining budget. The delay
+// is jittered (±50%, seeded by op and attempt so reruns reproduce) to
+// decorrelate the retry herds of fragments that failed together — after a
+// replica dies, every fragment's retry would otherwise land on the
+// recovering view at the same instant.
 func (vd *VDisk) backoff(op *opctx.Op, attempt int) {
-	d := time.Duration(attempt+1) * 500 * time.Microsecond
+	base := time.Duration(attempt+1) * 500 * time.Microsecond
+	r := util.NewRand(op.ID()<<8 + uint64(attempt))
+	d := base/2 + time.Duration(r.Int63n(int64(base)))
 	if rem, ok := op.Remaining(); ok && rem < d {
 		d = rem
 	}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"ursa/internal/client"
+	"ursa/internal/core"
+	"ursa/internal/linearize"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// ChaosKind names one fault action the chaos harness can take.
+type ChaosKind int
+
+// Chaos event kinds.
+const (
+	// ChaosKillJournals arms write faults over every journal region on a
+	// machine: the journals die on their next flush while replay reads keep
+	// working, exercising the re-route → bypass degradation ladder.
+	ChaosKillJournals ChaosKind = iota
+	// ChaosKillDisk kills one device outright (reads and writes fail).
+	ChaosKillDisk
+	// ChaosHealDisk clears every fault on one device. Dead journals stay
+	// dead by design; the data path recovers.
+	ChaosHealDisk
+	// ChaosStallDisk arms a fixed per-op delay on one device (limping disk).
+	ChaosStallDisk
+	// ChaosCrashServer makes one chunk server unreachable on the fabric.
+	ChaosCrashServer
+	// ChaosRestartServer brings a crashed server's node back.
+	ChaosRestartServer
+)
+
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosKillJournals:
+		return "kill-journals"
+	case ChaosKillDisk:
+		return "kill-disk"
+	case ChaosHealDisk:
+		return "heal-disk"
+	case ChaosStallDisk:
+		return "stall-disk"
+	case ChaosCrashServer:
+		return "crash-server"
+	case ChaosRestartServer:
+		return "restart-server"
+	default:
+		return fmt.Sprintf("chaos-kind-%d", int(k))
+	}
+}
+
+// ChaosEvent is one scheduled fault: when the workload's operation counter
+// reaches AtOp the action fires. Device-targeted kinds address a device by
+// (Machine, Disk, HDD); server kinds address a fabric node by Server.
+type ChaosEvent struct {
+	AtOp    int
+	Kind    ChaosKind
+	Machine int
+	Disk    int
+	HDD     bool // target the machine's HDDs instead of its SSDs
+	Server  string
+	Stall   time.Duration // ChaosStallDisk only
+}
+
+// ChaosOptions parameterizes a chaos run.
+type ChaosOptions struct {
+	// Ops is the number of workload operations (default 400).
+	Ops int
+	// Region is the working-set size in bytes, sector-aligned (default
+	// 128 KiB — small enough for heavy overwrites).
+	Region int64
+	// WriteFrac is the fraction of write operations (default 0.6).
+	WriteFrac float64
+	// MaxSectors bounds each op's size in sectors (default 4).
+	MaxSectors int
+	// Seed drives the deterministic op stream.
+	Seed uint64
+	// Schedule lists the faults to inject, fired as the op counter passes
+	// each AtOp. Events need not be sorted.
+	Schedule []ChaosEvent
+	// FinalSweep heals every device, restarts schedule-crashed servers, and
+	// read-checks the whole region after the op stream.
+	FinalSweep bool
+}
+
+// ChaosReport summarizes a chaos run. Any linearizability violation is
+// returned as an error instead — a report means the history checked out.
+type ChaosReport struct {
+	Ops         int
+	Writes      int
+	Reads       int
+	WriteErrors int // writes with unknown outcome (availability, not safety)
+	ReadErrors  int // failed reads (availability, not safety)
+	EventsFired int
+	Sectors     int // distinct sectors the checker tracked
+}
+
+// RunChaos drives a deterministic mixed read/write workload against vd
+// while injecting the scheduled faults into c, and checks every read the
+// client acks against a per-sector linearizability model. I/O errors are
+// availability loss and only counted; stale or lost data fails the run.
+func RunChaos(c *core.Cluster, vd *client.VDisk, opts ChaosOptions) (*ChaosReport, error) {
+	if opts.Ops <= 0 {
+		opts.Ops = 400
+	}
+	if opts.Region <= 0 {
+		opts.Region = 128 * util.KiB
+	}
+	if opts.WriteFrac <= 0 {
+		opts.WriteFrac = 0.6
+	}
+	if opts.MaxSectors <= 0 {
+		opts.MaxSectors = 4
+	}
+	region := util.AlignDown(opts.Region, util.SectorSize)
+	if region > vd.Size() {
+		region = util.AlignDown(vd.Size(), util.SectorSize)
+	}
+
+	checker := linearize.New()
+	r := util.NewRand(opts.Seed)
+	rep := &ChaosReport{}
+
+	// Pending events, fired in op order; ties fire in schedule order.
+	pending := make([]ChaosEvent, len(opts.Schedule))
+	copy(pending, opts.Schedule)
+
+	for i := 0; i < opts.Ops; i++ {
+		rest := pending[:0]
+		for _, ev := range pending {
+			if ev.AtOp <= i {
+				fireChaos(c, ev)
+				rep.EventsFired++
+			} else {
+				rest = append(rest, ev)
+			}
+		}
+		pending = rest
+
+		n := (1 + int(r.Int63n(int64(opts.MaxSectors)))) * util.SectorSize
+		off := util.AlignDown(r.Int63n(region), util.SectorSize)
+		if off+int64(n) > region {
+			off = region - int64(n)
+		}
+		rep.Ops++
+		if r.Float64() < opts.WriteFrac {
+			rep.Writes++
+			data := make([]byte, n)
+			r.Fill(data)
+			if err := vd.WriteAt(data, off); err != nil {
+				rep.WriteErrors++
+				checker.WriteUnresolved(off, data)
+			} else {
+				checker.WriteCommitted(off, data)
+			}
+		} else {
+			rep.Reads++
+			buf := make([]byte, n)
+			if err := vd.ReadAt(buf, off); err != nil {
+				rep.ReadErrors++
+				continue
+			}
+			if err := checker.CheckRead(off, buf); err != nil {
+				return nil, fmt.Errorf("cluster: chaos op %d: %w", i, err)
+			}
+		}
+	}
+
+	if opts.FinalSweep {
+		HealAll(c)
+		for _, ev := range opts.Schedule {
+			if ev.Kind == ChaosCrashServer {
+				c.RestartServer(ev.Server)
+			}
+		}
+		buf := make([]byte, util.SectorSize)
+		for off := int64(0); off < region; off += util.SectorSize {
+			if err := vd.ReadAt(buf, off); err != nil {
+				return nil, fmt.Errorf("cluster: chaos final sweep at %d: %w", off, err)
+			}
+			if err := checker.CheckRead(off, buf); err != nil {
+				return nil, fmt.Errorf("cluster: chaos final sweep at %d: %w", off, err)
+			}
+		}
+	}
+	rep.Sectors = checker.Sectors()
+	return rep, nil
+}
+
+// fireChaos applies one event to the cluster.
+func fireChaos(c *core.Cluster, ev ChaosEvent) {
+	switch ev.Kind {
+	case ChaosKillJournals:
+		if ev.Machine < len(c.Machines) {
+			for _, jr := range c.Machines[ev.Machine].JournalRegions {
+				jr.Disk.FailWriteRange(nil, jr.Base, jr.Base+jr.Size)
+			}
+		}
+	case ChaosKillDisk, ChaosHealDisk, ChaosStallDisk:
+		if fi := chaosDisk(c, ev); fi != nil {
+			switch ev.Kind {
+			case ChaosKillDisk:
+				fi.Kill()
+			case ChaosHealDisk:
+				fi.Heal()
+			case ChaosStallDisk:
+				fi.Stall(ev.Stall)
+			}
+		}
+	case ChaosCrashServer:
+		c.CrashServer(ev.Server)
+	case ChaosRestartServer:
+		c.RestartServer(ev.Server)
+	}
+}
+
+func chaosDisk(c *core.Cluster, ev ChaosEvent) *simdisk.FaultInjector {
+	if ev.Machine >= len(c.Machines) {
+		return nil
+	}
+	m := c.Machines[ev.Machine]
+	disks := m.SSDFaults
+	if ev.HDD {
+		disks = m.HDDFaults
+	}
+	if ev.Disk >= len(disks) {
+		return nil
+	}
+	return disks[ev.Disk]
+}
+
+// HealAll clears the armed faults on every device in the cluster. Journals
+// already marked dead stay out of the striping set — their backup servers
+// keep running on the bypass path.
+func HealAll(c *core.Cluster) {
+	for _, m := range c.Machines {
+		for _, fi := range m.SSDFaults {
+			fi.Heal()
+		}
+		for _, fi := range m.HDDFaults {
+			fi.Heal()
+		}
+	}
+}
+
+// RandomSchedule builds a seeded fault schedule over an ops-long run:
+// a journal massacre, a dead HDD, a stalled SSD, a server crash, and the
+// matching heals/restart — spread across distinct machines so the cluster
+// keeps a quorum everywhere.
+func RandomSchedule(c *core.Cluster, seed uint64, ops int) []ChaosEvent {
+	r := util.NewRand(seed)
+	nm := len(c.Machines)
+	if nm == 0 || ops < 10 {
+		return nil
+	}
+	perm := r.Perm(nm)
+	at := func(frac float64) int { return int(float64(ops) * frac) }
+
+	mJournal := perm[0]
+	mHDD := perm[1%nm]
+	mSSD := perm[2%nm]
+	hddPick := int(r.Int63n(int64(len(c.Machines[mHDD].HDDFaults))))
+	ssdPick := int(r.Int63n(int64(len(c.Machines[mSSD].SSDFaults))))
+	evs := []ChaosEvent{
+		{AtOp: at(0.10), Kind: ChaosKillJournals, Machine: mJournal},
+		{AtOp: at(0.25), Kind: ChaosKillDisk, Machine: mHDD, HDD: true, Disk: hddPick},
+		{AtOp: at(0.40), Kind: ChaosStallDisk, Machine: mSSD, Disk: ssdPick,
+			Stall: 200 * time.Microsecond},
+		{AtOp: at(0.70), Kind: ChaosHealDisk, Machine: mSSD, Disk: ssdPick},
+	}
+	// Crash and later restart one backup server on a fourth machine.
+	if srvs := c.Machines[perm[3%nm]].Servers; len(srvs) > 0 {
+		addr := srvs[int(r.Int63n(int64(len(srvs))))].Addr()
+		evs = append(evs,
+			ChaosEvent{AtOp: at(0.50), Kind: ChaosCrashServer, Server: addr},
+			ChaosEvent{AtOp: at(0.85), Kind: ChaosRestartServer, Server: addr},
+		)
+	}
+	return evs
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ursa/internal/client"
+	"ursa/internal/clock"
+	"ursa/internal/core"
+	"ursa/internal/journal"
+	"ursa/internal/linearize"
+	"ursa/internal/master"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// chaosCluster is testCluster with a configurable HDD overflow journal, so
+// journal-death tests can pin each backup to a single SSD journal.
+func chaosCluster(t *testing.T, hddJournal bool) *core.Cluster {
+	t.Helper()
+	c, err := core.New(core.Options{
+		Machines:       4,
+		SSDsPerMachine: 1,
+		HDDsPerMachine: 2,
+		Mode:           core.Hybrid,
+		Clock:          clock.Realtime,
+		SSDModel: simdisk.SSDModel{
+			Capacity: 2 * util.GiB, Parallelism: 32,
+			ReadLatency: 2 * time.Microsecond, WriteLatency: 4 * time.Microsecond,
+			ReadBandwidth: 20e9, WriteBandwidth: 12e9,
+		},
+		HDDModel: simdisk.HDDModel{
+			Capacity: 4 * util.GiB, SeekMax: 400 * time.Microsecond,
+			SeekSettle: 25 * time.Microsecond, RPM: 288000,
+			Bandwidth: 6e9, TrackSkip: 512 * util.KiB,
+		},
+		HDDJournal:  hddJournal,
+		NetLatency:  5 * time.Microsecond,
+		ReplTimeout: 40 * time.Millisecond,
+		CallTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func chaosVDisk(t *testing.T, c *core.Cluster, chunks int64) *client.VDisk {
+	t.Helper()
+	cl := c.NewClient("chaos-client")
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{
+		Name: "chaos", Size: chunks * util.ChunkSize,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vd, err := cl.Open("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vd.Close() })
+	return vd
+}
+
+// TestChaosJournalDeathNoClientErrors is the acceptance scenario: every SSD
+// journal in the cluster dies mid-workload and the client must not see a
+// single failed I/O — appends re-route, then bypass straight to the backup
+// stores. Deterministic (fixed seed, scripted schedule) and fast; this is
+// the chaos smoke run wired into make check.
+func TestChaosJournalDeathNoClientErrors(t *testing.T) {
+	c := chaosCluster(t, false) // one SSD journal per backup: death = set dead
+	vd := chaosVDisk(t, c, 2)
+
+	schedule := make([]ChaosEvent, 0, len(c.Machines))
+	for m := range c.Machines {
+		schedule = append(schedule, ChaosEvent{
+			AtOp: 60, Kind: ChaosKillJournals, Machine: m,
+		})
+	}
+	rep, err := RunChaos(c, vd, ChaosOptions{
+		Ops:        300,
+		Seed:       42,
+		WriteFrac:  0.7,
+		Schedule:   schedule,
+		FinalSweep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WriteErrors != 0 || rep.ReadErrors != 0 {
+		t.Fatalf("client saw failed I/O: %+v", rep)
+	}
+	if rep.EventsFired != len(schedule) {
+		t.Errorf("fired %d/%d events", rep.EventsFired, len(schedule))
+	}
+	reg := c.Metrics()
+	if got := reg.Counter(journal.MetricJournalDead).Load(); got == 0 {
+		t.Error("no journal death recorded")
+	}
+	if got := reg.Counter(journal.MetricBypassWrites).Load(); got == 0 {
+		t.Error("no bypass write recorded: ladder never reached WriteDirect")
+	}
+	if got := reg.Counter(simdisk.MetricFaultsInjected).Load(); got == 0 {
+		t.Error("fault-injection counter never moved")
+	}
+}
+
+// TestChaosRandomLinearizable runs a seeded random fault schedule — journal
+// massacre, dead backup HDD, limping SSD, server crash and restart — under
+// a mixed workload and requires the whole history to stay linearizable.
+// Availability may dip (counted, not fatal); stale data fails the run.
+func TestChaosRandomLinearizable(t *testing.T) {
+	c := chaosCluster(t, true)
+	vd := chaosVDisk(t, c, 2)
+
+	ops := 400
+	rep, err := RunChaos(c, vd, ChaosOptions{
+		Ops:        ops,
+		Seed:       7,
+		Schedule:   RandomSchedule(c, 7, ops),
+		FinalSweep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsFired == 0 {
+		t.Fatal("random schedule injected nothing")
+	}
+	if rep.Sectors == 0 {
+		t.Fatal("checker tracked no sectors")
+	}
+	t.Logf("chaos report: %+v", rep)
+}
+
+// TestRecoverChunkRacesClientWrite drives master view changes concurrently
+// with a client writing the same chunk: the race between RecoverChunk's
+// repair/clone/SetView steps and in-flight writes must neither trip the
+// race detector nor corrupt committed data.
+func TestRecoverChunkRacesClientWrite(t *testing.T) {
+	c := chaosCluster(t, true)
+	vd := chaosVDisk(t, c, 1)
+
+	checker := linearize.New()
+	var checkMu sync.Mutex
+	const region = 64 * util.KiB
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := util.NewRand(99)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			off := util.AlignDown(r.Int63n(region), util.SectorSize)
+			data := make([]byte, util.SectorSize)
+			r.Fill(data)
+			err := vd.WriteAt(data, off)
+			checkMu.Lock()
+			if err != nil {
+				checker.WriteUnresolved(off, data)
+			} else {
+				checker.WriteCommitted(off, data)
+			}
+			checkMu.Unlock()
+		}
+	}()
+
+	// Repeated pure-repair view changes while the writer runs.
+	views := 0
+	for i := 0; i < 6; i++ {
+		if _, err := c.Master.RecoverChunk(vd.ID(), 0, ""); err != nil {
+			t.Errorf("recover %d: %v", i, err)
+		} else {
+			views++
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if views == 0 {
+		t.Fatal("no view change completed")
+	}
+
+	// Everything the client committed must read back.
+	buf := make([]byte, util.SectorSize)
+	for off := int64(0); off < region; off += util.SectorSize {
+		if err := vd.ReadAt(buf, off); err != nil {
+			t.Fatalf("read at %d: %v", off, err)
+		}
+		checkMu.Lock()
+		err := checker.CheckRead(off, buf)
+		checkMu.Unlock()
+		if err != nil {
+			t.Fatalf("sweep at %d: %v", off, err)
+		}
+	}
+}

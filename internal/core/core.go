@@ -152,14 +152,33 @@ func (o *Options) fillDefaults() {
 }
 
 // Machine is one storage machine: devices, servers, and a shared NIC.
+// Every device sits behind a FaultInjector (a pass-through until armed);
+// SSDs/HDDs keep the raw models, SSDFaults/HDDFaults are what the stores
+// and journals actually run on — chaos tests arm faults there.
 type Machine struct {
-	Name    string
-	SSDs    []*simdisk.SSD
-	HDDs    []*simdisk.HDD
-	Servers []*chunkserver.Server
-	jsets   []*journal.Set
+	Name      string
+	SSDs      []*simdisk.SSD
+	HDDs      []*simdisk.HDD
+	SSDFaults []*simdisk.FaultInjector
+	HDDFaults []*simdisk.FaultInjector
+	// JournalRegions locates every journal region on this machine's
+	// devices, so a fault can target one journal (its byte range on the
+	// shared SSD) instead of the whole device.
+	JournalRegions []JournalRegion
+	Servers        []*chunkserver.Server
+	jsets          []*journal.Set
 
 	nicIn, nicOut *transport.TokenBucket
+}
+
+// JournalRegion names one journal's byte region on a machine device.
+type JournalRegion struct {
+	Server string // owning backup server address
+	Name   string // journal name as registered with the set
+	Disk   *simdisk.FaultInjector
+	Base   int64
+	Size   int64
+	HDD    bool // overflow journal on the backup HDD itself
 }
 
 // JournalSets returns the machine's backup journal sets (hybrid mode).
@@ -204,6 +223,7 @@ func New(opts Options) (*Cluster, error) {
 		WriteRateLimit: opts.WriteRateLimit,
 		RPCTimeout:     opts.CallTimeout,
 		HybridMode:     opts.Mode == Hybrid,
+		Metrics:        opts.Metrics,
 	})
 	c.Master.Serve(ml)
 
@@ -230,10 +250,18 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 	nodeCfg := transport.NodeConfig{SharedIn: m.nicIn, SharedOut: m.nicOut}
 
 	for j := 0; j < opts.SSDsPerMachine; j++ {
-		m.SSDs = append(m.SSDs, simdisk.NewSSD(opts.SSDModel, c.clk))
+		ssd := simdisk.NewSSD(opts.SSDModel, c.clk)
+		fi := simdisk.NewFaultInjector(ssd, c.clk)
+		fi.SetMetrics(opts.Metrics)
+		m.SSDs = append(m.SSDs, ssd)
+		m.SSDFaults = append(m.SSDFaults, fi)
 	}
 	for k := 0; k < opts.HDDsPerMachine; k++ {
-		m.HDDs = append(m.HDDs, simdisk.NewHDD(opts.HDDModel, c.clk))
+		hdd := simdisk.NewHDD(opts.HDDModel, c.clk)
+		fi := simdisk.NewFaultInjector(hdd, c.clk)
+		fi.SetMetrics(opts.Metrics)
+		m.HDDs = append(m.HDDs, hdd)
+		m.HDDFaults = append(m.HDDFaults, fi)
 	}
 
 	// Primary-capable servers: one per SSD (hybrid and SSD-only modes), or
@@ -251,7 +279,7 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 			return nil, err
 		}
 	case HDDOnly:
-		for k, hdd := range m.HDDs {
+		for k, hdd := range m.HDDFaults {
 			addr := fmt.Sprintf("%s/hdd%d", m.Name, k)
 			store := blockstore.New(hdd, 0)
 			srv := chunkserver.New(chunkserver.Config{
@@ -263,6 +291,7 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 				Metrics:     opts.Metrics,
 				MaxInflight: opts.ServerMaxInflight,
 				SerialApply: opts.SerialApply,
+				MasterAddr:  MasterAddr,
 			}, store, nil)
 			if err := c.startServer(m, srv, nodeCfg); err != nil {
 				return nil, err
@@ -278,7 +307,7 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 // machine's HDDs.
 func (c *Cluster) addSSDServers(m *Machine, nodeCfg transport.NodeConfig, register bool) error {
 	opts := &c.opts
-	for j, ssd := range m.SSDs {
+	for j, ssd := range m.SSDFaults {
 		limit := ssd.Size()
 		if opts.Mode == Hybrid {
 			limit = util.AlignDown(int64(float64(ssd.Size())*(1-opts.JournalFraction)), util.ChunkSize)
@@ -294,6 +323,7 @@ func (c *Cluster) addSSDServers(m *Machine, nodeCfg transport.NodeConfig, regist
 			Metrics:     opts.Metrics,
 			MaxInflight: opts.ServerMaxInflight,
 			SerialApply: opts.SerialApply,
+			MasterAddr:  MasterAddr,
 		}, store, nil)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
 			return err
@@ -315,7 +345,7 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 	hddsPerSSD := (opts.HDDsPerMachine + opts.SSDsPerMachine - 1) / opts.SSDsPerMachine
 	perHDDJournal := util.AlignDown(ssdJournalSpace/int64(hddsPerSSD), util.SectorSize)
 
-	for k, hdd := range m.HDDs {
+	for k, hdd := range m.HDDFaults {
 		addr := fmt.Sprintf("%s/hdd%d", m.Name, k)
 		storeLimit := hdd.Size()
 		if opts.HDDJournal {
@@ -328,12 +358,21 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 		jset := journal.NewSet(c.clk, store, jcfg)
 		ssdIdx := k % opts.SSDsPerMachine
 		slot := int64(k / opts.SSDsPerMachine)
-		ssd := m.SSDs[ssdIdx]
+		ssd := m.SSDFaults[ssdIdx]
 		base := util.AlignDown(int64(float64(ssd.Size())*(1-opts.JournalFraction)), util.ChunkSize) +
 			slot*perHDDJournal
-		jset.AddSSDJournal(fmt.Sprintf("%s-jssd%d", addr, ssdIdx), ssd, base, perHDDJournal)
+		jname := fmt.Sprintf("%s-jssd%d", addr, ssdIdx)
+		jset.AddSSDJournal(jname, ssd, base, perHDDJournal)
+		m.JournalRegions = append(m.JournalRegions, JournalRegion{
+			Server: addr, Name: jname, Disk: ssd, Base: base, Size: perHDDJournal,
+		})
 		if opts.HDDJournal {
-			jset.AddHDDJournal(addr+"-jhdd", hdd, storeLimit, util.AlignDown(opts.HDDJournalSize, util.SectorSize))
+			hjSize := util.AlignDown(opts.HDDJournalSize, util.SectorSize)
+			jset.AddHDDJournal(addr+"-jhdd", hdd, storeLimit, hjSize)
+			m.JournalRegions = append(m.JournalRegions, JournalRegion{
+				Server: addr, Name: addr + "-jhdd", Disk: hdd, Base: storeLimit,
+				Size: hjSize, HDD: true,
+			})
 		}
 		jset.Start()
 		m.jsets = append(m.jsets, jset)
@@ -348,6 +387,7 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 			BypassThreshold: opts.BypassThreshold,
 			MaxInflight:     opts.ServerMaxInflight,
 			SerialApply:     opts.SerialApply,
+			MasterAddr:      MasterAddr,
 		}, store, jset)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
 			return err

@@ -1,0 +1,220 @@
+package journal
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/clock"
+	"ursa/internal/metrics"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// faultEnv is a journal set whose every device sits behind a FaultInjector.
+type faultEnv struct {
+	set  *Set
+	sink *blockstore.Store
+	reg  *metrics.Registry
+	// jdisks[i] backs journal i; sinkDisk backs the chunk store.
+	jdisks   []*simdisk.FaultInjector
+	sinkDisk *simdisk.FaultInjector
+}
+
+func newFaultEnv(t *testing.T, nJournals int, start bool) *faultEnv {
+	t.Helper()
+	clk := clock.TestClock()
+	reg := metrics.NewRegistry()
+
+	hm := simdisk.DefaultHDD()
+	hm.Capacity = 512 * util.MiB
+	sinkDisk := simdisk.NewFaultInjector(simdisk.NewHDD(hm, clk), clk)
+	sink := blockstore.New(sinkDisk, 0)
+
+	cfg := Config{AutoMergeAt: 256, PollInterval: 200 * time.Microsecond, Metrics: reg}
+	set := NewSet(clk, sink, cfg)
+	var jdisks []*simdisk.FaultInjector
+	for i := 0; i < nJournals; i++ {
+		sm := simdisk.DefaultSSD()
+		sm.Capacity = 64 * util.MiB
+		jd := simdisk.NewFaultInjector(simdisk.NewSSD(sm, clk), clk)
+		jdisks = append(jdisks, jd)
+		set.AddSSDJournal("jssd"+string(rune('0'+i)), jd, 0, 16*util.MiB)
+	}
+	if start {
+		set.Start()
+	}
+	t.Cleanup(func() {
+		set.Close()
+		for _, d := range jdisks {
+			d.Close()
+		}
+		sinkDisk.Close()
+	})
+	return &faultEnv{set: set, sink: sink, reg: reg, jdisks: jdisks, sinkDisk: sinkDisk}
+}
+
+// TestJournalDeathReroutes kills one journal's device mid-stream: the
+// append whose flush fails must be re-routed to the surviving journal and
+// still succeed, and the dead journal must leave the striping set.
+func TestJournalDeathReroutes(t *testing.T) {
+	e := newFaultEnv(t, 2, true)
+	id := blockstore.MakeChunkID(1, 0)
+	if err := e.sink.Create(id); err != nil {
+		t.Fatal(err)
+	}
+
+	var deadName atomic.Value
+	e.set.OnFault(func(name string, err error) { deadName.Store(name) }, nil)
+
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(21).Fill(data)
+	if err := e.set.Append(nil, id, 0, data, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential appends all stripe to journal 0 (equal queue depths pick
+	// the first); killing its device makes the next flush fail.
+	e.jdisks[0].FailWrites(nil)
+	data2 := make([]byte, 4*util.KiB)
+	util.NewRand(22).Fill(data2)
+	if err := e.set.Append(nil, id, 4096, data2, 2); err != nil {
+		t.Fatalf("append during journal death: %v", err)
+	}
+
+	st := e.set.Stats()
+	if st.DeadJournals != 1 || !st.Journals[0].Dead || st.Journals[1].Dead {
+		t.Fatalf("stats after death: %+v", st)
+	}
+	if got := e.reg.Counter(MetricJournalDead).Load(); got != 1 {
+		t.Errorf("%s = %d", MetricJournalDead, got)
+	}
+	if v := deadName.Load(); v != "jssd0" {
+		t.Errorf("dead callback got %v", v)
+	}
+	if st.Journals[1].Appends == 0 {
+		t.Errorf("re-routed record did not land on survivor: %+v", st.Journals)
+	}
+
+	// Every ack'd write must read back, through journals and after replay.
+	for _, probe := range []struct {
+		off  int64
+		want []byte
+	}{{0, data}, {4096, data2}} {
+		got := make([]byte, len(probe.want))
+		if err := e.set.Read(id, got, probe.off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, probe.want) {
+			t.Errorf("read at %d mismatch", probe.off)
+		}
+	}
+	e.set.Drain()
+	got := make([]byte, len(data2))
+	if err := e.sink.ReadAt(id, got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data2) {
+		t.Error("re-routed record not replayed to sink")
+	}
+}
+
+// TestAllJournalsDeadBypasses drives the degradation ladder to the bottom:
+// with every journal dead, Append must degrade to a WriteDirect against
+// the sink and still succeed.
+func TestAllJournalsDeadBypasses(t *testing.T) {
+	e := newFaultEnv(t, 2, true)
+	id := blockstore.MakeChunkID(1, 0)
+	if err := e.sink.Create(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range e.jdisks {
+		d.FailWrites(nil)
+	}
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(23).Fill(data)
+	if err := e.set.Append(nil, id, 0, data, 1); err != nil {
+		t.Fatalf("append with all journals dead: %v", err)
+	}
+	if got := e.reg.Counter(MetricBypassWrites).Load(); got == 0 {
+		t.Error("bypass write not counted")
+	}
+	st := e.set.Stats()
+	if st.DeadJournals != 2 {
+		t.Errorf("dead journals = %d", st.DeadJournals)
+	}
+	// The data went straight to the sink — no journal holds it.
+	got := make([]byte, len(data))
+	if err := e.sink.ReadAt(id, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("bypass write missing from sink")
+	}
+	// Subsequent appends keep bypassing without error.
+	if err := e.set.Append(nil, id, 4096, data, 2); err != nil {
+		t.Fatalf("second bypass append: %v", err)
+	}
+	e.set.Drain() // the failed records trim away; must not hang
+	if p := e.set.Pending(); p != 0 {
+		t.Errorf("pending after drain = %d", p)
+	}
+}
+
+// TestReplayParksOnSinkError arms a sink write fault under pending replay:
+// the records must park (not drop), be counted and reported, and drain
+// normally once the sink heals.
+func TestReplayParksOnSinkError(t *testing.T) {
+	e := newFaultEnv(t, 1, false)
+	id := blockstore.MakeChunkID(1, 0)
+	if err := e.sink.Create(id); err != nil {
+		t.Fatal(err)
+	}
+	var reported atomic.Int64
+	e.set.OnFault(nil, func(got blockstore.ChunkID, err error) {
+		if got == id && err != nil {
+			reported.Add(1)
+		}
+	})
+
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(24).Fill(data)
+	if err := e.set.Append(nil, id, 0, data, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.sinkDisk.FailWrites(nil)
+	e.set.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for e.reg.Counter(MetricReplayErrors).Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replay error never observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := e.set.Pending(); p != 1 {
+		t.Fatalf("records dropped instead of parked: pending = %d", p)
+	}
+	if reported.Load() == 0 {
+		t.Error("replay-error callback never fired")
+	}
+	if st := e.set.Stats(); st.ReplayErrors == 0 {
+		t.Errorf("stats missed replay errors: %+v", st)
+	}
+
+	// Heal: the parked window must drain and the data must reach the sink.
+	e.sinkDisk.Heal()
+	e.set.Drain()
+	if p := e.set.Pending(); p != 0 {
+		t.Fatalf("pending after heal+drain = %d", p)
+	}
+	got := make([]byte, len(data))
+	if err := e.sink.ReadAt(id, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("parked record not replayed after heal")
+	}
+}

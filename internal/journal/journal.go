@@ -40,6 +40,13 @@ type Journal struct {
 	flushing bool
 	queued   int // commit-queue depth incl. the in-flight batch (striping)
 
+	// dead marks a journal whose device write failed: the picker skips it
+	// and queued records re-route to surviving journals. A dead journal
+	// never comes back (its region's contents are suspect); already-durable
+	// records still replay if the device can serve reads. Guarded by the
+	// Set's mutex.
+	dead bool
+
 	appends        int64 // total records appended (stats)
 	bytesAppended  int64
 	flushes        int64 // group-commit device write batches

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -57,6 +58,23 @@ const (
 	DefaultMaxBatch     = 64
 	DefaultReplayWindow = 64
 )
+
+// Fault metrics (registered on cfg.Metrics when set).
+const (
+	// MetricJournalDead counts journals declared dead after a failed flush.
+	MetricJournalDead = "journal-dead"
+	// MetricBypassWrites counts Appends degraded to WriteDirect because
+	// every journal was dead — the bottom rung of the §3.2 expansion ladder.
+	MetricBypassWrites = "journal-bypass-writes"
+	// MetricReplayErrors counts replay windows parked because a chunk's
+	// records could not reach the sink (sink I/O error or unreadable
+	// journal); the records stay queued and replay resumes after heal.
+	MetricReplayErrors = "journal-replay-errors"
+)
+
+// errJournalDead marks an append whose journal died before (or while)
+// flushing it; Append re-routes such records to a surviving journal.
+var errJournalDead = errors.New("journal: journal dead")
 
 // DefaultConfig returns production-like tuning.
 func DefaultConfig() Config {
@@ -137,9 +155,16 @@ type Set struct {
 	chunkMu    sync.Mutex
 	chunkLocks map[blockstore.ChunkID]*sync.Mutex
 
+	// Fault callbacks, registered via OnFault (the owning chunk server
+	// installs them after Start — hence guarded by mu, read at fire time).
+	onJournalDead func(name string, err error)
+	onReplayError func(id blockstore.ChunkID, err error)
+
 	replayedRecords int64
 	replayedBytes   int64
 	mergedSectors   int64 // sectors skipped at replay because overwritten
+	replayErrors    int64 // parked replay windows (chunk could not reach sink)
+	deadJournals    int64
 }
 
 // NewSet creates an empty journal set replaying into sink. Call
@@ -192,6 +217,19 @@ func (s *Set) add(name string, disk simdisk.Disk, base, size int64, idleOnly boo
 	return j
 }
 
+// OnFault registers the set's fault callbacks: journalDead fires once per
+// journal when a flush failure kills it; replayError fires when a chunk's
+// replay cannot reach the sink and its records are parked. Either may be
+// nil. Callbacks run outside the set lock but on set goroutines — they
+// must not block (the chunk server's failure report is fire-and-forget).
+// Safe to call after Start: core builds journal sets before chunk servers.
+func (s *Set) OnFault(journalDead func(name string, err error), replayError func(id blockstore.ChunkID, err error)) {
+	s.mu.Lock()
+	s.onJournalDead = journalDead
+	s.onReplayError = replayError
+	s.mu.Unlock()
+}
+
 // Start launches the background replayer.
 func (s *Set) Start() {
 	s.mu.Lock()
@@ -230,9 +268,13 @@ func (s *Set) Close() {
 // containing it has completed. A non-nil op gets the commit-queue wait and
 // flush time recorded as the backup-jqueue/backup-jflush stages.
 //
-// It returns ErrQuota when every journal is full — callers fall back to a
-// direct backup write (and the master should already have rate-limited the
-// client before this point, §3.2).
+// It returns ErrQuota when every live journal is full — callers fall back
+// to a direct backup write (and the master should already have rate-limited
+// the client before this point, §3.2). When every journal is DEAD the set
+// degrades itself: the append becomes a WriteDirect against the sink (ack
+// latency degrades, durability semantics don't), counted by
+// journal-bypass-writes. An append routed to a journal that dies mid-flush
+// is re-routed to a surviving journal transparently.
 func (s *Set) Append(op *opctx.Op, id blockstore.ChunkID, off int64, data []byte, version uint64) error {
 	if err := checkAligned(off, len(data)); err != nil {
 		return err
@@ -241,56 +283,79 @@ func (s *Set) Append(op *opctx.Op, id blockstore.ChunkID, off int64, data []byte
 	h := header{chunk: id, off: off, dataLen: len(data), version: version,
 		checksum: util.Checksum(data)}
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return util.ErrClosed
-	}
-	j := s.pickJournalLocked(len(data))
-	if j == nil {
-		s.mu.Unlock()
-		return fmt.Errorf("journal: all journals full: %w", util.ErrQuota)
-	}
-	pos, _ := j.reserve(len(data)) // pickJournalLocked checked fits
-	rec := &pendingRecord{
-		chunk:    id,
-		off:      off,
-		dataLen:  len(data),
-		version:  version,
-		dataJOff: j.dataJOff(pos),
-		footer:   recordBytes(len(data)),
-	}
-	j.fifo = append(j.fifo, rec)
-	s.pending++
-	req := &commitReq{
-		rec: rec, pos: pos, hdr: h, data: data,
-		enq:  s.clk.Now(),
-		done: make(chan struct{}),
-		lead: make(chan struct{}),
-	}
-	j.commitq = append(j.commitq, req)
-	j.queued++
-	leader := !j.flushing
-	if leader {
-		j.flushing = true
-	}
-	s.mu.Unlock()
-
-	if !leader {
-		// Follower: wait for a leader's batch to commit us — or inherit
-		// leadership when the previous batch completes with us at the head.
-		select {
-		case <-req.done:
-			s.observeCommit(op, req)
-			return req.err
-		case <-req.lead:
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return util.ErrClosed
 		}
+		j := s.pickJournalLocked(len(data))
+		if j == nil {
+			allDead := len(s.journals) > 0
+			for _, jj := range s.journals {
+				if !jj.dead {
+					allDead = false
+					break
+				}
+			}
+			s.mu.Unlock()
+			if allDead {
+				// Bottom of the expansion ladder: no journal left to absorb
+				// the write, so it goes straight to the backup disk.
+				if m := s.cfg.Metrics; m != nil {
+					m.Counter(MetricBypassWrites).Inc()
+				}
+				return s.WriteDirect(id, data, off)
+			}
+			return fmt.Errorf("journal: all journals full: %w", util.ErrQuota)
+		}
+		pos, _ := j.reserve(len(data)) // pickJournalLocked checked fits
+		rec := &pendingRecord{
+			chunk:    id,
+			off:      off,
+			dataLen:  len(data),
+			version:  version,
+			dataJOff: j.dataJOff(pos),
+			footer:   recordBytes(len(data)),
+		}
+		j.fifo = append(j.fifo, rec)
+		s.pending++
+		req := &commitReq{
+			rec: rec, pos: pos, hdr: h, data: data,
+			enq:  s.clk.Now(),
+			done: make(chan struct{}),
+			lead: make(chan struct{}),
+		}
+		j.commitq = append(j.commitq, req)
+		j.queued++
+		leader := !j.flushing
+		if leader {
+			j.flushing = true
+		}
+		s.mu.Unlock()
+
+		if !leader {
+			// Follower: wait for a leader's batch to commit us — or inherit
+			// leadership when the previous batch completes with us at the head.
+			select {
+			case <-req.done:
+			case <-req.lead:
+				s.flush(j)
+				<-req.done
+			}
+		} else {
+			s.flush(j)
+			// A leader's own request is always the head of the queue it claims.
+			<-req.done
+		}
+		s.observeCommit(op, req)
+		if errors.Is(req.err, errJournalDead) {
+			// The journal died under us; its picker slot is gone, so the
+			// retry lands on a survivor (or degrades to bypass).
+			continue
+		}
+		return req.err
 	}
-	s.flush(j)
-	// A leader's own request is always the head of the queue it claims.
-	<-req.done
-	s.observeCommit(op, req)
-	return req.err
 }
 
 // pickJournalLocked selects the journal for a new record: the least
@@ -302,7 +367,7 @@ func (s *Set) pickJournalLocked(dataLen int) *Journal {
 	pick := func(idleOnly bool) *Journal {
 		var best *Journal
 		for i, j := range s.journals {
-			if s.idleOnly[i] != idleOnly || !j.fits(dataLen) {
+			if j.dead || s.idleOnly[i] != idleOnly || !j.fits(dataLen) {
 				continue
 			}
 			if best == nil || j.queued < best.queued {
@@ -334,30 +399,54 @@ func (s *Set) flush(j *Journal) {
 	for _, r := range batch {
 		r.claimed = claimed
 	}
+	wasDead := j.dead
 	s.mu.Unlock()
 
-	// The commit queue is in reservation order, so positions increase
-	// monotonically; a record extends the current run when its header
-	// starts exactly where the previous record ended.
-	for i := 0; i < len(batch); {
-		k := i + 1
-		end := batch[i].pos + batch[i].rec.footer
-		for k < len(batch) && batch[k].pos == end {
-			end += batch[k].rec.footer
-			k++
+	if wasDead {
+		// The journal died after these requests enqueued: fail them without
+		// touching the device so Append re-routes them immediately.
+		for _, r := range batch {
+			r.err = fmt.Errorf("journal %s: %w", j.name, errJournalDead)
 		}
-		writeRun(j, batch[i:k])
-		i = k
+	} else {
+		// The commit queue is in reservation order, so positions increase
+		// monotonically; a record extends the current run when its header
+		// starts exactly where the previous record ended.
+		for i := 0; i < len(batch); {
+			k := i + 1
+			end := batch[i].pos + batch[i].rec.footer
+			for k < len(batch) && batch[k].pos == end {
+				end += batch[k].rec.footer
+				k++
+			}
+			writeRun(j, batch[i:k])
+			i = k
+		}
 	}
 	flushed := s.clk.Now()
 
 	s.mu.Lock()
+	var deadCb func(name string, err error)
+	var deadCause error
 	inserts := make(map[blockstore.ChunkID][]jindex.Extent)
 	var order []blockstore.ChunkID
 	for _, r := range batch {
 		r.flushed = flushed
 		j.queued--
 		if r.err != nil {
+			if !errors.Is(r.err, errJournalDead) {
+				// A device write failed: declare the journal dead (once) and
+				// convert the error so Append re-routes the record.
+				if !j.dead {
+					j.dead = true
+					s.deadJournals++
+					deadCb, deadCause = s.onJournalDead, r.err
+					if m := s.cfg.Metrics; m != nil {
+						m.Counter(MetricJournalDead).Inc()
+					}
+				}
+				r.err = fmt.Errorf("journal %s: %v: %w", j.name, r.err, errJournalDead)
+			}
 			r.rec.failed = true
 			continue
 		}
@@ -399,6 +488,9 @@ func (s *Set) flush(j *Journal) {
 	}
 	for _, r := range batch {
 		close(r.done)
+	}
+	if deadCb != nil {
+		deadCb(j.name, deadCause)
 	}
 }
 
@@ -581,7 +673,11 @@ func (s *Set) replayLoop() {
 		}
 		window := s.windowLocked(j)
 		s.mu.Unlock()
-		s.replayWindow(j, window)
+		if !s.replayWindow(j, window) {
+			// Window parked (a chunk could not reach the sink): its records
+			// stay queued; poll until a heal lets them through.
+			s.clk.Sleep(s.cfg.PollInterval)
+		}
 	}
 }
 
@@ -650,8 +746,12 @@ func (s *Set) windowLocked(j *Journal) []*pendingRecord {
 
 // replayWindow drains one window: records grouped by chunk, each chunk's
 // surviving extents coalesced into the fewest sink writes, then the whole
-// window's journal space reclaimed at once.
-func (s *Set) replayWindow(j *Journal, window []*pendingRecord) {
+// window's journal space reclaimed at once. If any chunk fails to reach
+// the sink the WHOLE window stays parked — nothing is popped, nothing is
+// reclaimed — and false is returned; replaying an already-flushed chunk
+// again later is a no-op (its index entries were invalidated), so the
+// retry after heal is idempotent.
+func (s *Set) replayWindow(j *Journal, window []*pendingRecord) bool {
 	var order []blockstore.ChunkID
 	groups := make(map[blockstore.ChunkID][]*pendingRecord)
 	for _, rec := range window {
@@ -665,8 +765,26 @@ func (s *Set) replayWindow(j *Journal, window []*pendingRecord) {
 	}
 
 	var sinkWrites int64
+	var parked bool
 	for _, id := range order {
-		sinkWrites += s.replayChunk(id, groups[id])
+		w, err := s.replayChunk(id, groups[id])
+		sinkWrites += w
+		if err != nil {
+			parked = true
+			s.mu.Lock()
+			s.replayErrors++
+			cb := s.onReplayError
+			if m := s.cfg.Metrics; m != nil {
+				m.Counter(MetricReplayErrors).Inc()
+			}
+			s.mu.Unlock()
+			if cb != nil {
+				cb(id, err)
+			}
+		}
+	}
+	if parked {
+		return false
 	}
 
 	s.mu.Lock()
@@ -693,13 +811,17 @@ func (s *Set) replayWindow(j *Journal, window []*pendingRecord) {
 		s.drainCond.Broadcast()
 	}
 	s.mu.Unlock()
+	return true
 }
 
 // replayChunk replays one chunk's records from a window, holding the chunk
 // lock across query → sink write → invalidate so a bypass write cannot
 // interleave with a stale replay (lock order: chunk lock before s.mu). It
-// returns the number of coalesced sink writes issued.
-func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) int64 {
+// returns the number of coalesced sink writes issued, plus an error when
+// the chunk's data could not all reach the sink (sink write failure or
+// unreadable journal) — the caller parks the window and retries after heal
+// instead of dropping the records.
+func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, error) {
 	l := s.chunkLock(id)
 	l.Lock()
 	defer l.Unlock()
@@ -755,6 +877,7 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) int64 {
 		exts []jindex.Extent
 	}
 	var runs []run
+	var chunkErr error
 readLoop:
 	for i := 0; i < len(current); {
 		k := i + 1
@@ -768,10 +891,12 @@ readLoop:
 			dst := buf[int64(e.Off-lo)*util.SectorSize:][:int64(e.Len)*util.SectorSize]
 			jj := s.journalOf(e.JOff)
 			if jj == nil {
-				break readLoop // index corrupt; drop the records
+				chunkErr = fmt.Errorf("journal: no journal owns joff %d", e.JOff)
+				break readLoop // index corrupt; park the records
 			}
 			if err := jj.readAtJOff(dst, e.JOff); err != nil {
-				break readLoop // journal device gone; drop the records
+				chunkErr = err // journal device unreadable; park the records
+				break readLoop
 			}
 		}
 		runs = append(runs, run{buf, int64(lo) * util.SectorSize, exts})
@@ -780,12 +905,15 @@ readLoop:
 	s.mu.Unlock()
 
 	// Sink writes run outside s.mu (appends continue meanwhile) but under
-	// the chunk lock (bypass writes to this chunk wait their turn).
+	// the chunk lock (bypass writes to this chunk wait their turn). A
+	// failed sink write parks the remainder; what DID land is still
+	// invalidated below so the retry never resurrects stale data.
 	var writes int64
 	var written []jindex.Extent
 	for _, r := range runs {
 		if err := s.sink.WriteAt(id, r.data, r.off); err != nil {
-			break // sink gone; the chunk will be recovered elsewhere
+			chunkErr = err
+			break
 		}
 		writes++
 		written = append(written, r.exts...)
@@ -805,7 +933,7 @@ readLoop:
 		}
 	}
 	s.mu.Unlock()
-	return writes
+	return writes, chunkErr
 }
 
 // SetStats is a snapshot of journal-set activity.
@@ -816,6 +944,8 @@ type SetStats struct {
 	MergedSectors   int64 // sectors never written to the sink (overwritten)
 	Flushes         int64 // group-commit batches across all journals
 	BatchedRecords  int64 // records committed by those batches
+	DeadJournals    int64 // journals declared dead after a flush failure
+	ReplayErrors    int64 // parked replay windows (chunk could not reach sink)
 	Journals        []JournalStats
 }
 
@@ -835,7 +965,8 @@ type JournalStats struct {
 	Appends int64
 	Bytes   int64
 	Flushes int64
-	Queued  int // current commit-queue depth
+	Queued  int  // current commit-queue depth
+	Dead    bool // failed and removed from striping
 }
 
 // Stats returns a consistent snapshot.
@@ -847,6 +978,8 @@ func (s *Set) Stats() SetStats {
 		ReplayedRecords: s.replayedRecords,
 		ReplayedBytes:   s.replayedBytes,
 		MergedSectors:   s.mergedSectors,
+		DeadJournals:    s.deadJournals,
+		ReplayErrors:    s.replayErrors,
 	}
 	for _, j := range s.journals {
 		st.Flushes += j.flushes
@@ -859,6 +992,7 @@ func (s *Set) Stats() SetStats {
 			Bytes:   j.bytesAppended,
 			Flushes: j.flushes,
 			Queued:  j.queued,
+			Dead:    j.dead,
 		})
 	}
 	return st

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ursa/internal/clock"
+	"ursa/internal/metrics"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -29,6 +30,9 @@ type Config struct {
 	// the paper's Ursa-SSD configuration) backups are placed on SSD
 	// servers too.
 	HybridMode bool
+	// Metrics, when non-nil, receives recovery observability: the
+	// chunk-recoveries counter and the chunk-recovery-duration histogram.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -81,6 +85,12 @@ type Master struct {
 	peersMu sync.Mutex
 	peers   map[string]*transport.Client
 
+	// recMu guards recovering: one in-flight view change per chunk.
+	// Reporters of an already-recovering chunk wait for that recovery and
+	// share its outcome instead of starting a duplicate clone.
+	recMu      sync.Mutex
+	recovering map[uint64]chan struct{}
+
 	rpc *transport.Server
 }
 
@@ -88,10 +98,11 @@ type Master struct {
 func New(cfg Config) *Master {
 	cfg.fillDefaults()
 	return &Master{
-		cfg:    cfg,
-		vdisks: make(map[uint32]*vdisk),
-		byName: make(map[string]uint32),
-		peers:  make(map[string]*transport.Client),
+		cfg:        cfg,
+		vdisks:     make(map[uint32]*vdisk),
+		byName:     make(map[string]uint32),
+		peers:      make(map[string]*transport.Client),
+		recovering: make(map[uint64]chan struct{}),
 	}
 }
 

@@ -40,17 +40,44 @@ type replicaVersion struct {
 	alive   bool
 }
 
+// Metric names for recovery observability.
+const (
+	// MetricChunkRecoveries counts completed view changes.
+	MetricChunkRecoveries = "chunk-recoveries"
+	// MetricRecoveryDuration is the report-to-new-view latency per recovery.
+	MetricRecoveryDuration = "chunk-recovery-duration"
+)
+
 // RecoverChunk performs a view change for one chunk, replacing failedAddr
 // (may be empty for pure repair). It returns the chunk's new metadata.
 func (m *Master) RecoverChunk(vdiskID uint32, chunkIndex uint32, failedAddr string) (*ChunkMeta, error) {
-	m.mu.Lock()
-	vd, okID := m.vdisks[vdiskID]
-	if !okID || int(chunkIndex) >= len(vd.meta.Chunks) {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("master: recover c%d.%d: %w", vdiskID, chunkIndex, util.ErrNotFound)
+	// One recovery per chunk at a time. Reporters re-fire on a cooldown much
+	// shorter than a 64 MB clone, so without this a single dead disk stacks
+	// up concurrent duplicate view changes for the same chunk; latecomers
+	// wait for the in-flight recovery and share its outcome.
+	key := uint64(vdiskID)<<32 | uint64(chunkIndex)
+	m.recMu.Lock()
+	if ch, busy := m.recovering[key]; busy {
+		m.recMu.Unlock()
+		<-ch
+		return m.chunkMeta(vdiskID, chunkIndex)
 	}
-	cm := vd.meta.Chunks[chunkIndex]
-	m.mu.Unlock()
+	ch := make(chan struct{})
+	m.recovering[key] = ch
+	m.recMu.Unlock()
+	defer func() {
+		m.recMu.Lock()
+		delete(m.recovering, key)
+		m.recMu.Unlock()
+		close(ch)
+	}()
+
+	t0 := m.cfg.Clock.Now()
+	cmp, err := m.chunkMeta(vdiskID, chunkIndex)
+	if err != nil {
+		return nil, err
+	}
+	cm := *cmp
 
 	id := blockstore.MakeChunkID(vdiskID, chunkIndex)
 
@@ -79,6 +106,25 @@ func (m *Master) RecoverChunk(vdiskID uint32, chunkIndex uint32, failedAddr stri
 	if alive*2 <= len(cm.Replicas) && failedAddr == "" {
 		return nil, fmt.Errorf("master: recover %v: only %d/%d replicas reachable: %w",
 			id, alive, len(cm.Replicas), util.ErrNoQuorum)
+	}
+
+	// A stale report against a chunk that is already whole needs no new
+	// view: the named replica left the set in an earlier view change (or no
+	// replica was named), every current replica answered, and all versions
+	// agree. Dead devices keep re-reporting for as long as records stay
+	// parked on them; answering with the current meta instead of bumping
+	// the view stops that churn.
+	if alive == len(cm.Replicas) && !replicaInSet(cm, failedAddr) {
+		consistent := true
+		for _, st := range states {
+			if st.version != states[0].version {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			return &cm, nil
+		}
 	}
 
 	// Step 2: versionH.
@@ -158,13 +204,37 @@ func (m *Master) RecoverChunk(vdiskID uint32, chunkIndex uint32, failedAddr stri
 
 	newMeta := ChunkMeta{View: newView, Replicas: newReplicas}
 	m.mu.Lock()
-	vd, okID = m.vdisks[vdiskID]
-	if okID && int(chunkIndex) < len(vd.meta.Chunks) {
+	if vd, okID := m.vdisks[vdiskID]; okID && int(chunkIndex) < len(vd.meta.Chunks) {
 		vd.meta.Chunks[chunkIndex] = newMeta
 	}
 	m.viewChanges++
 	m.mu.Unlock()
+	if reg := m.cfg.Metrics; reg != nil {
+		reg.Counter(MetricChunkRecoveries).Inc()
+		reg.ObserveLatency(MetricRecoveryDuration, m.cfg.Clock.Now().Sub(t0))
+	}
 	return &newMeta, nil
+}
+
+// chunkMeta returns a copy of one chunk's current metadata.
+func (m *Master) chunkMeta(vdiskID, chunkIndex uint32) (*ChunkMeta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vd, okID := m.vdisks[vdiskID]
+	if !okID || int(chunkIndex) >= len(vd.meta.Chunks) {
+		return nil, fmt.Errorf("master: recover c%d.%d: %w", vdiskID, chunkIndex, util.ErrNotFound)
+	}
+	cm := vd.meta.Chunks[chunkIndex]
+	return &cm, nil
+}
+
+func replicaInSet(cm ChunkMeta, addr string) bool {
+	for _, r := range cm.Replicas {
+		if r.Addr == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // allocateReplacement creates a fresh replica for a dead one and clones
