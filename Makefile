@@ -2,7 +2,7 @@
 # the race detector (the RPC/replication paths are goroutine-heavy).
 GO ?= go
 
-.PHONY: build test race vet check bench-quick bench-smoke chaos-smoke
+.PHONY: build test race vet check bench-quick bench-smoke chaos-smoke scrub-smoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test race chaos-smoke bench-smoke
+check: vet build test race chaos-smoke scrub-smoke bench-smoke
 
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
@@ -28,9 +28,16 @@ bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig journal -quick
 	$(GO) run ./cmd/ursa-bench -fig hotchunk -quick
 	$(GO) run ./cmd/ursa-bench -fig recovery -quick
+	$(GO) run ./cmd/ursa-bench -fig scrub -quick
 
 # Deterministic chaos acceptance run (fixed seed, scripted schedule, ~2s):
 # every SSD journal in the cluster dies mid-workload and the client must
 # finish with zero failed I/Os and a linearizable history.
 chaos-smoke:
 	$(GO) test ./internal/cluster -run TestChaosJournalDeathNoClientErrors -count=1 -v
+
+# Deterministic bit-rot acceptance run: a backup replica's whole HDD rots
+# silently mid-workload; the scrubber must detect it, the master must
+# re-replicate, and every byte the client ever reads must be correct.
+scrub-smoke:
+	$(GO) test ./internal/cluster -run TestChaosBitRotScrubRepairs -count=1 -v

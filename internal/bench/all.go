@@ -31,6 +31,7 @@ func All() []Entry {
 		{"journal", FigJournal},
 		{"hotchunk", FigHotchunk},
 		{"recovery", FigRecovery},
+		{"scrub", FigScrub},
 		{"a1", AblJournalMedia},
 		{"a2", AblClientDirected},
 		{"a3", AblIndexLevels},

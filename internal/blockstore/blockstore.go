@@ -37,6 +37,7 @@ func (id ChunkID) Index() uint32 { return uint32(uint64(id)) }
 // parallelism is the disk's business.
 type Store struct {
 	disk simdisk.Disk
+	sums *ChecksumStore
 
 	mu    sync.RWMutex
 	slots map[ChunkID]int64 // chunk -> byte offset of its slot
@@ -53,10 +54,15 @@ func New(disk simdisk.Disk, limit int64) *Store {
 	}
 	return &Store{
 		disk:  disk,
+		sums:  newChecksumStore(),
 		slots: make(map[ChunkID]int64),
 		limit: util.AlignDown(limit, util.ChunkSize),
 	}
 }
+
+// Sums exposes the store's per-sector checksum table. Writers stamp it
+// after the device acks; readers verify against it before returning data.
+func (s *Store) Sums() *ChecksumStore { return s.sums }
 
 // Create allocates a slot for id. The chunk reads as zeros until written.
 func (s *Store) Create(id ChunkID) error {
@@ -77,6 +83,7 @@ func (s *Store) Create(id ChunkID) error {
 		s.next += util.ChunkSize
 	}
 	s.slots[id] = off
+	s.sums.create(id)
 	return nil
 }
 
@@ -90,6 +97,7 @@ func (s *Store) Delete(id ChunkID) error {
 	}
 	delete(s.slots, id)
 	s.free = append(s.free, off)
+	s.sums.drop(id)
 	return nil
 }
 

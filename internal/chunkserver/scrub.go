@@ -1,0 +1,49 @@
+package chunkserver
+
+import (
+	"errors"
+	"fmt"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/util"
+)
+
+// This file is the server's face toward internal/scrub. The scrubber stays
+// decoupled from chunkserver (it sees only its Target interface); these
+// methods give it exactly what a per-machine scrub pass needs: the resident
+// chunk list, an idleness signal, and a verified-read probe that feeds
+// detections into the same report-to-master repair path the foreground read
+// path uses.
+
+// ScrubChunks lists the chunks resident on this server's store.
+func (s *Server) ScrubChunks() []blockstore.ChunkID { return s.store.Chunks() }
+
+// ScrubBusy reports whether any device a scrub probe would touch is
+// serving I/O right now — the scrubber's idle gate, the same queue-depth
+// signal journal replay yields on. On a backup that includes the journal
+// devices: probes read through the journal-merged path, so a probe issued
+// while appends stream into the shared journal SSD would queue behind
+// (and fatten the tail of) foreground writes.
+func (s *Server) ScrubBusy() bool {
+	if s.store.Disk().QueueDepth() > 0 {
+		return true
+	}
+	return s.jset != nil && s.jset.DevicesBusy()
+}
+
+// ScrubRange verifies one range of a chunk against its checksums, reading
+// through the replica's normal data path (journal-merged on backups). A
+// confirmed mismatch is reported to the master for re-replication and
+// returned wrapping util.ErrCorrupt; a chunk deleted mid-scrub returns
+// util.ErrNotFound and is nothing to repair.
+func (s *Server) ScrubRange(id blockstore.ChunkID, off int64, n int) error {
+	if s.chunk(id) == nil {
+		return fmt.Errorf("chunkserver %s: scrub %v: %w", s.cfg.Addr, id, util.ErrNotFound)
+	}
+	buf := make([]byte, n)
+	err := s.readVerified(nil, id, buf, off)
+	if err != nil && !errors.Is(err, util.ErrNotFound) {
+		s.reportDeviceFailure(id, err)
+	}
+	return err
+}

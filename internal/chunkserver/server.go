@@ -92,6 +92,10 @@ const (
 	// MetricDepWait is the time a write spends blocked on overlapping
 	// pending predecessors before its own device apply may start.
 	MetricDepWait = "chunk-dep-wait"
+	// MetricChecksumMismatches counts reads whose payload failed CRC-32C
+	// verification even after re-reads — confirmed silent corruption, each
+	// occurrence also reported to the master for repair.
+	MetricChecksumMismatches = "chunk-checksum-mismatches"
 )
 
 // Stats is a snapshot of server activity for the efficiency benches
@@ -410,6 +414,18 @@ func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
 	}
 	if err := s.store.Create(m.Chunk); err != nil {
 		if errors.Is(err, util.ErrExists) {
+			// A restarted server re-attaches to chunks that survived on its
+			// store: install fresh in-memory state over the existing slot
+			// (and its checksums). The Exists status is kept so recovery
+			// flows still learn the slot was already there.
+			s.mu.Lock()
+			if s.chunks[m.Chunk] == nil {
+				cs := newChunkState(req.View, req.Backups, s.cfg.LiteCap)
+				cs.version = req.Version
+				cs.reserved = req.Version
+				s.chunks[m.Chunk] = cs
+			}
+			s.mu.Unlock()
 			return m.Reply(proto.StatusExists)
 		}
 		return m.Reply(proto.StatusQuota)
@@ -513,18 +529,13 @@ func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 	cs.mu.Unlock()
 
 	buf := make([]byte, m.Length)
-	var err error
-	if s.jset != nil {
-		stop := op.StartStage(opctx.StageBackupJournal)
-		err = s.jset.Read(m.Chunk, buf, m.Off)
-		stop()
-	} else {
-		stop := op.StartStage(opctx.StagePrimarySSD)
-		err = s.store.ReadAt(m.Chunk, buf, m.Off)
-		stop()
-	}
-	if err != nil {
+	if err := s.readVerified(op, m.Chunk, buf, m.Off); err != nil {
 		s.reportDeviceFailure(m.Chunk, err)
+		if errors.Is(err, util.ErrCorrupt) {
+			// Distinguishable integrity failure: the client fails over to
+			// another replica instead of retrying a disk that lies.
+			return m.Reply(proto.StatusCorrupt)
+		}
 		return m.Reply(proto.StatusError)
 	}
 	s.reads.Add(1)
@@ -533,6 +544,75 @@ func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 	r.Version = ver
 	r.Payload = buf
 	return r
+}
+
+// readData reads the replica's logical content: journal-merged for backups,
+// the store for primaries.
+func (s *Server) readData(id blockstore.ChunkID, buf []byte, off int64) error {
+	if s.jset != nil {
+		return s.jset.Read(id, buf, off)
+	}
+	return s.store.ReadAt(id, buf, off)
+}
+
+// readVerified reads [off, off+len(buf)) of a chunk and checks the payload
+// against the chunk's sector checksums. A mismatch is settled per sector
+// before being declared corruption: the pipelined write path stamps a
+// sector's checksum only after its device write returns, so a read racing
+// an overlapping write can transiently observe a payload newer than the
+// stamped sum (or the reverse). Settling sector by sector matters for
+// large reads (scrub probes, clone fetches) over a write-hot region — a
+// whole-buffer retry would need every sector consistent at one instant,
+// which under a continuous write stream may never happen; each sector on
+// its own settles within microseconds, while real bit-rot never verifies.
+// A confirmed mismatch counts chunk-checksum-mismatches and comes back
+// wrapping util.ErrCorrupt. op may be nil (scrub and recovery paths); with
+// an op the device time lands on the usual read stage.
+func (s *Server) readVerified(op *opctx.Op, id blockstore.ChunkID, buf []byte, off int64) error {
+	stage := opctx.StagePrimarySSD
+	if s.jset != nil {
+		stage = opctx.StageBackupJournal
+	}
+	var err error
+	if op != nil {
+		stop := op.StartStage(stage)
+		err = s.readData(id, buf, off)
+		stop()
+	} else {
+		err = s.readData(id, buf, off)
+	}
+	if err != nil {
+		return err
+	}
+	if s.store.Sums().Verify(id, off, buf) == nil {
+		return nil
+	}
+	const sectorRereads = 4
+	sec := make([]byte, util.SectorSize)
+	for so := int64(0); so < int64(len(buf)); so += util.SectorSize {
+		if s.store.Sums().Verify(id, off+so, buf[so:so+util.SectorSize]) == nil {
+			continue
+		}
+		var verr error
+		for attempt := 0; ; attempt++ {
+			if err := s.readData(id, sec, off+so); err != nil {
+				return err
+			}
+			if verr = s.store.Sums().Verify(id, off+so, sec); verr == nil {
+				copy(buf[so:], sec)
+				break
+			}
+			if attempt == sectorRereads {
+				if s.cfg.Metrics != nil {
+					s.cfg.Metrics.Counter(MetricChecksumMismatches).Inc()
+				}
+				return verr
+			}
+			// Give an in-flight stamp a moment to land before re-reading.
+			s.cfg.Clock.Sleep(20 * time.Microsecond)
+		}
+	}
+	return nil
 }
 
 // errPredecessorFailed aborts a write whose overlapping predecessor's apply
@@ -748,6 +828,9 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 		stop := op.StartStage(opctx.StagePrimarySSD)
 		err := s.store.WriteAt(m.Chunk, m.Payload, m.Off)
 		stop()
+		if err == nil {
+			s.store.Sums().Stamp(m.Chunk, m.Off, m.Payload)
+		}
 		cs.applyDone(pw, err)
 		if err != nil {
 			s.reportDeviceFailure(m.Chunk, err)
@@ -879,6 +962,9 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 		stop := op.StartStage(opctx.StageBackupJournal)
 		err := s.applyBackupWrite(op, m)
 		stop()
+		if err == nil {
+			s.store.Sums().Stamp(m.Chunk, m.Off, m.Payload)
+		}
 		cs.applyDone(pw, err)
 		if err != nil {
 			s.reportDeviceFailure(m.Chunk, err)
@@ -939,13 +1025,13 @@ func (s *Server) handleRepairSince(m *proto.Message) *proto.Message {
 	out := make([]repairMod, 0, len(mods))
 	for _, mod := range mods {
 		buf := make([]byte, mod.Len)
-		var err error
-		if s.jset != nil {
-			err = s.jset.Read(m.Chunk, buf, mod.Off)
-		} else {
-			err = s.store.ReadAt(m.Chunk, buf, mod.Off)
-		}
-		if err != nil {
+		// Verified read: serving unverified bytes here would launder local
+		// bit-rot into a healthy replica through the repair path.
+		if err := s.readVerified(nil, m.Chunk, buf, mod.Off); err != nil {
+			s.reportDeviceFailure(m.Chunk, err)
+			if errors.Is(err, util.ErrCorrupt) {
+				return m.Reply(proto.StatusCorrupt)
+			}
 			return m.Reply(proto.StatusError)
 		}
 		out = append(out, repairMod{Mod: mod, Data: buf})
@@ -983,6 +1069,7 @@ func (s *Server) handleApplyRepair(m *proto.Message) *proto.Message {
 		if werr != nil {
 			return m.Reply(proto.StatusError)
 		}
+		s.store.Sums().Stamp(m.Chunk, mod.Off, mod.Data)
 		cs.lite.Record(mod.Version, mod.Off, len(mod.Data))
 		s.bytesWritten.Add(int64(len(mod.Data)))
 	}
@@ -1005,13 +1092,13 @@ func (s *Server) handleFetchChunk(m *proto.Message) *proto.Message {
 		return m.Reply(proto.StatusError)
 	}
 	buf := make([]byte, m.Length)
-	var err error
-	if s.jset != nil {
-		err = s.jset.Read(m.Chunk, buf, m.Off)
-	} else {
-		err = s.store.ReadAt(m.Chunk, buf, m.Off)
-	}
-	if err != nil {
+	// Verified read: a recovery clone that copied rotten bytes would
+	// propagate corruption to the replacement replica.
+	if err := s.readVerified(nil, m.Chunk, buf, m.Off); err != nil {
+		s.reportDeviceFailure(m.Chunk, err)
+		if errors.Is(err, util.ErrCorrupt) {
+			return m.Reply(proto.StatusCorrupt)
+		}
 		return m.Reply(proto.StatusError)
 	}
 	cs.mu.Lock()
@@ -1099,6 +1186,7 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 		if werr != nil {
 			return m.Reply(proto.StatusError)
 		}
+		s.store.Sums().Stamp(m.Chunk, p.off, fresp.Payload)
 		s.bytesWritten.Add(int64(len(fresp.Payload)))
 	}
 	cs.adoptVersionLocked(srcVersion)

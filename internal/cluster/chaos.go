@@ -31,6 +31,10 @@ const (
 	ChaosCrashServer
 	// ChaosRestartServer brings a crashed server's node back.
 	ChaosRestartServer
+	// ChaosCorruptDisk silently flips bytes on one device: reads of the
+	// [Lo, Hi) range keep succeeding but return rotted payloads (bit-rot).
+	// Hi <= Lo corrupts the whole device.
+	ChaosCorruptDisk
 )
 
 func (k ChaosKind) String() string {
@@ -47,6 +51,8 @@ func (k ChaosKind) String() string {
 		return "crash-server"
 	case ChaosRestartServer:
 		return "restart-server"
+	case ChaosCorruptDisk:
+		return "corrupt-disk"
 	default:
 		return fmt.Sprintf("chaos-kind-%d", int(k))
 	}
@@ -63,6 +69,10 @@ type ChaosEvent struct {
 	HDD     bool // target the machine's HDDs instead of its SSDs
 	Server  string
 	Stall   time.Duration // ChaosStallDisk only
+	// ChaosCorruptDisk only: the rotting byte range (Hi <= Lo = whole
+	// device) and whether the rot persists across re-reads or strikes once.
+	Lo, Hi     int64
+	Persistent bool
 }
 
 // ChaosOptions parameterizes a chaos run.
@@ -84,6 +94,11 @@ type ChaosOptions struct {
 	// FinalSweep heals every device, restarts schedule-crashed servers, and
 	// read-checks the whole region after the op stream.
 	FinalSweep bool
+	// Checker continues an existing linearizability history (nil = fresh).
+	// Chained runs over the same vdisk region must share one checker: a
+	// fresh checker assumes unwritten sectors read as zeros, which is false
+	// once a previous run has written them.
+	Checker *linearize.Checker
 }
 
 // ChaosReport summarizes a chaos run. Any linearizability violation is
@@ -120,7 +135,10 @@ func RunChaos(c *core.Cluster, vd *client.VDisk, opts ChaosOptions) (*ChaosRepor
 		region = util.AlignDown(vd.Size(), util.SectorSize)
 	}
 
-	checker := linearize.New()
+	checker := opts.Checker
+	if checker == nil {
+		checker = linearize.New()
+	}
 	r := util.NewRand(opts.Seed)
 	rep := &ChaosReport{}
 
@@ -210,6 +228,14 @@ func fireChaos(c *core.Cluster, ev ChaosEvent) {
 				fi.Stall(ev.Stall)
 			}
 		}
+	case ChaosCorruptDisk:
+		if fi := chaosDisk(c, ev); fi != nil {
+			lo, hi := ev.Lo, ev.Hi
+			if hi <= lo {
+				lo, hi = 0, fi.Size()
+			}
+			fi.CorruptRange(lo, hi, ev.Persistent)
+		}
 	case ChaosCrashServer:
 		c.CrashServer(ev.Server)
 	case ChaosRestartServer:
@@ -269,6 +295,12 @@ func RandomSchedule(c *core.Cluster, seed uint64, ops int) []ChaosEvent {
 		{AtOp: at(0.25), Kind: ChaosKillDisk, Machine: mHDD, HDD: true, Disk: hddPick},
 		{AtOp: at(0.40), Kind: ChaosStallDisk, Machine: mSSD, Disk: ssdPick,
 			Stall: 200 * time.Microsecond},
+		// One-shot bit-rot on the stalled machine's SSD store region (the
+		// front half keeps clear of the journal tail): the next read of any
+		// rotted sector sees garbage once; the checksummed read path must
+		// absorb it with a re-read instead of serving it.
+		{AtOp: at(0.55), Kind: ChaosCorruptDisk, Machine: mSSD, Disk: ssdPick,
+			Lo: 0, Hi: c.Machines[mSSD].SSDFaults[ssdPick].Size() / 2},
 		{AtOp: at(0.70), Kind: ChaosHealDisk, Machine: mSSD, Disk: ssdPick},
 	}
 	// Crash and later restart one backup server on a fourth machine.

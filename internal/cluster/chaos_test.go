@@ -1,16 +1,19 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"ursa/internal/chunkserver"
 	"ursa/internal/client"
 	"ursa/internal/clock"
 	"ursa/internal/core"
 	"ursa/internal/journal"
 	"ursa/internal/linearize"
 	"ursa/internal/master"
+	"ursa/internal/scrub"
 	"ursa/internal/simdisk"
 	"ursa/internal/util"
 )
@@ -132,6 +135,228 @@ func TestChaosRandomLinearizable(t *testing.T) {
 		t.Fatal("checker tracked no sectors")
 	}
 	t.Logf("chaos report: %+v", rep)
+}
+
+// scrubCluster is chaosCluster with an aggressive background scrubber, so
+// bit-rot detection happens in test time rather than production time.
+func scrubCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.New(core.Options{
+		Machines:       4,
+		SSDsPerMachine: 1,
+		HDDsPerMachine: 2,
+		Mode:           core.Hybrid,
+		Clock:          clock.Realtime,
+		SSDModel: simdisk.SSDModel{
+			Capacity: 2 * util.GiB, Parallelism: 32,
+			ReadLatency: 2 * time.Microsecond, WriteLatency: 4 * time.Microsecond,
+			ReadBandwidth: 20e9, WriteBandwidth: 12e9,
+		},
+		HDDModel: simdisk.HDDModel{
+			Capacity: 4 * util.GiB, SeekMax: 400 * time.Microsecond,
+			SeekSettle: 25 * time.Microsecond, RPM: 288000,
+			Bandwidth: 6e9, TrackSkip: 512 * util.KiB,
+		},
+		NetLatency:  5 * time.Microsecond,
+		ReplTimeout: 40 * time.Millisecond,
+		CallTimeout: 250 * time.Millisecond,
+		ScrubEnable: true,
+		ScrubConfig: scrub.Config{
+			Interval:  25 * time.Millisecond,
+			ReadSize:  4 * util.MiB,
+			Rate:      512 * util.MiB,
+			IdleGrace: 2 * time.Millisecond,
+			Poll:      time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// replicaDevice maps a replica address like "m2/hdd1" back to its machine
+// index and fault injector.
+func replicaDevice(t *testing.T, c *core.Cluster, addr string) (int, int, bool) {
+	t.Helper()
+	var mi, di int
+	if _, err := fmt.Sscanf(addr, "m%d/hdd%d", &mi, &di); err == nil {
+		return mi, di, true
+	}
+	if _, err := fmt.Sscanf(addr, "m%d/ssd%d", &mi, &di); err == nil {
+		return mi, di, false
+	}
+	t.Fatalf("unparsable replica addr %q", addr)
+	return 0, 0, false
+}
+
+func waitClusterCounter(t *testing.T, c *core.Cluster, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Metrics().Counter(name).Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s stuck at %d, want >= %d", name, c.Metrics().Counter(name).Load(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosBitRotScrubRepairs is the end-to-end integrity acceptance run
+// (the scrub-smoke target): one backup replica's HDD silently rots under a
+// live workload. The client never reads that replica — only the background
+// scrubber can find the rot. The run must end with the corruption detected
+// by the scrubber, the replica evicted by a master view change, and every
+// byte the client ever read linearizable.
+func TestChaosBitRotScrubRepairs(t *testing.T) {
+	c := scrubCluster(t)
+	vd := chaosVDisk(t, c, 1)
+
+	// Locate a backup replica of the (single) chunk and its backing device.
+	mon := c.NewClient("monitor")
+	t.Cleanup(func() { mon.Close() })
+	meta, err := mon.OpenMeta("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rotAddr string
+	for _, r := range meta.Chunks[0].Replicas {
+		if !r.SSD {
+			rotAddr = r.Addr
+			break
+		}
+	}
+	if rotAddr == "" {
+		t.Fatal("chunk has no backup replica")
+	}
+	mi, di, isHDD := replicaDevice(t, c, rotAddr)
+	if !isHDD {
+		t.Fatalf("backup replica %s not on an HDD", rotAddr)
+	}
+
+	// Persistent whole-device rot on the backup's HDD, mid-workload. The
+	// backup's journal lives on the machine's SSD and stays clean, so
+	// writes keep committing; only the rotted store can betray the reader.
+	checker := linearize.New()
+	rep, err := RunChaos(c, vd, ChaosOptions{
+		Ops:       300,
+		Seed:      11,
+		WriteFrac: 0.6,
+		Schedule: []ChaosEvent{
+			{AtOp: 50, Kind: ChaosCorruptDisk, Machine: mi, HDD: true, Disk: di, Persistent: true},
+		},
+		Checker: checker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsFired != 1 {
+		t.Fatalf("rot never armed: %+v", rep)
+	}
+
+	// The scrubber must find the rot, count it, and trigger a view change.
+	waitClusterCounter(t, c, scrub.MetricCorruptionsFound, 1)
+	waitClusterCounter(t, c, chunkserver.MetricChecksumMismatches, 1)
+	waitClusterCounter(t, c, master.MetricChunkRecoveries, 1)
+
+	// The view change must evict the rotted replica from the placement.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		meta, err = mon.OpenMeta("chaos")
+		if err != nil {
+			t.Fatal(err)
+		}
+		evicted := true
+		for _, r := range meta.Chunks[0].Replicas {
+			if r.Addr == rotAddr {
+				evicted = false
+			}
+		}
+		if len(meta.Chunks[0].Replicas) == 3 && evicted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rotted replica %s still placed: %+v", rotAddr, meta.Chunks[0].Replicas)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// With the rot STILL armed, sweep the whole workload region through the
+	// client: every byte must match the shared linearizability history.
+	buf := make([]byte, util.SectorSize)
+	for off := int64(0); off < 128*util.KiB; off += util.SectorSize {
+		if err := vd.ReadAt(buf, off); err != nil {
+			t.Fatalf("sweep read at %d: %v", off, err)
+		}
+		if err := checker.CheckRead(off, buf); err != nil {
+			t.Fatalf("corrupt payload reached the client at %d: %v", off, err)
+		}
+	}
+	if got := c.Metrics().Counter(simdisk.MetricCorruptionsInjected).Load(); got != 1 {
+		t.Errorf("%s = %d, want 1", simdisk.MetricCorruptionsInjected, got)
+	}
+}
+
+// TestChaosBitRotPrimaryReadPath rots the primary SSD's store region under
+// a read-heavy workload with NO scrubber: the foreground read path alone
+// must catch every mismatch, never hand rotted bytes to the client, and
+// report the replica so the master moves the primary elsewhere.
+func TestChaosBitRotPrimaryReadPath(t *testing.T) {
+	c := chaosCluster(t, false)
+	vd := chaosVDisk(t, c, 1)
+
+	mon := c.NewClient("monitor")
+	t.Cleanup(func() { mon.Close() })
+	meta, err := mon.OpenMeta("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := meta.Chunks[0].Replicas[0]
+	if !primary.SSD {
+		t.Fatalf("first replica %+v is not the SSD primary", primary)
+	}
+	mi, di, isHDD := replicaDevice(t, c, primary.Addr)
+	if isHDD {
+		t.Fatalf("primary %s on an HDD", primary.Addr)
+	}
+
+	// Rot only the SSD's store region: its tail tenth holds backup
+	// journals whose rot is a different test (journal-replay-corrupt).
+	ssdSize := c.Machines[mi].SSDFaults[di].Size()
+	storeLimit := util.AlignDown(int64(float64(ssdSize)*0.9), util.ChunkSize)
+
+	checker := linearize.New()
+	rep, err := RunChaos(c, vd, ChaosOptions{
+		Ops:       300,
+		Seed:      13,
+		WriteFrac: 0.4, // read-heavy: the read path is the detector here
+		Schedule: []ChaosEvent{
+			{AtOp: 50, Kind: ChaosCorruptDisk, Machine: mi, Disk: di,
+				Lo: 0, Hi: storeLimit, Persistent: true},
+		},
+		Checker: checker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsFired != 1 {
+		t.Fatalf("rot never armed: %+v", rep)
+	}
+
+	waitClusterCounter(t, c, chunkserver.MetricChecksumMismatches, 1)
+	waitClusterCounter(t, c, master.MetricChunkRecoveries, 1)
+
+	// Sweep with the rot still armed; reads must come back clean from the
+	// repaired placement.
+	buf := make([]byte, util.SectorSize)
+	for off := int64(0); off < 128*util.KiB; off += util.SectorSize {
+		if err := vd.ReadAt(buf, off); err != nil {
+			t.Fatalf("sweep read at %d: %v", off, err)
+		}
+		if err := checker.CheckRead(off, buf); err != nil {
+			t.Fatalf("corrupt payload reached the client at %d: %v", off, err)
+		}
+	}
 }
 
 // TestRecoverChunkRacesClientWrite drives master view changes concurrently

@@ -17,6 +17,7 @@ import (
 	"ursa/internal/journal"
 	"ursa/internal/master"
 	"ursa/internal/metrics"
+	"ursa/internal/scrub"
 	"ursa/internal/simdisk"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -104,6 +105,12 @@ type Options struct {
 	// SerialApply disables per-chunk write pipelining on every chunk
 	// server (the locked baseline; see chunkserver.Config.SerialApply).
 	SerialApply bool
+	// ScrubEnable starts one background scrubber per machine, sweeping all
+	// of the machine's chunk servers for silent corruption.
+	ScrubEnable bool
+	// ScrubConfig tunes the scrubbers (zero value = scrub.DefaultConfig;
+	// a nil Metrics field inherits the cluster registry).
+	ScrubConfig scrub.Config
 }
 
 func (o *Options) fillDefaults() {
@@ -166,7 +173,10 @@ type Machine struct {
 	// shared SSD) instead of the whole device.
 	JournalRegions []JournalRegion
 	Servers        []*chunkserver.Server
-	jsets          []*journal.Set
+	// Scrubber is the machine's background integrity sweep (nil unless
+	// Options.ScrubEnable).
+	Scrubber *scrub.Scrubber
+	jsets    []*journal.Set
 
 	nicIn, nicOut *transport.TokenBucket
 }
@@ -298,6 +308,19 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 			}
 			c.Master.AddServer(addr, m.Name, true) // primary-capable
 		}
+	}
+
+	if opts.ScrubEnable {
+		scfg := opts.ScrubConfig
+		if scfg.Metrics == nil {
+			scfg.Metrics = opts.Metrics
+		}
+		targets := make([]scrub.Target, 0, len(m.Servers))
+		for _, s := range m.Servers {
+			targets = append(targets, s)
+		}
+		m.Scrubber = scrub.New(c.clk, scfg, targets...)
+		m.Scrubber.Start()
 	}
 	return m, nil
 }
@@ -455,6 +478,11 @@ func (c *Cluster) Close() {
 		c.Master.Close()
 	}
 	for _, m := range c.Machines {
+		// Scrubbers first: they probe through the servers and must not
+		// race a closing server or store.
+		if m.Scrubber != nil {
+			m.Scrubber.Close()
+		}
 		for _, s := range m.Servers {
 			s.Close()
 		}

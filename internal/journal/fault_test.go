@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -216,5 +217,72 @@ func TestReplayParksOnSinkError(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Error("parked record not replayed after heal")
+	}
+}
+
+// TestReplayParksOnCorruptRecord flips bytes inside a committed record's
+// payload sectors: replay must detect the CRC mismatch BEFORE any byte
+// reaches the sink, park the window (not drop it), count it under
+// journal-replay-corrupt, and drain normally once the rot heals.
+func TestReplayParksOnCorruptRecord(t *testing.T) {
+	e := newFaultEnv(t, 1, false)
+	id := blockstore.MakeChunkID(1, 0)
+	if err := e.sink.Create(id); err != nil {
+		t.Fatal(err)
+	}
+	var reported atomic.Int64
+	e.set.OnFault(nil, func(got blockstore.ChunkID, err error) {
+		if got == id && errors.Is(err, util.ErrCorrupt) {
+			reported.Add(1)
+		}
+	})
+
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(25).Fill(data)
+	if err := e.set.Append(nil, id, 0, data, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The record occupies [0, 512) header + [512, 4608) payload on journal
+	// 0's device; rot the first payload sector, persistently.
+	e.jdisks[0].CorruptRange(512, 1024, true)
+	e.set.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for e.reg.Counter(MetricReplayCorrupt).Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("corrupt replay never observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := e.set.Pending(); p != 1 {
+		t.Fatalf("corrupt record dropped instead of parked: pending = %d", p)
+	}
+	if reported.Load() == 0 {
+		t.Error("replay-error callback never fired with ErrCorrupt")
+	}
+	if st := e.set.Stats(); st.ReplayCorrupt == 0 {
+		t.Errorf("stats missed corrupt replays: %+v", st)
+	}
+	// Nothing corrupt reached the sink: the region still reads as zeros.
+	got := make([]byte, len(data))
+	if err := e.sink.ReadAt(id, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, len(data))) {
+		t.Fatal("corrupt payload leaked into the sink")
+	}
+
+	// Heal the rot: the parked window re-verifies clean and drains.
+	e.jdisks[0].Heal()
+	e.set.Drain()
+	if p := e.set.Pending(); p != 0 {
+		t.Fatalf("pending after heal+drain = %d", p)
+	}
+	if err := e.sink.ReadAt(id, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("record not replayed intact after heal")
 	}
 }

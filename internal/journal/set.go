@@ -70,6 +70,25 @@ const (
 	// records could not reach the sink (sink I/O error or unreadable
 	// journal); the records stay queued and replay resumes after heal.
 	MetricReplayErrors = "journal-replay-errors"
+	// MetricReplayCorrupt counts replay windows parked because a record
+	// failed its CRC check when re-read from the journal: bit-rot between
+	// append and replay. The record is never applied to the sink —
+	// skip-and-park, repair via the OnFault report path.
+	MetricReplayCorrupt = "journal-replay-corrupt"
+)
+
+// Group-commit and replay distribution names (see Config.Metrics).
+const (
+	// MetricBatchRecords samples records per group-commit flush.
+	MetricBatchRecords = "journal-batch-records"
+	// MetricFlushLatency is the claim-to-durable latency of each flush.
+	MetricFlushLatency = "journal-flush"
+	// MetricCommitQueue is the time an append waits in the commit queue.
+	MetricCommitQueue = "journal-commit-queue"
+	// MetricReplayWindow samples records replayed per window.
+	MetricReplayWindow = "journal-replay-window"
+	// MetricReplayWrites samples coalesced sink writes per window.
+	MetricReplayWrites = "journal-replay-writes"
 )
 
 // errJournalDead marks an append whose journal died before (or while)
@@ -164,6 +183,7 @@ type Set struct {
 	replayedBytes   int64
 	mergedSectors   int64 // sectors skipped at replay because overwritten
 	replayErrors    int64 // parked replay windows (chunk could not reach sink)
+	replayCorrupt   int64 // parked replay windows whose record failed CRC verification
 	deadJournals    int64
 }
 
@@ -468,10 +488,10 @@ func (s *Set) flush(j *Journal) {
 	j.flushes++
 	j.batchedRecords += int64(len(batch))
 	if m := s.cfg.Metrics; m != nil {
-		m.ObserveValue("journal-batch-records", int64(len(batch)))
-		m.ObserveLatency("journal-flush", flushed.Sub(claimed))
+		m.ObserveValue(MetricBatchRecords, int64(len(batch)))
+		m.ObserveLatency(MetricFlushLatency, flushed.Sub(claimed))
 		for _, r := range batch {
-			m.ObserveLatency("journal-commit-queue", claimed.Sub(r.enq))
+			m.ObserveLatency(MetricCommitQueue, claimed.Sub(r.enq))
 		}
 	}
 	var next *commitReq
@@ -623,6 +643,21 @@ func (s *Set) Drain() {
 	s.mu.Unlock()
 }
 
+// DevicesBusy reports whether any journal device in the set is serving I/O
+// right now. A backup's read path merges journal-resident extents, so
+// anything idle-gating reads against the backup (the scrubber) must watch
+// the journal devices too, not just the data disk.
+func (s *Set) DevicesBusy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.journals {
+		if j.disk.QueueDepth() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Pending returns the number of unreplayed records.
 func (s *Set) Pending() int {
 	s.mu.Lock()
@@ -771,11 +806,19 @@ func (s *Set) replayWindow(j *Journal, window []*pendingRecord) bool {
 		sinkWrites += w
 		if err != nil {
 			parked = true
+			corrupt := errors.Is(err, util.ErrCorrupt)
 			s.mu.Lock()
 			s.replayErrors++
+			if corrupt {
+				s.replayCorrupt++
+			}
 			cb := s.onReplayError
 			if m := s.cfg.Metrics; m != nil {
-				m.Counter(MetricReplayErrors).Inc()
+				if corrupt {
+					m.Counter(MetricReplayCorrupt).Inc()
+				} else {
+					m.Counter(MetricReplayErrors).Inc()
+				}
 			}
 			s.mu.Unlock()
 			if cb != nil {
@@ -804,8 +847,8 @@ func (s *Set) replayWindow(j *Journal, window []*pendingRecord) bool {
 	s.pending -= replayed + failed
 	s.replayedRecords += int64(replayed)
 	if m := s.cfg.Metrics; m != nil && replayed > 0 {
-		m.ObserveValue("journal-replay-window", int64(replayed))
-		m.ObserveValue("journal-replay-writes", sinkWrites)
+		m.ObserveValue(MetricReplayWindow, int64(replayed))
+		m.ObserveValue(MetricReplayWrites, sinkWrites)
 	}
 	if s.pending == 0 {
 		s.drainCond.Broadcast()
@@ -843,6 +886,7 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, 
 
 	s.mu.Lock()
 	var current []jindex.Extent
+	var liveRecs []*pendingRecord
 	ix, haveIx := s.indexes[id]
 	var totalSectors, liveSectors int64
 	for _, rec := range recs {
@@ -854,16 +898,33 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, 
 		if !haveIx {
 			continue
 		}
+		live := false
 		for _, e := range ix.Query(offSec, lenSec) {
 			if e.JOff >= rec.dataJOff && e.JOff < jEnd {
 				current = append(current, e)
+				live = true
 			}
+		}
+		if live {
+			liveRecs = append(liveRecs, rec)
 		}
 	}
 	for _, e := range current {
 		liveSectors += int64(e.Len)
 	}
 	s.mergedSectors += totalSectors - liveSectors
+
+	// Re-verify every record whose payload still backs live extents BEFORE
+	// any byte of it reaches the sink: bit-rot inside the journal region
+	// must park the window for repair (journal-replay-corrupt), never be
+	// silently replayed as committed data.
+	var chunkErr error
+	for _, rec := range liveRecs {
+		if err := s.verifyRecordLocked(rec); err != nil {
+			chunkErr = err
+			break
+		}
+	}
 
 	// The index maps each chunk sector to at most one journal location, so
 	// extents surviving from different records never overlap; sorting by
@@ -877,30 +938,31 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, 
 		exts []jindex.Extent
 	}
 	var runs []run
-	var chunkErr error
-readLoop:
-	for i := 0; i < len(current); {
-		k := i + 1
-		for k < len(current) && current[k].Off == current[k-1].Off+current[k-1].Len {
-			k++
-		}
-		exts := current[i:k]
-		lo, hi := exts[0].Off, exts[len(exts)-1].End()
-		buf := make([]byte, int64(hi-lo)*util.SectorSize)
-		for _, e := range exts {
-			dst := buf[int64(e.Off-lo)*util.SectorSize:][:int64(e.Len)*util.SectorSize]
-			jj := s.journalOf(e.JOff)
-			if jj == nil {
-				chunkErr = fmt.Errorf("journal: no journal owns joff %d", e.JOff)
-				break readLoop // index corrupt; park the records
+	if chunkErr == nil {
+	readLoop:
+		for i := 0; i < len(current); {
+			k := i + 1
+			for k < len(current) && current[k].Off == current[k-1].Off+current[k-1].Len {
+				k++
 			}
-			if err := jj.readAtJOff(dst, e.JOff); err != nil {
-				chunkErr = err // journal device unreadable; park the records
-				break readLoop
+			exts := current[i:k]
+			lo, hi := exts[0].Off, exts[len(exts)-1].End()
+			buf := make([]byte, int64(hi-lo)*util.SectorSize)
+			for _, e := range exts {
+				dst := buf[int64(e.Off-lo)*util.SectorSize:][:int64(e.Len)*util.SectorSize]
+				jj := s.journalOf(e.JOff)
+				if jj == nil {
+					chunkErr = fmt.Errorf("journal: no journal owns joff %d", e.JOff)
+					break readLoop // index corrupt; park the records
+				}
+				if err := jj.readAtJOff(dst, e.JOff); err != nil {
+					chunkErr = err // journal device unreadable; park the records
+					break readLoop
+				}
 			}
+			runs = append(runs, run{buf, int64(lo) * util.SectorSize, exts})
+			i = k
 		}
-		runs = append(runs, run{buf, int64(lo) * util.SectorSize, exts})
-		i = k
 	}
 	s.mu.Unlock()
 
@@ -936,6 +998,40 @@ readLoop:
 	return writes, chunkErr
 }
 
+// verifyRecordLocked re-reads one record's header and payload from its
+// journal and checks payload CRC and header/record agreement. Called with
+// s.mu held. A mismatch wraps util.ErrCorrupt; device errors return as-is.
+func (s *Set) verifyRecordLocked(rec *pendingRecord) error {
+	j := s.journalOf(rec.dataJOff)
+	if j == nil {
+		return fmt.Errorf("journal: no journal owns joff %d", rec.dataJOff)
+	}
+	// The header sector sits immediately before the payload sectors.
+	hbuf := make([]byte, headerSize)
+	if err := j.readAtJOff(hbuf, rec.dataJOff-1); err != nil {
+		return err
+	}
+	hdr, err := decodeHeader(hbuf)
+	if err != nil {
+		return fmt.Errorf("journal %s: record %v@%d: %v: %w",
+			j.name, rec.chunk, rec.off, err, util.ErrCorrupt)
+	}
+	if hdr.chunk != rec.chunk || hdr.off != rec.off ||
+		hdr.dataLen != rec.dataLen || hdr.version != rec.version {
+		return fmt.Errorf("journal %s: record %v@%d: header does not match appended record: %w",
+			j.name, rec.chunk, rec.off, util.ErrCorrupt)
+	}
+	data := make([]byte, util.AlignUp(int64(rec.dataLen), util.SectorSize))
+	if err := j.readAtJOff(data, rec.dataJOff); err != nil {
+		return err
+	}
+	if sum := util.Checksum(data[:rec.dataLen]); sum != hdr.checksum {
+		return fmt.Errorf("journal %s: record %v@%d: payload checksum %08x, want %08x: %w",
+			j.name, rec.chunk, rec.off, sum, hdr.checksum, util.ErrCorrupt)
+	}
+	return nil
+}
+
 // SetStats is a snapshot of journal-set activity.
 type SetStats struct {
 	Pending         int
@@ -946,6 +1042,7 @@ type SetStats struct {
 	BatchedRecords  int64 // records committed by those batches
 	DeadJournals    int64 // journals declared dead after a flush failure
 	ReplayErrors    int64 // parked replay windows (chunk could not reach sink)
+	ReplayCorrupt   int64 // parked replay windows whose record failed CRC verification
 	Journals        []JournalStats
 }
 
@@ -980,6 +1077,7 @@ func (s *Set) Stats() SetStats {
 		MergedSectors:   s.mergedSectors,
 		DeadJournals:    s.deadJournals,
 		ReplayErrors:    s.replayErrors,
+		ReplayCorrupt:   s.replayCorrupt,
 	}
 	for _, j := range s.journals {
 		st.Flushes += j.flushes

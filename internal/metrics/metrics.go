@@ -10,6 +10,7 @@ package metrics
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,42 @@ func (v *ValueHist) Max() int64 { return int64(v.h.Max()) }
 // Quantile returns an upper bound on the q-quantile sample.
 func (v *ValueHist) Quantile(q float64) int64 { return int64(v.h.Quantile(q)) }
 
+// ValidName reports whether a metric name follows the registry's kebab-case
+// scheme: lowercase letters and digits in dash-separated runs, as in
+// "disk-faults-injected" or "chunk-recoveries". Mixed case, underscores,
+// dots, and leading/trailing/doubled dashes are all drift that splinters
+// one logical metric into several names, so registration rejects them.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	prevDash := true // a leading dash is as invalid as a doubled one
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			prevDash = false
+		case c == '-':
+			if prevDash {
+				return false
+			}
+			prevDash = true
+		default:
+			return false
+		}
+	}
+	return !prevDash
+}
+
+// mustValidName panics on a non-kebab-case metric name. Checked only when a
+// name is first registered, so the per-observation fast path stays a map hit.
+func mustValidName(name string) {
+	if !ValidName(name) {
+		panic("metrics: invalid metric name " + strconv.Quote(name) +
+			": want kebab-case like \"disk-faults-injected\"")
+	}
+}
+
 // Registry aggregates named counters, per-stage latency histograms, and
 // free-form value/latency histograms. One Registry serves a whole cluster:
 // every component the cluster builds gets it as the sink for its ops' stage
@@ -106,6 +143,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		mustValidName(name)
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -113,15 +151,23 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // ObserveStage records one stage latency sample. It implements opctx.Sink.
+// The registry lock guards only the name lookup; the histogram observe runs
+// outside it — and the lookup unlocks via defer so a bad-name panic cannot
+// leave the registry locked forever.
 func (r *Registry) ObserveStage(stage string, d time.Duration) {
+	r.stageFor(stage).Observe(d)
+}
+
+func (r *Registry) stageFor(stage string) *util.Hist {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.stages[stage]
 	if !ok {
+		mustValidName(stage)
 		h = util.NewHist()
 		r.stages[stage] = h
 	}
-	r.mu.Unlock()
-	h.Observe(d)
+	return h
 }
 
 // StageHist returns the named stage's histogram, or nil if never observed.
@@ -134,14 +180,19 @@ func (r *Registry) StageHist(stage string) *util.Hist {
 // ObserveLatency records one sample into a named free-form latency
 // histogram (distinct from the op-stage family, which ResetStages clears).
 func (r *Registry) ObserveLatency(name string, d time.Duration) {
+	r.latFor(name).Observe(d)
+}
+
+func (r *Registry) latFor(name string) *util.Hist {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.lats[name]
 	if !ok {
+		mustValidName(name)
 		h = util.NewHist()
 		r.lats[name] = h
 	}
-	r.mu.Unlock()
-	h.Observe(d)
+	return h
 }
 
 // LatencyHist returns the named latency histogram, or nil if never observed.
@@ -153,14 +204,19 @@ func (r *Registry) LatencyHist(name string) *util.Hist {
 
 // ObserveValue records one sample into a named value histogram.
 func (r *Registry) ObserveValue(name string, x int64) {
+	r.valueFor(name).Observe(x)
+}
+
+func (r *Registry) valueFor(name string) *ValueHist {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	v, ok := r.values[name]
 	if !ok {
+		mustValidName(name)
 		v = &ValueHist{h: util.NewHist()}
 		r.values[name] = v
 	}
-	r.mu.Unlock()
-	v.Observe(x)
+	return v
 }
 
 // ValueHist returns the named value histogram, or nil if never observed.

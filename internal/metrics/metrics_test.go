@@ -47,3 +47,62 @@ func TestStageSnapshot(t *testing.T) {
 		t.Fatal("snapshot not empty after reset")
 	}
 }
+
+func TestValidName(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"chunk-recoveries", true},
+		{"disk-faults-injected", true},
+		{"net", true},
+		{"crc32c", true},
+		{"p99", true},
+		{"", false},
+		{"Chunk-Recoveries", false}, // mixed case
+		{"chunk_recoveries", false}, // snake_case
+		{"chunk.recoveries", false}, // dotted
+		{"-chunk", false},           // leading dash
+		{"chunk-", false},           // trailing dash
+		{"chunk--recoveries", false}, // doubled dash
+		{"chunk recoveries", false},  // space
+	}
+	for _, c := range cases {
+		if got := ValidName(c.name); got != c.want {
+			t.Errorf("ValidName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// mustPanic runs f and reports whether it panicked.
+func mustPanic(f func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	f()
+	return false
+}
+
+func TestRegistryRejectsInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	bad := "Not_Kebab"
+	for name, reg := range map[string]func(){
+		"Counter":        func() { r.Counter(bad) },
+		"ObserveStage":   func() { r.ObserveStage(bad, time.Millisecond) },
+		"ObserveLatency": func() { r.ObserveLatency(bad, time.Millisecond) },
+		"ObserveValue":   func() { r.ObserveValue(bad, 1) },
+	} {
+		if !mustPanic(reg) {
+			t.Errorf("%s(%q) did not panic", name, bad)
+		}
+	}
+	// A valid name registered twice is fine — validation fires only on first
+	// registration, re-use is the fast path.
+	r.Counter("fine").Inc()
+	r.Counter("fine").Inc()
+	if got := r.Counter("fine").Load(); got != 2 {
+		t.Fatalf("re-registered counter = %d", got)
+	}
+}

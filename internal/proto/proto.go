@@ -98,6 +98,7 @@ const (
 	StatusQuota
 	StatusFallback // incremental repair impossible: take the full copy
 	StatusRateLimited
+	StatusCorrupt // read succeeded but the payload failed checksum verification
 )
 
 func (s Status) String() string {
@@ -124,6 +125,8 @@ func (s Status) String() string {
 		return "fallback"
 	case StatusRateLimited:
 		return "rate-limited"
+	case StatusCorrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}

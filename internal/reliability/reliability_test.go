@@ -59,3 +59,47 @@ func TestRatioEmpty(t *testing.T) {
 		t.Error("empty result ratio not 0")
 	}
 }
+
+// Exaggerated rates keep the Monte-Carlo cheap while leaving an
+// unmistakable ordering: more frequent scrubs → lower loss probability.
+func scrubTestParams() ScrubParams {
+	return ScrubParams{
+		DiskAFR:     0.05,
+		LSERate:     1.0,
+		RepairDays:  3,
+		Replication: 3,
+	}
+}
+
+func TestScrubFrequencyLowersLossProbability(t *testing.T) {
+	const groups, years = 2000, 4
+	rows := ScrubSweep(scrubTestParams(), []int{7, 60, 0}, groups, years, 1)
+	weekly, rare, never := rows[0].LossProb, rows[1].LossProb, rows[2].LossProb
+	t.Logf("\n%s", ScrubTable(rows, years))
+	if !(weekly < rare) {
+		t.Errorf("weekly scrub loss %.4f not below 60d scrub loss %.4f", weekly, rare)
+	}
+	if !(rare < never) {
+		t.Errorf("60d scrub loss %.4f not below never-scrub loss %.4f", rare, never)
+	}
+	if never == 0 {
+		t.Error("never-scrub case lost nothing: rates too low to exercise the model")
+	}
+}
+
+func TestSimulateLatentDeterministic(t *testing.T) {
+	p := scrubTestParams()
+	p.ScrubIntervalDays = 7
+	a := SimulateLatent(p, 500, 2, 42)
+	b := SimulateLatent(p, 500, 2, 42)
+	if a != b {
+		t.Fatalf("same seed gave %v then %v", a, b)
+	}
+}
+
+func TestSimulateLatentNoHazardsNoLoss(t *testing.T) {
+	p := ScrubParams{Replication: 3, RepairDays: 1, ScrubIntervalDays: 7}
+	if got := SimulateLatent(p, 200, 3, 7); got != 0 {
+		t.Fatalf("zero failure rates lost data: %v", got)
+	}
+}

@@ -1,0 +1,272 @@
+// Package scrub implements the per-machine background scrubber: a slow,
+// idle-gated sweep that re-reads every resident chunk through the replica's
+// normal data path and verifies it against the per-sector checksums, so that
+// silent corruption (bit-rot) is found and repaired while redundancy still
+// exists, instead of surfacing years later when the last good replica dies.
+//
+// The scrubber deliberately knows nothing about chunk servers: it drives a
+// small Target interface, which keeps it unit-testable and keeps the
+// repair policy (report to master, re-replicate) inside the server. Two
+// mechanisms bound its interference with foreground I/O, mirroring how the
+// journal replayer yields on backup HDDs:
+//
+//   - idle gating: before each probe the scrubber waits until the target's
+//     data disk has been idle for IdleGrace, polling every Poll;
+//   - rate limiting: after each probe it sleeps long enough to keep the
+//     long-run verification rate at or below Rate bytes/sec.
+package scrub
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/clock"
+	"ursa/internal/metrics"
+	"ursa/internal/util"
+)
+
+// Metric names registered by the scrubber.
+const (
+	// MetricPasses counts completed full passes over all targets.
+	MetricPasses = "scrub-passes"
+	// MetricChunksVerified counts chunks fully verified clean.
+	MetricChunksVerified = "scrub-chunks-verified"
+	// MetricBytesVerified counts payload bytes read and checksummed.
+	MetricBytesVerified = "scrub-bytes-verified"
+	// MetricCorruptionsFound counts probes that detected corruption (and
+	// therefore triggered a repair report on the target).
+	MetricCorruptionsFound = "scrub-corruptions-found"
+	// MetricReadErrors counts probes that failed for non-corruption,
+	// non-deleted-chunk reasons (device errors).
+	MetricReadErrors = "scrub-read-errors"
+)
+
+// Target is what the scrubber needs from a chunk server.
+type Target interface {
+	// Addr identifies the target in diagnostics.
+	Addr() string
+	// ScrubChunks lists the chunks currently resident on the target.
+	ScrubChunks() []blockstore.ChunkID
+	// ScrubRange reads [off, off+n) of a chunk through the target's normal
+	// data path and verifies it against the recorded checksums. A detected
+	// mismatch wraps util.ErrCorrupt (the target has already reported it
+	// for repair); a chunk deleted mid-scrub wraps util.ErrNotFound.
+	ScrubRange(id blockstore.ChunkID, off int64, n int) error
+	// ScrubBusy reports whether the target's data disk is serving
+	// foreground I/O right now.
+	ScrubBusy() bool
+}
+
+// Config tunes one scrubber.
+type Config struct {
+	// Interval is the pause between full passes.
+	Interval time.Duration
+	// ReadSize is the probe size; each probe is one verified read.
+	ReadSize int
+	// Rate caps the long-run scrub bandwidth in bytes per second of model
+	// time. <= 0 means unlimited.
+	Rate float64
+	// IdleGrace is how long a target's disk must have been idle before the
+	// scrubber issues a probe.
+	IdleGrace time.Duration
+	// Poll is the busy-wait interval of the idle gate.
+	Poll time.Duration
+	// Metrics receives the scrub-* counters (nil: a private registry).
+	Metrics *metrics.Registry
+}
+
+// DefaultConfig returns production-shaped settings: a slow continuous sweep
+// that stays out of the foreground path's way.
+func DefaultConfig() Config {
+	return Config{
+		Interval:  2 * time.Second,
+		ReadSize:  1 * util.MiB,
+		Rate:      64 * util.MiB,
+		IdleGrace: 30 * time.Millisecond,
+		Poll:      10 * time.Millisecond,
+	}
+}
+
+// Scrubber sweeps a set of targets in the background.
+type Scrubber struct {
+	clk     clock.Clock
+	cfg     Config
+	targets []Target
+
+	passes      *metrics.Counter
+	chunksOK    *metrics.Counter
+	bytes       *metrics.Counter
+	corruptions *metrics.Counter
+	readErrors  *metrics.Counter
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New creates a scrubber over targets. Call Start to begin sweeping.
+func New(clk clock.Clock, cfg Config, targets ...Target) *Scrubber {
+	def := DefaultConfig()
+	if cfg.Interval <= 0 {
+		cfg.Interval = def.Interval
+	}
+	if cfg.ReadSize <= 0 {
+		cfg.ReadSize = def.ReadSize
+	}
+	if cfg.ReadSize%util.SectorSize != 0 {
+		cfg.ReadSize = int(util.AlignUp(int64(cfg.ReadSize), util.SectorSize))
+	}
+	if cfg.IdleGrace < 0 {
+		cfg.IdleGrace = 0
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = def.Poll
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &Scrubber{
+		clk:         clk,
+		cfg:         cfg,
+		targets:     targets,
+		passes:      cfg.Metrics.Counter(MetricPasses),
+		chunksOK:    cfg.Metrics.Counter(MetricChunksVerified),
+		bytes:       cfg.Metrics.Counter(MetricBytesVerified),
+		corruptions: cfg.Metrics.Counter(MetricCorruptionsFound),
+		readErrors:  cfg.Metrics.Counter(MetricReadErrors),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// Start launches the background sweep. Idempotent.
+func (s *Scrubber) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	go s.run()
+}
+
+// Close stops the sweep and waits for the worker to exit. Idempotent.
+func (s *Scrubber) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	started := s.started
+	close(s.stop)
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+func (s *Scrubber) run() {
+	defer close(s.done)
+	// Each target remembers when its disk was last seen busy, so the idle
+	// gate measures real idleness across probes, not just at poll time.
+	lastBusy := make([]time.Time, len(s.targets))
+	now := s.clk.Now()
+	for i := range lastBusy {
+		lastBusy[i] = now
+	}
+	for {
+		for ti, tgt := range s.targets {
+			for _, id := range tgt.ScrubChunks() {
+				if !s.scrubChunk(ti, tgt, id, lastBusy) {
+					return
+				}
+			}
+		}
+		s.passes.Inc()
+		if !s.sleep(s.cfg.Interval) {
+			return
+		}
+	}
+}
+
+// scrubChunk verifies one chunk probe by probe. Returns false when the
+// scrubber is closing.
+func (s *Scrubber) scrubChunk(ti int, tgt Target, id blockstore.ChunkID, lastBusy []time.Time) bool {
+	for off := int64(0); off < util.ChunkSize; off += int64(s.cfg.ReadSize) {
+		if !s.waitIdle(ti, tgt, lastBusy) {
+			return false
+		}
+		err := tgt.ScrubRange(id, off, s.cfg.ReadSize)
+		switch {
+		case err == nil:
+			s.bytes.Add(int64(s.cfg.ReadSize))
+		case errors.Is(err, util.ErrNotFound):
+			// Deleted mid-scrub; nothing to verify or repair.
+			return true
+		case errors.Is(err, util.ErrCorrupt):
+			// The target already reported the chunk for repair; counting
+			// it here is the detection signal. Move on — re-reading a
+			// rotting chunk only delays the rest of the sweep.
+			s.corruptions.Inc()
+			return true
+		default:
+			s.readErrors.Inc()
+			return true
+		}
+		if !s.pace(s.cfg.ReadSize) {
+			return false
+		}
+	}
+	s.chunksOK.Inc()
+	return true
+}
+
+// waitIdle blocks until the target's disk has been idle for IdleGrace.
+// Returns false when the scrubber is closing.
+func (s *Scrubber) waitIdle(ti int, tgt Target, lastBusy []time.Time) bool {
+	if s.cfg.IdleGrace == 0 {
+		return true
+	}
+	for {
+		if tgt.ScrubBusy() {
+			lastBusy[ti] = s.clk.Now()
+		} else if s.clk.Now().Sub(lastBusy[ti]) >= s.cfg.IdleGrace {
+			return true
+		}
+		if !s.sleep(s.cfg.Poll) {
+			return false
+		}
+	}
+}
+
+// pace sleeps long enough after an n-byte probe to hold the configured rate.
+func (s *Scrubber) pace(n int) bool {
+	if s.cfg.Rate <= 0 {
+		return true
+	}
+	d := time.Duration(float64(n) / s.cfg.Rate * float64(time.Second))
+	return s.sleep(d)
+}
+
+// sleep waits d of model time, returning false if Close fired meanwhile.
+func (s *Scrubber) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-s.stop:
+			return false
+		default:
+			return true
+		}
+	}
+	select {
+	case <-s.stop:
+		return false
+	case <-s.clk.After(d):
+		return true
+	}
+}

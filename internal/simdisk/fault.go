@@ -21,6 +21,12 @@ var ErrFault = errors.New("simdisk: injected I/O fault")
 // axis of the recovery figure.
 const MetricFaultsInjected = "disk-faults-injected"
 
+// MetricCorruptionsInjected counts CorruptRange armings — the silent
+// bit-rot axis, kept apart from disk-faults-injected because corruption is
+// the one fault class the device does NOT report: reads succeed with wrong
+// payloads and only integrity checks above the disk can notice.
+const MetricCorruptionsInjected = "disk-corruptions-injected"
+
 // rangeFault is one armed error fault over the byte range [lo, hi).
 type rangeFault struct {
 	lo, hi int64
@@ -41,18 +47,27 @@ type FaultInjector struct {
 	inner Disk
 	clk   clock.Clock
 
-	mu          sync.Mutex
-	dead        bool
-	readFaults  []rangeFault
-	writeFaults []rangeFault
-	stall       time.Duration
-	slowBy      float64 // service-time multiplier; 0 or 1 = off
+	mu            sync.Mutex
+	dead          bool
+	readFaults    []rangeFault
+	writeFaults   []rangeFault
+	corruptFaults []corruptFault
+	stall         time.Duration
+	slowBy        float64 // service-time multiplier; 0 or 1 = off
 
 	reg *metrics.Registry
 
-	readFailed  atomic.Int64
-	writeFailed atomic.Int64
-	delayedOps  atomic.Int64
+	readFailed     atomic.Int64
+	writeFailed    atomic.Int64
+	delayedOps     atomic.Int64
+	readsCorrupted atomic.Int64
+}
+
+// corruptFault is one armed silent-corruption fault: reads intersecting
+// [lo, hi) succeed but every byte inside the range comes back flipped.
+type corruptFault struct {
+	lo, hi     int64
+	persistent bool
 }
 
 // NewFaultInjector wraps d. The clock drives injected latency.
@@ -141,12 +156,61 @@ func (f *FaultInjector) SlowBy(mult float64) {
 	f.mu.Unlock()
 }
 
+// CorruptRange arms silent bit-rot over the byte range [lo, hi): reads
+// touching it SUCCEED, but every byte inside the range is flipped on the
+// way back — the latent-sector-error model, where the stored data (or the
+// head reading it) is wrong and nothing errors until somebody checks. One
+// shot (persistent=false) delivers wrong data exactly once and disarms;
+// persistent rot stays until Heal. Writes pass through untouched, so the
+// only ways back to clean reads are Heal or re-replicating elsewhere.
+func (f *FaultInjector) CorruptRange(lo, hi int64, persistent bool) {
+	f.mu.Lock()
+	f.corruptFaults = append(f.corruptFaults, corruptFault{lo, hi, persistent})
+	if f.reg != nil {
+		f.reg.Counter(MetricCorruptionsInjected).Inc()
+	}
+	f.mu.Unlock()
+}
+
+// corruptRead applies armed corruption to a successful read's buffer,
+// dropping one-shot faults once they have delivered wrong data.
+func (f *FaultInjector) corruptRead(p []byte, off int64) {
+	f.mu.Lock()
+	hit := false
+	kept := f.corruptFaults[:0]
+	for _, cf := range f.corruptFaults {
+		lo, hi := cf.lo-off, cf.hi-off
+		if lo < int64(len(p)) && hi > 0 {
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > int64(len(p)) {
+				hi = int64(len(p))
+			}
+			for i := lo; i < hi; i++ {
+				p[i] ^= 0xa5
+			}
+			hit = true
+			if !cf.persistent {
+				continue
+			}
+		}
+		kept = append(kept, cf)
+	}
+	f.corruptFaults = kept
+	f.mu.Unlock()
+	if hit {
+		f.readsCorrupted.Add(1)
+	}
+}
+
 // Heal clears every armed fault: the device works normally again.
 func (f *FaultInjector) Heal() {
 	f.mu.Lock()
 	f.dead = false
 	f.readFaults = nil
 	f.writeFaults = nil
+	f.corruptFaults = nil
 	f.stall = 0
 	f.slowBy = 0
 	f.mu.Unlock()
@@ -154,17 +218,19 @@ func (f *FaultInjector) Heal() {
 
 // FaultStats counts faults actually delivered to callers.
 type FaultStats struct {
-	ReadsFailed  int64
-	WritesFailed int64
-	DelayedOps   int64
+	ReadsFailed    int64
+	WritesFailed   int64
+	DelayedOps     int64
+	ReadsCorrupted int64
 }
 
 // FaultStats returns a snapshot of delivered faults.
 func (f *FaultInjector) FaultStats() FaultStats {
 	return FaultStats{
-		ReadsFailed:  f.readFailed.Load(),
-		WritesFailed: f.writeFailed.Load(),
-		DelayedOps:   f.delayedOps.Load(),
+		ReadsFailed:    f.readFailed.Load(),
+		WritesFailed:   f.writeFailed.Load(),
+		DelayedOps:     f.delayedOps.Load(),
+		ReadsCorrupted: f.readsCorrupted.Load(),
 	}
 }
 
@@ -208,6 +274,9 @@ func (f *FaultInjector) do(p []byte, off int64, write bool) error {
 		err = f.inner.WriteAt(p, off)
 	} else {
 		err = f.inner.ReadAt(p, off)
+		if err == nil {
+			f.corruptRead(p, off)
+		}
 	}
 	if slow > 1 {
 		if stall <= 0 {

@@ -193,3 +193,78 @@ func TestFaultInjectorMetricsCounter(t *testing.T) {
 		t.Errorf("%s = %d, want 3", MetricFaultsInjected, got)
 	}
 }
+
+func TestCorruptRangeOneShot(t *testing.T) {
+	reg := metrics.NewRegistry()
+	d := NewFaultInjector(fastSSD(), clock.TestClock())
+	defer d.Close()
+	d.SetMetrics(reg)
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(21).Fill(data)
+	if err := d.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.CorruptRange(512, 1024, false)
+
+	// The read succeeds — silent corruption — with only [512,1024) flipped.
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("corrupt read must succeed: %v", err)
+	}
+	if bytes.Equal(got[512:1024], data[512:1024]) {
+		t.Error("armed range came back clean")
+	}
+	if !bytes.Equal(got[:512], data[:512]) || !bytes.Equal(got[1024:], data[1024:]) {
+		t.Error("corruption leaked outside the armed range")
+	}
+
+	// One shot: the second read is clean again.
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("one-shot corruption did not disarm after first read")
+	}
+	if st := d.FaultStats(); st.ReadsCorrupted != 1 {
+		t.Errorf("ReadsCorrupted = %d, want 1", st.ReadsCorrupted)
+	}
+	if got := reg.Counter(MetricCorruptionsInjected).Load(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCorruptionsInjected, got)
+	}
+	if got := reg.Counter(MetricFaultsInjected).Load(); got != 0 {
+		t.Errorf("corruption arming leaked into %s", MetricFaultsInjected)
+	}
+}
+
+func TestCorruptRangePersistentUntilHeal(t *testing.T) {
+	d := NewFaultInjector(fastSSD(), clock.TestClock())
+	defer d.Close()
+	data := make([]byte, 2*util.KiB)
+	util.NewRand(22).Fill(data)
+	if err := d.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	d.CorruptRange(4096, 4096+512, true)
+	got := make([]byte, len(data))
+	for i := 0; i < 3; i++ {
+		if err := d.ReadAt(got, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got[:512], data[:512]) {
+			t.Fatalf("read %d: persistent rot came back clean", i)
+		}
+		if !bytes.Equal(got[512:], data[512:]) {
+			t.Fatalf("read %d: corruption outside armed range", i)
+		}
+	}
+	if st := d.FaultStats(); st.ReadsCorrupted != 3 {
+		t.Errorf("ReadsCorrupted = %d, want 3", st.ReadsCorrupted)
+	}
+	d.Heal()
+	if err := d.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("Heal did not clear the corruption fault")
+	}
+}

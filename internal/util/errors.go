@@ -37,4 +37,7 @@ var (
 	ErrNoQuorum = errors.New("ursa: no quorum")
 	// ErrRateLimited reports master-imposed client throttling.
 	ErrRateLimited = errors.New("ursa: rate limited")
+	// ErrCorrupt reports data that failed integrity verification: a read
+	// succeeded but the payload does not match its recorded checksum.
+	ErrCorrupt = errors.New("ursa: data corruption detected")
 )
