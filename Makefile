@@ -2,7 +2,7 @@
 # the race detector (the RPC/replication paths are goroutine-heavy).
 GO ?= go
 
-.PHONY: build test race vet check bench-quick bench-smoke chaos-smoke scrub-smoke
+.PHONY: build test race vet lint check bench-quick bench-smoke chaos-smoke scrub-smoke ec-smoke
 
 build:
 	$(GO) build ./...
@@ -16,19 +16,29 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test race chaos-smoke scrub-smoke bench-smoke
+# Optional deeper static analysis: runs staticcheck and govulncheck when
+# they are installed, and skips them cleanly when they are not (CI images
+# without the tools still pass `make check`).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
+
+check: vet lint build test race chaos-smoke scrub-smoke ec-smoke bench-smoke
 
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
 
-# Short-run sanity pass over the write-path microbenchmarks: vet plus a
-# quick `-fig journal` and `-fig hotchunk`, which also refresh
-# BENCH_journal.json and BENCH_hotchunk.json.
+# Short-run sanity pass over the bench figures that gate acceptance. Every
+# run refreshes the canonical BENCH_*.json artifacts at the repository root
+# (internal/bench/artifactPath anchors them there no matter the cwd).
 bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig journal -quick
 	$(GO) run ./cmd/ursa-bench -fig hotchunk -quick
 	$(GO) run ./cmd/ursa-bench -fig recovery -quick
 	$(GO) run ./cmd/ursa-bench -fig scrub -quick
+	$(GO) run ./cmd/ursa-bench -fig ec -quick
 
 # Deterministic chaos acceptance run (fixed seed, scripted schedule, ~2s):
 # every SSD journal in the cluster dies mid-workload and the client must
@@ -41,3 +51,10 @@ chaos-smoke:
 # re-replicate, and every byte the client ever reads must be correct.
 scrub-smoke:
 	$(GO) test ./internal/cluster -run TestChaosBitRotScrubRepairs -count=1 -v
+
+# Deterministic erasure-coding acceptance run: M=2 segment holders of an
+# RS(4,2) chunk die mid-workload under the linearizability checker, and the
+# client must finish with zero failed I/Os; plus degraded-read
+# reconstruction and the all-replicas-corrupt clean-error floor.
+ec-smoke:
+	$(GO) test ./internal/cluster -run 'TestChaosECSegmentDeath|TestECDegradedReadReconstructs|TestAllReplicasCorruptCleanError' -count=1 -v

@@ -32,6 +32,7 @@ func All() []Entry {
 		{"hotchunk", FigHotchunk},
 		{"recovery", FigRecovery},
 		{"scrub", FigScrub},
+		{"ec", FigEC},
 		{"a1", AblJournalMedia},
 		{"a2", AblClientDirected},
 		{"a3", AblIndexLevels},

@@ -12,6 +12,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -311,6 +313,27 @@ func buildComparison(volumeSize int64) ([]system, error) {
 	}
 	out = append(out, system{name: "Ursa-Hybrid", dev: uhyb.vd, close: uhyb.Close, metrics: uhyb.metrics})
 	return out, nil
+}
+
+// artifactPath anchors a BENCH_*.json artifact at the repository root (the
+// nearest ancestor directory holding go.mod), so `go test ./internal/bench`
+// and `go run ./cmd/ursa-bench` refresh the same canonical files instead of
+// scattering copies per working directory.
+func artifactPath(name string) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return filepath.Join(d, name)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return name // no module root above cwd: fall back to cwd
+		}
+		d = parent
+	}
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

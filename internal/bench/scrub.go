@@ -144,9 +144,9 @@ func FigScrub(cfg Config) Table {
 			// than FigRecovery's: 2000 samples put p99 at the 20th-worst op
 			// instead of the 6th, which tames window-to-window jitter. Quick
 			// mode keeps 400 ops (not the usual /10) for the same reason.
-			Ops:        windowOps(cfg),
-			Seed:       cfg.Seed + seedOff,
-			MaxTime:    cfg.cellTime(),
+			Ops:     windowOps(cfg),
+			Seed:    cfg.Seed + seedOff,
+			MaxTime: cfg.cellTime(),
 		})
 		w := scrubWindow{
 			Phase:     phase,
@@ -349,7 +349,7 @@ func FigScrub(cfg Config) Table {
 	t.Extra = append(t.Extra, rel)
 
 	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
-		if werr := os.WriteFile(scrubBenchJSON, append(buf, '\n'), 0o644); werr != nil {
+		if werr := os.WriteFile(artifactPath(scrubBenchJSON), append(buf, '\n'), 0o644); werr != nil {
 			t.Notes = append(t.Notes, "write "+scrubBenchJSON+": "+werr.Error())
 		}
 	}

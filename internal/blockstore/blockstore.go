@@ -32,18 +32,27 @@ func (id ChunkID) VDisk() uint32 { return uint32(uint64(id) >> 32) }
 // Index returns the chunk-index component of the id.
 func (id ChunkID) Index() uint32 { return uint32(uint64(id)) }
 
-// Store places chunks at 64 MB-aligned slots on one disk and routes
-// chunk-relative I/O to them. It is safe for concurrent use; actual I/O
-// parallelism is the disk's business.
+// Store places chunks at sector-aligned slots on one disk and routes
+// chunk-relative I/O to them. Slots default to full chunks (64 MB) but may
+// be smaller: an RS segment holder stores only its ChunkSize/N slice of
+// each chunk. It is safe for concurrent use; actual I/O parallelism is the
+// disk's business.
 type Store struct {
 	disk simdisk.Disk
 	sums *ChecksumStore
 
 	mu    sync.RWMutex
-	slots map[ChunkID]int64 // chunk -> byte offset of its slot
-	free  []int64           // recycled slot offsets
-	next  int64             // bump allocator past the last slot
-	limit int64             // capacity reserved for chunk slots
+	slots map[ChunkID]slotInfo // chunk -> slot placement
+	free  map[int64][]int64    // recycled slot offsets, by slot size
+	next  int64                // bump allocator past the last slot
+	limit int64                // capacity reserved for chunk slots
+	used  int64                // bytes currently held by live slots
+}
+
+// slotInfo records where a chunk's slot lives and how large it is.
+type slotInfo struct {
+	off  int64
+	size int64
 }
 
 // New returns a store using up to limit bytes of disk (0 means the whole
@@ -55,7 +64,8 @@ func New(disk simdisk.Disk, limit int64) *Store {
 	return &Store{
 		disk:  disk,
 		sums:  newChecksumStore(),
-		slots: make(map[ChunkID]int64),
+		slots: make(map[ChunkID]slotInfo),
+		free:  make(map[int64][]int64),
 		limit: util.AlignDown(limit, util.ChunkSize),
 	}
 }
@@ -64,25 +74,38 @@ func New(disk simdisk.Disk, limit int64) *Store {
 // after the device acks; readers verify against it before returning data.
 func (s *Store) Sums() *ChecksumStore { return s.sums }
 
-// Create allocates a slot for id. The chunk reads as zeros until written.
+// Create allocates a full-chunk slot for id. The chunk reads as zeros
+// until written.
 func (s *Store) Create(id ChunkID) error {
+	return s.CreateSized(id, util.ChunkSize)
+}
+
+// CreateSized allocates a slot of the given size (a sector multiple no
+// larger than a chunk) for id. Freed slots are recycled per size class, so
+// a store holding a mix of full chunks and segments never fragments across
+// classes.
+func (s *Store) CreateSized(id ChunkID, size int64) error {
+	if size <= 0 || size > util.ChunkSize || size%util.SectorSize != 0 {
+		return fmt.Errorf("blockstore: chunk %v slot size %d: %w", id, size, util.ErrOutOfRange)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.slots[id]; ok {
 		return fmt.Errorf("blockstore: chunk %v: %w", id, util.ErrExists)
 	}
 	var off int64
-	if n := len(s.free); n > 0 {
-		off = s.free[n-1]
-		s.free = s.free[:n-1]
+	if fl := s.free[size]; len(fl) > 0 {
+		off = fl[len(fl)-1]
+		s.free[size] = fl[:len(fl)-1]
 	} else {
-		if s.next+util.ChunkSize > s.limit {
+		if s.next+size > s.limit {
 			return fmt.Errorf("blockstore: disk full creating %v: %w", id, util.ErrQuota)
 		}
 		off = s.next
-		s.next += util.ChunkSize
+		s.next += size
 	}
-	s.slots[id] = off
+	s.slots[id] = slotInfo{off: off, size: size}
+	s.used += size
 	s.sums.create(id)
 	return nil
 }
@@ -91,12 +114,13 @@ func (s *Store) Create(id ChunkID) error {
 func (s *Store) Delete(id ChunkID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	off, ok := s.slots[id]
+	sl, ok := s.slots[id]
 	if !ok {
 		return fmt.Errorf("blockstore: chunk %v: %w", id, util.ErrNotFound)
 	}
 	delete(s.slots, id)
-	s.free = append(s.free, off)
+	s.free[sl.size] = append(s.free[sl.size], sl.off)
+	s.used -= sl.size
 	s.sums.drop(id)
 	return nil
 }
@@ -121,19 +145,35 @@ func (s *Store) Chunks() []ChunkID {
 	return ids
 }
 
-// locate validates the range and returns the chunk's base offset.
+// locate validates the range against the chunk's slot size and returns the
+// slot's base offset.
 func (s *Store) locate(id ChunkID, off int64, n int) (int64, error) {
-	if off < 0 || off+int64(n) > util.ChunkSize {
-		return 0, fmt.Errorf("blockstore: chunk %v [%d,%d): %w",
-			id, off, off+int64(n), util.ErrOutOfRange)
-	}
 	s.mu.RLock()
-	base, ok := s.slots[id]
+	sl, ok := s.slots[id]
 	s.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("blockstore: chunk %v: %w", id, util.ErrNotFound)
 	}
-	return base, nil
+	if off < 0 || off+int64(n) > sl.size {
+		return 0, fmt.Errorf("blockstore: chunk %v [%d,%d) of %d: %w",
+			id, off, off+int64(n), sl.size, util.ErrOutOfRange)
+	}
+	return sl.off, nil
+}
+
+// SlotSize returns the chunk's slot size, or 0 when the chunk is absent.
+func (s *Store) SlotSize(id ChunkID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.slots[id].size
+}
+
+// UsedBytes returns the bytes held by live slots — the store's physical
+// footprint, which the erasure-coding bench compares against logical bytes.
+func (s *Store) UsedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
 }
 
 // ReadAt reads len(p) bytes at chunk-relative offset off.

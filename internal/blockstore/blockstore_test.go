@@ -159,3 +159,56 @@ func TestChunksEnumeration(t *testing.T) {
 		t.Error("Has wrong")
 	}
 }
+
+func TestCreateSizedSlots(t *testing.T) {
+	s := newStore(t, 256*util.MiB)
+	seg := MakeChunkID(1, 0)
+	full := MakeChunkID(1, 1)
+	segSize := int64(util.ChunkSize / 4)
+	if err := s.CreateSized(seg, segSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(full); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SlotSize(seg); got != segSize {
+		t.Errorf("segment SlotSize = %d, want %d", got, segSize)
+	}
+	if got := s.SlotSize(full); got != util.ChunkSize {
+		t.Errorf("full SlotSize = %d", got)
+	}
+	if got := s.UsedBytes(); got != segSize+util.ChunkSize {
+		t.Errorf("UsedBytes = %d, want %d", got, segSize+util.ChunkSize)
+	}
+
+	// I/O is bounded by the slot size, not the chunk size.
+	buf := make([]byte, 1024)
+	if err := s.WriteAt(seg, buf, segSize-1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(seg, buf, segSize-512); !errors.Is(err, util.ErrOutOfRange) {
+		t.Errorf("write past segment slot: %v", err)
+	}
+
+	// Freed slots are recycled within their size class.
+	if err := s.Delete(seg); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.UsedBytes(); got != util.ChunkSize {
+		t.Errorf("UsedBytes after delete = %d", got)
+	}
+	if err := s.CreateSized(MakeChunkID(2, 0), segSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SlotSize(MakeChunkID(2, 0)); got != segSize {
+		t.Errorf("recycled SlotSize = %d", got)
+	}
+
+	// Invalid sizes are rejected.
+	if err := s.CreateSized(MakeChunkID(3, 0), 777); !errors.Is(err, util.ErrOutOfRange) {
+		t.Errorf("unaligned slot size: %v", err)
+	}
+	if err := s.CreateSized(MakeChunkID(3, 1), util.ChunkSize*2); !errors.Is(err, util.ErrOutOfRange) {
+		t.Errorf("oversized slot: %v", err)
+	}
+}

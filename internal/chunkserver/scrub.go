@@ -18,6 +18,10 @@ import (
 // ScrubChunks lists the chunks resident on this server's store.
 func (s *Server) ScrubChunks() []blockstore.ChunkID { return s.store.Chunks() }
 
+// ScrubSpan returns the chunk's local slot size — one segment on an RS
+// segment holder — so the sweep never probes past the slot.
+func (s *Server) ScrubSpan(id blockstore.ChunkID) int64 { return s.store.SlotSize(id) }
+
 // ScrubBusy reports whether any device a scrub probe would touch is
 // serving I/O right now — the scrubber's idle gate, the same queue-depth
 // signal journal replay yields on. On a backup that includes the journal

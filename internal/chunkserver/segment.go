@@ -1,0 +1,363 @@
+package chunkserver
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/opctx"
+	"ursa/internal/proto"
+	"ursa/internal/redundancy"
+	"ursa/internal/util"
+)
+
+// This file holds the RS(N,M) recovery paths (§4.2.2 generalized to
+// segments). A lost data or parity segment is rebuilt from the primary's
+// full chunk (data sliced, parity encoded on the fly) or decoded from any N
+// surviving segment holders; a lost primary is reconstructed stripe by
+// stripe from N segment holders.
+//
+// Unlike mirror clones, segment rebuilds are not idempotent under racing
+// writes: parity holders apply XOR deltas, and a delta folded into a rebuilt
+// image that already contains it corrupts the stripe silently. Two rules
+// keep rebuilds exact:
+//
+//   - the destination drains its own pending writes under the chunk lock
+//     before installing bytes, so no admitted-but-unapplied delta lands on
+//     top of the rebuilt image out of order;
+//   - fetched content must be a version-consistent snapshot. The primary
+//     serves OpFetchSegment under its chunk lock after draining pending
+//     writes, stamping the reply with the exact snapshot version; a
+//     multi-piece fetch whose versions disagree is retried. Peer-decode
+//     paths run only when the primary is gone — with no write driver, the
+//     surviving holders are quiescent.
+
+// PieceSource names one surviving segment holder and the piece it stores.
+type PieceSource struct {
+	Addr  string `json:"addr"`
+	Piece int    `json:"piece"`
+}
+
+// RebuildSegmentReq is the JSON payload of OpRebuildSegment, sent by the
+// master to a (new or lagging) segment holder.
+type RebuildSegmentReq struct {
+	// Spec is the chunk's RS policy.
+	Spec redundancy.Spec `json:"spec"`
+	// Seg is the segment this holder must end up with.
+	Seg int `json:"seg"`
+	// Primary, when set, serves the segment directly; it is the preferred
+	// source because its replies are version-exact snapshots.
+	Primary string `json:"primary,omitempty"`
+	// Sources are surviving segment holders at the master's target version,
+	// used to decode the segment when the primary is gone.
+	Sources []PieceSource `json:"sources,omitempty"`
+}
+
+// drainPendingLocked waits until the chunk has no admitted-but-unapplied
+// writes, so a rebuild's local installs cannot interleave with an earlier
+// write's device apply. Called and returns with cs.mu held.
+func (s *Server) drainPendingLocked(cs *chunkState, op *opctx.Op) bool {
+	deadline := s.cfg.Clock.Now().Add(s.opBudget(op, 10*s.cfg.ReplTimeout))
+	for len(cs.pending) > 0 {
+		if !cs.waitChangeLocked(op, deadline) {
+			return false
+		}
+	}
+	return true
+}
+
+// writeRebuilt installs rebuilt bytes locally and stamps their checksums.
+func (s *Server) writeRebuilt(id proto.Message, buf []byte, off int64) error {
+	var err error
+	if s.jset != nil {
+		err = s.jset.WriteDirect(id.Chunk, buf, off)
+	} else {
+		err = s.store.WriteAt(id.Chunk, buf, off)
+	}
+	if err != nil {
+		return err
+	}
+	s.store.Sums().Stamp(id.Chunk, off, buf)
+	s.bytesWritten.Add(int64(len(buf)))
+	return nil
+}
+
+// fetchSegmentSnapshot pulls segment seg in full from the primary,
+// retrying until every piece reports the same snapshot version. Returns the
+// segment bytes and that version.
+func (s *Server) fetchSegmentSnapshot(op *opctx.Op, primary string, m *proto.Message, spec redundancy.Spec, seg int) ([]byte, uint64, bool) {
+	segSize := spec.SegSize()
+	pieceSize := segSize
+	if pieceSize > proto.MaxPayload {
+		pieceSize = proto.MaxPayload
+	}
+	window := s.opBudget(op, 10*s.cfg.ReplTimeout)
+	const attempts = 4
+	for attempt := 0; attempt < attempts; attempt++ {
+		buf := make([]byte, segSize)
+		ver := uint64(0)
+		okAll := true
+		for off := int64(0); off < segSize && okAll; off += pieceSize {
+			n := pieceSize
+			if off+n > segSize {
+				n = segSize - off
+			}
+			resp, err := s.peers.Do(op, primary, &proto.Message{
+				Op:     proto.OpFetchSegment,
+				Chunk:  m.Chunk,
+				Off:    off,
+				Length: uint32(n),
+				Seg:    uint16(seg),
+			}, window)
+			if err != nil || resp.Status != proto.StatusOK || len(resp.Payload) != int(n) {
+				return nil, 0, false
+			}
+			if off == 0 {
+				ver = resp.Version
+			} else if resp.Version != ver {
+				okAll = false // torn across pieces: a write landed mid-fetch
+				break
+			}
+			copy(buf[off:], resp.Payload)
+		}
+		if okAll {
+			return buf, ver, true
+		}
+	}
+	return nil, 0, false
+}
+
+// fetchPieces pulls the same intra-segment range [off, off+n) from every
+// source in parallel and returns the pieces that arrived intact at exactly
+// version wantVer, keyed by piece index. Sources are segment holders, so
+// OpFetchChunk with a segment-relative offset returns their local slice.
+func (s *Server) fetchPieces(op *opctx.Op, sources []PieceSource, chunk blockstore.ChunkID, off int64, n int, wantVer uint64) map[int][]byte {
+	type result struct {
+		piece int
+		data  []byte
+	}
+	results := make(chan result, len(sources))
+	window := s.opBudget(op, 10*s.cfg.ReplTimeout)
+	var wg sync.WaitGroup
+	for _, src := range sources {
+		wg.Add(1)
+		go func(src PieceSource) {
+			defer wg.Done()
+			resp, err := s.peers.Do(op, src.Addr, &proto.Message{
+				Op:     proto.OpFetchChunk,
+				Chunk:  chunk,
+				Off:    off,
+				Length: uint32(n),
+			}, window)
+			if err != nil || resp.Status != proto.StatusOK ||
+				len(resp.Payload) != n || resp.Version != wantVer {
+				results <- result{src.Piece, nil}
+				return
+			}
+			results <- result{src.Piece, resp.Payload}
+		}(src)
+	}
+	wg.Wait()
+	close(results)
+	avail := make(map[int][]byte, len(sources))
+	for r := range results {
+		if r.data != nil {
+			avail[r.piece] = r.data
+		}
+	}
+	return avail
+}
+
+// handleRebuildSegment reconstructs this holder's segment: a version-exact
+// snapshot from the primary when it is up, otherwise decoded from N
+// surviving peers. The chunk lock is held for the duration — racing
+// shipments queue at admission and resolve against the adopted version.
+func (s *Server) handleRebuildSegment(op *opctx.Op, m *proto.Message) *proto.Message {
+	var req RebuildSegmentReq
+	if err := json.Unmarshal(m.Payload, &req); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	if !req.Spec.IsRS() {
+		return m.Reply(proto.StatusError)
+	}
+	code, err := redundancy.NewCode(req.Spec.N, req.Spec.M)
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	segSize := req.Spec.SegSize()
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if !s.drainPendingLocked(cs, op) {
+		return m.Reply(proto.StatusError)
+	}
+	adopt := m.Version
+	if req.Primary != "" {
+		buf, ver, okFetch := s.fetchSegmentSnapshot(op, req.Primary, m, req.Spec, req.Seg)
+		if !okFetch {
+			return m.Reply(proto.StatusError)
+		}
+		for off := int64(0); off < segSize; off += cloneFetchSize {
+			n := int64(cloneFetchSize)
+			if off+n > segSize {
+				n = segSize - off
+			}
+			if err := s.writeRebuilt(*m, buf[off:off+n], off); err != nil {
+				return m.Reply(proto.StatusError)
+			}
+		}
+		adopt = ver
+	} else {
+		if len(req.Sources) < req.Spec.N {
+			return m.Reply(proto.StatusError)
+		}
+		for off := int64(0); off < segSize; off += cloneFetchSize {
+			n := int64(cloneFetchSize)
+			if off+n > segSize {
+				n = segSize - off
+			}
+			avail := s.fetchPieces(op, req.Sources, m.Chunk, off, int(n), m.Version)
+			buf := make([]byte, n)
+			if err := code.Reconstruct(avail, req.Seg, buf); err != nil {
+				return m.Reply(proto.StatusError)
+			}
+			if err := s.writeRebuilt(*m, buf, off); err != nil {
+				return m.Reply(proto.StatusError)
+			}
+		}
+	}
+	cs.adoptVersionLocked(adopt)
+	if m.View > cs.view {
+		cs.view = m.View
+	}
+	s.cloneCount.Add(1)
+	r := m.Reply(proto.StatusOK)
+	r.Version = cs.version
+	return r
+}
+
+// handleFetchSegment serves segment content from a replica holding the full
+// chunk (the primary): data segments are slices of the chunk, parity
+// segments are encoded on the fly from the N data slices. The read runs
+// under the chunk lock after draining pending writes, so the reply is a
+// snapshot at exactly the version it carries — the property segment
+// rebuilds depend on. m.Seg selects the segment, m.Off is segment-relative.
+func (s *Server) handleFetchSegment(op *opctx.Op, m *proto.Message) *proto.Message {
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	spec := cs.spec
+	if !spec.IsRS() || cs.holder {
+		// Only a full-chunk replica can serve arbitrary segments.
+		return m.Reply(proto.StatusError)
+	}
+	segSize := spec.SegSize()
+	if err := validRangeIn(m.Off, int(m.Length), segSize); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	seg := int(m.Seg)
+	if seg < 0 || seg >= spec.N+spec.M {
+		return m.Reply(proto.StatusError)
+	}
+	if !s.drainPendingLocked(cs, op) {
+		return m.Reply(proto.StatusError)
+	}
+	readSlice := func(piece int, dst []byte) *proto.Message {
+		err := s.readVerified(op, m.Chunk, dst, int64(piece)*segSize+m.Off)
+		if err == nil {
+			return nil
+		}
+		s.reportDeviceFailure(m.Chunk, err)
+		if errors.Is(err, util.ErrCorrupt) {
+			return m.Reply(proto.StatusCorrupt)
+		}
+		return m.Reply(proto.StatusError)
+	}
+	buf := make([]byte, m.Length)
+	if seg < spec.N {
+		if r := readSlice(seg, buf); r != nil {
+			return r
+		}
+	} else {
+		code, err := redundancy.NewCode(spec.N, spec.M)
+		if err != nil {
+			return m.Reply(proto.StatusError)
+		}
+		data := make([][]byte, spec.N)
+		for i := 0; i < spec.N; i++ {
+			data[i] = make([]byte, m.Length)
+			if r := readSlice(i, data[i]); r != nil {
+				return r
+			}
+		}
+		code.EncodeParity(seg-spec.N, data, buf)
+	}
+	s.reads.Add(1)
+	s.bytesRead.Add(int64(len(buf)))
+	r := m.Reply(proto.StatusOK)
+	r.Version = cs.version
+	r.Payload = buf
+	return r
+}
+
+// cloneFromSegments rebuilds a full chunk (a replacement primary) from N
+// surviving segment holders: every stripe is fetched from the sources and
+// all data segments decoded, then written at their chunk offsets. It runs
+// only when the primary is gone, so the sources are quiescent at the
+// master's target version (m.Version) — fetches at any other version are
+// rejected rather than decoded into a torn chunk.
+func (s *Server) cloneFromSegments(op *opctx.Op, m *proto.Message, req CloneChunkReq) *proto.Message {
+	if !req.Spec.IsRS() || len(req.Sources) < req.Spec.N {
+		return m.Reply(proto.StatusError)
+	}
+	code, err := redundancy.NewCode(req.Spec.N, req.Spec.M)
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	cs := s.chunk(m.Chunk)
+	if cs == nil {
+		return m.Reply(proto.StatusNotFound)
+	}
+	segSize := req.Spec.SegSize()
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if !s.drainPendingLocked(cs, op) {
+		return m.Reply(proto.StatusError)
+	}
+	for off := int64(0); off < segSize; off += cloneFetchSize {
+		n := int64(cloneFetchSize)
+		if off+n > segSize {
+			n = segSize - off
+		}
+		avail := s.fetchPieces(op, req.Sources, m.Chunk, off, int(n), m.Version)
+		for i := 0; i < req.Spec.N; i++ {
+			buf := avail[i]
+			if buf == nil {
+				buf = make([]byte, n)
+				if err := code.Reconstruct(avail, i, buf); err != nil {
+					return m.Reply(proto.StatusError)
+				}
+			}
+			if err := s.writeRebuilt(*m, buf, int64(i)*segSize+off); err != nil {
+				return m.Reply(proto.StatusError)
+			}
+		}
+	}
+	cs.adoptVersionLocked(m.Version)
+	if m.View > cs.view {
+		cs.view = m.View
+	}
+	s.cloneCount.Add(1)
+	r := m.Reply(proto.StatusOK)
+	r.Version = cs.version
+	return r
+}

@@ -15,6 +15,7 @@ import (
 	"ursa/internal/metrics"
 	"ursa/internal/opctx"
 	"ursa/internal/proto"
+	"ursa/internal/redundancy"
 	"ursa/internal/transport"
 	"ursa/internal/util"
 )
@@ -115,7 +116,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	chunks map[blockstore.ChunkID]*chunkState
-	peers  map[string]*transport.Client
+	peers  *transport.Peers
 
 	// upMu/upCond gate request admission during a hot upgrade (§5.2):
 	// Handle parks on the condvar while draining, Upgrade parks until the
@@ -131,9 +132,10 @@ type Server struct {
 	repairCount, cloneCount    metrics.Counter
 	degradedCommits, noQuorums metrics.Counter
 
-	// failMu guards the per-chunk report throttle (see reportDeviceFailure).
+	// failMu guards the per-chunk-and-address report throttle (see
+	// reportFailure).
 	failMu     sync.Mutex
-	lastReport map[blockstore.ChunkID]time.Time
+	lastReport map[string]time.Time
 
 	rpc *transport.Server
 }
@@ -150,8 +152,8 @@ func New(cfg Config, store *blockstore.Store, jset *journal.Set) *Server {
 		store:      store,
 		jset:       jset,
 		chunks:     make(map[blockstore.ChunkID]*chunkState),
-		peers:      make(map[string]*transport.Client),
-		lastReport: make(map[blockstore.ChunkID]time.Time),
+		peers:      transport.NewPeers(cfg.Dialer, cfg.Clock),
+		lastReport: make(map[string]time.Time),
 	}
 	s.upCond = sync.NewCond(&s.upMu)
 	if jset != nil {
@@ -176,33 +178,41 @@ type reportFailureReq struct {
 
 // reportDeviceFailure asks the master (fire-and-forget) to run the §4.2.2
 // view change for a chunk whose local device I/O failed, naming this
-// server as the failed replica. Reports are throttled per chunk so request
-// storms against a dead disk collapse into one view change; the master's
-// recovery is idempotent regardless (a second report after the view moved
-// finds this address already out of the replica set).
+// server as the failed replica.
 func (s *Server) reportDeviceFailure(id blockstore.ChunkID, cause error) {
-	if cause == nil || s.cfg.MasterAddr == "" {
+	if cause == nil {
 		return
 	}
+	s.reportFailure(id, s.cfg.Addr)
+}
+
+// reportFailure asks the master (fire-and-forget) to run the §4.2.2 view
+// change for a chunk, naming failedAddr as the suspect replica — this
+// server itself on device errors, or a segment holder whose RS fan-out ack
+// never arrived. Reports are throttled per (chunk, address) so request
+// storms against a dead disk collapse into one view change; the master's
+// recovery is idempotent regardless (a second report after the view moved
+// finds the address already repaired).
+func (s *Server) reportFailure(id blockstore.ChunkID, failedAddr string) {
+	if s.cfg.MasterAddr == "" {
+		return
+	}
+	key := id.String() + "|" + failedAddr
 	now := s.cfg.Clock.Now()
 	s.failMu.Lock()
-	if last, ok := s.lastReport[id]; ok && now.Sub(last) < s.cfg.ReportCooldown {
+	if last, ok := s.lastReport[key]; ok && now.Sub(last) < s.cfg.ReportCooldown {
 		s.failMu.Unlock()
 		return
 	}
-	s.lastReport[id] = now
+	s.lastReport[key] = now
 	s.failMu.Unlock()
 
 	go func() {
 		payload, err := json.Marshal(reportFailureReq{
 			VDisk:      id.VDisk(),
 			ChunkIndex: id.Index(),
-			FailedAddr: s.cfg.Addr,
+			FailedAddr: failedAddr,
 		})
-		if err != nil {
-			return
-		}
-		cli, err := s.peer(s.cfg.MasterAddr)
 		if err != nil {
 			return
 		}
@@ -212,14 +222,10 @@ func (s *Server) reportDeviceFailure(id blockstore.ChunkID, cause error) {
 		if s.cfg.Metrics != nil {
 			op = op.WithSink(s.cfg.Metrics)
 		}
-		if _, err := cli.Do(op, &proto.Message{
+		_, _ = s.peers.Do(op, s.cfg.MasterAddr, &proto.Message{
 			Op:      proto.MOpReportFailure,
 			Payload: payload,
-		}, 0); err != nil {
-			if !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled) {
-				s.dropPeer(s.cfg.MasterAddr, cli)
-			}
-		}
+		}, 0)
 	}()
 }
 
@@ -240,13 +246,7 @@ func (s *Server) Close() {
 	if s.rpc != nil {
 		s.rpc.Close()
 	}
-	s.mu.Lock()
-	peers := s.peers
-	s.peers = map[string]*transport.Client{}
-	s.mu.Unlock()
-	for _, p := range peers {
-		p.Close()
-	}
+	s.peers.CloseAll()
 	if s.jset != nil {
 		s.jset.Close()
 	}
@@ -254,6 +254,10 @@ func (s *Server) Close() {
 
 // Addr returns the configured address.
 func (s *Server) Addr() string { return s.cfg.Addr }
+
+// StoreUsedBytes returns the physical bytes held by this server's chunk
+// slots — what the erasure-coding bench sums into storage overhead.
+func (s *Server) StoreUsedBytes() int64 { return s.store.UsedBytes() }
 
 // Role returns the server role.
 func (s *Server) Role() Role { return s.cfg.Role }
@@ -277,40 +281,6 @@ func (s *Server) chunk(id blockstore.ChunkID) *chunkState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.chunks[id]
-}
-
-// peer returns a cached RPC client to addr, dialing on demand.
-func (s *Server) peer(addr string) (*transport.Client, error) {
-	s.mu.Lock()
-	if c, ok := s.peers[addr]; ok {
-		s.mu.Unlock()
-		return c, nil
-	}
-	s.mu.Unlock()
-	conn, err := s.cfg.Dialer.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	c := transport.NewClient(conn, s.cfg.Clock)
-	s.mu.Lock()
-	if old, ok := s.peers[addr]; ok {
-		s.mu.Unlock()
-		c.Close()
-		return old, nil
-	}
-	s.peers[addr] = c
-	s.mu.Unlock()
-	return c, nil
-}
-
-// dropPeer evicts a failed cached connection so the next use redials.
-func (s *Server) dropPeer(addr string, c *transport.Client) {
-	s.mu.Lock()
-	if s.peers[addr] == c {
-		delete(s.peers, addr)
-	}
-	s.mu.Unlock()
-	c.Close()
 }
 
 // Handle dispatches one request; it is the transport.Handler.
@@ -368,6 +338,10 @@ func (s *Server) Handle(m *proto.Message) *proto.Message {
 		return s.handleCloneChunk(op, m)
 	case proto.OpRepairFrom:
 		return s.handleRepairFrom(op, m)
+	case proto.OpRebuildSegment:
+		return s.handleRebuildSegment(op, m)
+	case proto.OpFetchSegment:
+		return s.handleFetchSegment(op, m)
 	case proto.OpUpgrade:
 		go s.Upgrade()
 		return m.Reply(proto.StatusOK)
@@ -403,6 +377,30 @@ type CreateChunkReq struct {
 	// Version seeds the replica version (non-zero when re-creating a
 	// replica that will be cloned to a known state).
 	Version uint64 `json:"version,omitempty"`
+	// Redundancy is the chunk's redundancy policy. The zero value is
+	// mirroring, so pre-RS callers need not set it.
+	Redundancy redundancy.Spec `json:"redundancy,omitempty"`
+	// Holder marks this replica as an RS segment holder storing only
+	// segment Seg (a ChunkSize/N slice) rather than the whole chunk.
+	Holder bool `json:"holder,omitempty"`
+	// Seg is the segment index this holder stores (valid when Holder).
+	Seg int `json:"seg,omitempty"`
+}
+
+// newChunkStateFrom builds the per-chunk state a CreateChunkReq describes.
+func (s *Server) newChunkStateFrom(req CreateChunkReq) (*chunkState, error) {
+	strat, err := redundancy.New(req.Redundancy)
+	if err != nil {
+		return nil, err
+	}
+	cs := newChunkState(req.View, req.Backups, s.cfg.LiteCap)
+	cs.version = req.Version
+	cs.reserved = req.Version
+	cs.spec = req.Redundancy
+	cs.strat = strat
+	cs.holder = req.Holder
+	cs.seg = req.Seg
+	return cs, nil
 }
 
 func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
@@ -412,7 +410,11 @@ func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
 			return m.Reply(proto.StatusError)
 		}
 	}
-	if err := s.store.Create(m.Chunk); err != nil {
+	cs, err := s.newChunkStateFrom(req)
+	if err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	if err := s.store.CreateSized(m.Chunk, cs.span()); err != nil {
 		if errors.Is(err, util.ErrExists) {
 			// A restarted server re-attaches to chunks that survived on its
 			// store: install fresh in-memory state over the existing slot
@@ -420,9 +422,6 @@ func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
 			// flows still learn the slot was already there.
 			s.mu.Lock()
 			if s.chunks[m.Chunk] == nil {
-				cs := newChunkState(req.View, req.Backups, s.cfg.LiteCap)
-				cs.version = req.Version
-				cs.reserved = req.Version
 				s.chunks[m.Chunk] = cs
 			}
 			s.mu.Unlock()
@@ -430,9 +429,6 @@ func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
 		}
 		return m.Reply(proto.StatusQuota)
 	}
-	cs := newChunkState(req.View, req.Backups, s.cfg.LiteCap)
-	cs.version = req.Version
-	cs.reserved = req.Version
 	s.mu.Lock()
 	s.chunks[m.Chunk] = cs
 	s.mu.Unlock()
@@ -501,13 +497,14 @@ func (s *Server) handleSetView(m *proto.Message) *proto.Message {
 // the SSD store, backups resolve journal extents first.
 func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 	// Validate before allocating: a malformed Length would otherwise size
-	// an arbitrary buffer (and only then fail in the store).
-	if err := validRange(m.Off, int(m.Length)); err != nil {
-		return m.Reply(proto.StatusError)
-	}
+	// an arbitrary buffer (and only then fail in the store). The bound is
+	// the replica's local slot — one segment on RS holders.
 	cs := s.chunk(m.Chunk)
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
+	}
+	if err := validRangeIn(m.Off, int(m.Length), cs.span()); err != nil {
+		return m.Reply(proto.StatusError)
 	}
 	cs.mu.Lock()
 	if cs.view != m.View {
@@ -797,6 +794,7 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 		return resp
 	}
 	backups := cs.backups
+	strat := cs.strat
 	depth := len(cs.pending)
 	cs.mu.Unlock()
 	if s.cfg.Metrics != nil {
@@ -804,13 +802,27 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 	}
 
 	// Replication overlaps the local write: the primary starts the
-	// fan-out immediately and performs its own write while the data is in
-	// flight to the backups, so the end-to-end latency is max(local,
-	// backup), not their sum. Backups order pipelined versions themselves.
+	// fan-out as soon as the plan is ready and performs its own write while
+	// the data is in flight to the backups, so the end-to-end latency is
+	// max(local, backup), not their sum. Mirroring plans from the payload
+	// alone, so its fan-out starts before even the dependency wait; RS
+	// parity deltas need the pre-write bytes, so planning waits for
+	// overlapping predecessors and reads the old range first.
+	doFanout := forward && len(backups) > 0
 	var replCh chan bool
-	if forward && len(backups) > 0 {
+	startFanout := func(ships []redundancy.Shipment) {
 		replCh = make(chan bool, 1)
-		go func() { replCh <- s.replicateToBackups(op, backups, m) }()
+		go func() { replCh <- s.replicateShipments(op, backups, m, strat, ships) }()
+	}
+	if doFanout && !strat.NeedsOldData() {
+		ships, err := strat.PlanWrite(m.Off, m.Payload, nil, len(backups))
+		if err != nil {
+			if !skipLocal {
+				cs.applyDone(pw, err)
+			}
+			return m.Reply(proto.StatusError)
+		}
+		startFanout(ships)
 	}
 	if !skipLocal {
 		if err := s.awaitDeps(op, deps); err != nil {
@@ -824,6 +836,21 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 			r := m.Reply(proto.StatusBehind)
 			r.Version = ver
 			return r
+		}
+		if doFanout && strat.NeedsOldData() {
+			old := make([]byte, len(m.Payload))
+			err := s.readData(m.Chunk, old, m.Off)
+			var ships []redundancy.Shipment
+			if err == nil {
+				ships, err = strat.PlanWrite(m.Off, m.Payload, old, len(backups))
+			}
+			if err != nil {
+				cs.applyDone(pw, err)
+				s.reportDeviceFailure(m.Chunk, err)
+				return m.Reply(proto.StatusError)
+			}
+			cs.cacheShipments(m.Version, ships)
+			startFanout(ships)
 		}
 		stop := op.StartStage(opctx.StagePrimarySSD)
 		err := s.store.WriteAt(m.Chunk, m.Payload, m.Off)
@@ -839,6 +866,16 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 			}
 			return m.Reply(proto.StatusError)
 		}
+	} else if doFanout && strat.NeedsOldData() {
+		// A §4.2.1 duplicate of an RS write cannot recompute its parity
+		// deltas — the pre-write bytes are gone — so it resends the cached
+		// plan. A plan evicted from the cache means the retry arrived
+		// implausibly late: fail it and let recovery settle the stripe.
+		ships, ok := cs.cachedShipments(m.Version)
+		if !ok {
+			return m.Reply(proto.StatusError)
+		}
+		startFanout(ships)
 	}
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(m.Payload)))
@@ -863,64 +900,84 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 	return r
 }
 
-// replicateToBackups fans the write out and applies the commit rule: true
-// when all backups ack, or when a majority of the replica group (backups
-// plus this primary) acks within the commit window (§4.2.1). The window is
-// NOT a server constant: it derives from the incoming op's remaining
-// deadline, so the majority rule fires relative to the client's budget —
-// only deadline-less ops fall back to the configured ReplTimeout.
-func (s *Server) replicateToBackups(op *opctx.Op, backups []string, m *proto.Message) bool {
+// replicateShipments fans a write's planned shipments out to the backup
+// tier and applies the strategy's commit rule: true when every target acks,
+// or when the strategy's degraded rule is met within the commit window —
+// a majority of the replica group for mirroring (§4.2.1), at least N
+// segment acks for RS(N,M). The window is NOT a server constant: it derives
+// from the incoming op's remaining deadline, so the commit rule fires
+// relative to the client's budget — only deadline-less ops fall back to the
+// configured ReplTimeout.
+func (s *Server) replicateShipments(op *opctx.Op, backups []string, m *proto.Message, strat redundancy.Strategy, ships []redundancy.Shipment) bool {
 	window := s.opBudget(op, s.cfg.ReplTimeout)
-	type result struct{ ok bool }
-	results := make(chan result, len(backups))
-	for _, addr := range backups {
-		go func(addr string) {
+	type result struct {
+		target int
+		ok     bool
+	}
+	results := make(chan result, len(ships))
+	for _, sh := range ships {
+		go func(sh redundancy.Shipment) {
+			var flags uint8
+			if sh.Xor {
+				flags |= proto.FlagXorApply
+			}
+			if sh.Bump {
+				flags |= proto.FlagVersionBump
+			}
 			req := &proto.Message{
 				Op:      proto.OpReplicate,
 				Chunk:   m.Chunk,
-				Off:     m.Off,
+				Off:     sh.Off,
 				View:    m.View,
 				Version: m.Version,
-				Payload: m.Payload,
+				Flags:   flags,
+				Seg:     uint16(sh.Target),
+				Payload: sh.Data,
 			}
-			cli, err := s.peer(addr)
-			if err != nil {
-				results <- result{false}
-				return
-			}
-			resp, err := cli.Do(op, req, window)
-			if err != nil {
-				// Timeouts and op expiry/cancellation say nothing about the
-				// connection's health; only real transport faults evict it.
-				if !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled) {
-					s.dropPeer(addr, cli)
-				}
-				results <- result{false}
-				return
-			}
-			results <- result{resp.Status == proto.StatusOK}
-		}(addr)
+			resp, err := s.peers.Do(op, backups[sh.Target], req, window)
+			results <- result{sh.Target, err == nil && resp.Status == proto.StatusOK}
+		}(sh)
 	}
-	acks := 1 // self
-	total := len(backups) + 1
-	failures := 0
+	acks := 0
+	var failed []int
 	stop := op.StartStage(opctx.StageReplWait)
-	for i := 0; i < len(backups); i++ {
+	defer stop()
+	for done := 1; done <= len(ships); done++ {
 		if r := <-results; r.ok {
 			acks++
 		} else {
-			failures++
+			failed = append(failed, r.target)
 		}
-	}
-	stop()
-	if failures == 0 {
-		return true
-	}
-	if acks*2 > total {
-		// Majority committed: availability preserved at a transient
-		// durability discount; the master is told to repair (§4.2.1).
-		s.degradedCommits.Add(1)
-		return true
+		if acks == len(ships) {
+			return true
+		}
+		if len(failed) > 0 && strat.CommitOK(acks, len(backups)) {
+			// The outcome is decided: a definitive failure rules out the
+			// all-ack commit and the degraded rule already holds, so more
+			// results cannot change the decision — only improve durability.
+			// Reply now rather than waiting out the stragglers' RPC windows;
+			// a dead holder's timeout would otherwise delay every committed
+			// write's ack past the client's patience, and the client would
+			// misread a committed write as failed. Stragglers keep applying
+			// in the background; only the definitive failures are reported.
+			//
+			// Degraded commit: availability preserved at a transient
+			// durability discount (§4.2.1). An RS stripe short a segment has
+			// lost real redundancy, so the missing holders are reported for
+			// rebuild now; mirrored chunks keep the paper's behaviour and
+			// wait for the master's next probe.
+			s.degradedCommits.Add(1)
+			if strat.Spec().IsRS() {
+				for _, t := range failed {
+					s.reportFailure(m.Chunk, backups[t])
+				}
+			}
+			return true
+		}
+		if pending := len(ships) - done; !strat.CommitOK(acks+pending, len(backups)) {
+			// Even if every straggler acks, the commit rule cannot be met.
+			return false
+		}
 	}
 	return false
 }
@@ -930,13 +987,23 @@ func (s *Server) replicateToBackups(op *opctx.Op, backups []string, m *proto.Mes
 // under the chunk lock: same-chunk appends reach the journal's group-commit
 // queue concurrently, so one flush batches a hot chunk's burst instead of
 // draining it one record per device write.
+//
+// RS fan-outs arrive flagged: FlagVersionBump carries no bytes (an
+// unaffected data holder advances its version in lockstep), FlagXorApply
+// carries a parity delta the holder folds into its current content with a
+// read-modify-write. The RMW is safe under concurrency because overlapping
+// deltas wait on each other through the pending-write extent machinery, and
+// delta application commutes across disjoint admission orders.
 func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message {
-	if err := validRange(m.Off, len(m.Payload)); err != nil {
-		return m.Reply(proto.StatusError)
-	}
 	cs := s.chunk(m.Chunk)
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
+	}
+	bump := m.Flags&proto.FlagVersionBump != 0
+	if !bump {
+		if err := validRangeIn(m.Off, len(m.Payload), cs.span()); err != nil {
+			return m.Reply(proto.StatusError)
+		}
 	}
 	cs.mu.Lock()
 	pw, deps, skipLocal, resp := s.admitWriteLocked(cs, op, m)
@@ -959,11 +1026,33 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 			r.Version = ver
 			return r
 		}
-		stop := op.StartStage(opctx.StageBackupJournal)
-		err := s.applyBackupWrite(op, m)
-		stop()
-		if err == nil {
-			s.store.Sums().Stamp(m.Chunk, m.Off, m.Payload)
+		var err error
+		if !bump {
+			data := m.Payload
+			if m.Flags&proto.FlagXorApply != 0 {
+				// Parity RMW: fold the delta into the current parity bytes.
+				// The read must verify — folding a delta into rotten parity
+				// would launder the rot into every future reconstruction.
+				cur := make([]byte, len(m.Payload))
+				if rerr := s.readVerified(op, m.Chunk, cur, m.Off); rerr != nil {
+					cs.applyDone(pw, rerr)
+					s.reportDeviceFailure(m.Chunk, rerr)
+					if errors.Is(rerr, util.ErrCorrupt) {
+						return m.Reply(proto.StatusCorrupt)
+					}
+					return m.Reply(proto.StatusError)
+				}
+				for i := range cur {
+					cur[i] ^= m.Payload[i]
+				}
+				data = cur
+			}
+			stop := op.StartStage(opctx.StageBackupJournal)
+			err = s.applyBackupWrite(op, m, data)
+			stop()
+			if err == nil {
+				s.store.Sums().Stamp(m.Chunk, m.Off, data)
+			}
 		}
 		cs.applyDone(pw, err)
 		if err != nil {
@@ -987,22 +1076,23 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 
 // applyBackupWrite routes a backup write through the journal or directly to
 // the HDD, falling back to a direct write when journals overflow entirely.
+// data is the resolved absolute content (an XOR delta already folded in).
 // The op rides into the journal so group-commit queue/flush time lands on
 // the op's backup-jqueue/backup-jflush stages.
-func (s *Server) applyBackupWrite(op *opctx.Op, m *proto.Message) error {
+func (s *Server) applyBackupWrite(op *opctx.Op, m *proto.Message, data []byte) error {
 	if s.jset == nil {
 		// A primary-role server can hold backup replicas in SSD-only
 		// deployments (Ursa-SSD mode): plain store write.
-		return s.store.WriteAt(m.Chunk, m.Payload, m.Off)
+		return s.store.WriteAt(m.Chunk, data, m.Off)
 	}
-	if len(m.Payload) <= s.cfg.BypassThreshold {
-		err := s.jset.Append(op, m.Chunk, m.Off, m.Payload, m.Version+1)
+	if len(data) <= s.cfg.BypassThreshold {
+		err := s.jset.Append(op, m.Chunk, m.Off, data, m.Version+1)
 		if errors.Is(err, util.ErrQuota) {
-			return s.jset.WriteDirect(m.Chunk, m.Payload, m.Off)
+			return s.jset.WriteDirect(m.Chunk, data, m.Off)
 		}
 		return err
 	}
-	return s.jset.WriteDirect(m.Chunk, m.Payload, m.Off)
+	return s.jset.WriteDirect(m.Chunk, data, m.Off)
 }
 
 // handleRepairSince serves incremental repair: the ranges modified after
@@ -1088,7 +1178,7 @@ func (s *Server) handleFetchChunk(m *proto.Message) *proto.Message {
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
 	}
-	if err := validRange(m.Off, int(m.Length)); err != nil {
+	if err := validRangeIn(m.Off, int(m.Length), cs.span()); err != nil {
 		return m.Reply(proto.StatusError)
 	}
 	buf := make([]byte, m.Length)
@@ -1114,6 +1204,11 @@ func (s *Server) handleFetchChunk(m *proto.Message) *proto.Message {
 type CloneChunkReq struct {
 	// Source is the address of the replica to copy from.
 	Source string `json:"source"`
+	// Spec and Sources drive an RS reconstruction clone: when Sources is
+	// non-empty, the chunk is rebuilt stripe by stripe from N surviving
+	// segment holders (the primary is gone) instead of copied from Source.
+	Spec    redundancy.Spec `json:"spec,omitempty"`
+	Sources []PieceSource   `json:"sources,omitempty"`
 }
 
 // cloneFetchSize is the transfer granularity of recovery copies.
@@ -1128,11 +1223,14 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 	if err := json.Unmarshal(m.Payload, &req); err != nil {
 		return m.Reply(proto.StatusError)
 	}
+	if len(req.Sources) > 0 {
+		return s.cloneFromSegments(op, m, req)
+	}
 	cs := s.chunk(m.Chunk)
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
 	}
-	cli, err := s.peer(req.Source)
+	cli, err := s.peers.Get(req.Source)
 	if err != nil {
 		return m.Reply(proto.StatusError)
 	}
@@ -1147,7 +1245,10 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 	defer cs.mu.Unlock()
 	// Pipeline the transfer: several fetches in flight while earlier
 	// pieces write locally, so one chunk's recovery is bounded by the
-	// slower of source disk, network, and local disk — not their sum.
+	// slower of source disk, network, and local disk — not their sum. The
+	// transfer covers the local slot: one segment when this replica is an
+	// RS holder cloning from its predecessor, a full chunk otherwise.
+	span := cs.span()
 	const clonePipeline = 4
 	type piece struct {
 		off int64
@@ -1163,7 +1264,7 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 		})})
 	}
 	next := int64(0)
-	for ; next < int64(clonePipeline)*cloneFetchSize && next < util.ChunkSize; next += cloneFetchSize {
+	for ; next < int64(clonePipeline)*cloneFetchSize && next < span; next += cloneFetchSize {
 		issue(next)
 	}
 	for len(inflight) > 0 {
@@ -1171,9 +1272,12 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 		inflight = inflight[1:]
 		fresp, ok := <-p.ch
 		if !ok || fresp.Status != proto.StatusOK {
+			if !ok {
+				s.peers.Drop(req.Source, cli)
+			}
 			return m.Reply(proto.StatusError)
 		}
-		if next < util.ChunkSize {
+		if next < span {
 			issue(next)
 			next += cloneFetchSize
 		}
@@ -1215,11 +1319,7 @@ func (s *Server) handleRepairFrom(op *opctx.Op, m *proto.Message) *proto.Message
 	myVersion := cs.version
 	cs.mu.Unlock()
 
-	cli, err := s.peer(req.Source)
-	if err != nil {
-		return m.Reply(proto.StatusError)
-	}
-	resp, err := cli.Do(op, &proto.Message{
+	resp, err := s.peers.Do(op, req.Source, &proto.Message{
 		Op:      proto.OpRepairSince,
 		Chunk:   m.Chunk,
 		Version: myVersion,
@@ -1268,10 +1368,16 @@ func (s *Server) Upgrade() {
 
 // validRange checks a sector-aligned in-chunk range.
 func validRange(off int64, n int) error {
+	return validRangeIn(off, n, util.ChunkSize)
+}
+
+// validRangeIn checks a sector-aligned range against a replica's local slot
+// span — a full chunk, or one segment on RS holders.
+func validRangeIn(off int64, n int, span int64) error {
 	if off < 0 || n <= 0 || off%util.SectorSize != 0 || n%util.SectorSize != 0 ||
-		off+int64(n) > util.ChunkSize {
-		return fmt.Errorf("chunkserver: bad range [%d,%d): %w",
-			off, off+int64(n), util.ErrOutOfRange)
+		off+int64(n) > span {
+		return fmt.Errorf("chunkserver: bad range [%d,%d) of %d: %w",
+			off, off+int64(n), span, util.ErrOutOfRange)
 	}
 	return nil
 }

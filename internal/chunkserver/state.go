@@ -17,6 +17,8 @@ import (
 
 	"ursa/internal/journal"
 	"ursa/internal/opctx"
+	"ursa/internal/redundancy"
+	"ursa/internal/util"
 )
 
 // Role distinguishes primary (SSD) from backup (HDD+journal) servers.
@@ -82,6 +84,19 @@ type chunkState struct {
 	// lite records recent writes for incremental repair (§4.2.1).
 	lite *journal.Lite
 
+	// spec is the chunk's redundancy policy and strat its strategy (set at
+	// create; immutable after). holder/seg mark this replica as RS segment
+	// holder number seg; the primary and mirror backups have holder=false.
+	spec   redundancy.Spec
+	strat  redundancy.Strategy
+	holder bool
+	seg    int
+
+	// shipments caches a primary's RS fan-out plan per pending version: a
+	// retry of an already-applied write can no longer recompute its parity
+	// deltas (the pre-write data is gone), so it resends the cached plan.
+	shipments map[uint64][]redundancy.Shipment
+
 	deleted bool
 }
 
@@ -92,7 +107,46 @@ func newChunkState(view uint64, backups []string, liteCap int) *chunkState {
 		lite:    journal.NewLite(liteCap),
 		pending: make(map[uint64]*pendingWrite),
 		changed: make(chan struct{}),
+		strat:   redundancy.Mirror{},
 	}
+}
+
+// span returns the replica's local slot size: one segment for RS holders,
+// a full chunk otherwise.
+func (cs *chunkState) span() int64 {
+	if cs.holder && cs.spec.IsRS() {
+		return cs.spec.SegSize()
+	}
+	return util.ChunkSize
+}
+
+// shipCacheDepth bounds the cached fan-out plans: retries arrive within a
+// client round-trip, so anything more than a pipeline's worth of versions
+// behind the committed version is stale.
+const shipCacheDepth = 64
+
+// cacheShipments remembers version's fan-out plan and prunes entries that
+// have fallen far behind the committed version.
+func (cs *chunkState) cacheShipments(version uint64, ships []redundancy.Shipment) {
+	cs.mu.Lock()
+	if cs.shipments == nil {
+		cs.shipments = make(map[uint64][]redundancy.Shipment)
+	}
+	cs.shipments[version] = ships
+	for v := range cs.shipments {
+		if v+shipCacheDepth < cs.version {
+			delete(cs.shipments, v)
+		}
+	}
+	cs.mu.Unlock()
+}
+
+// cachedShipments returns the remembered plan for version, if any.
+func (cs *chunkState) cachedShipments(version uint64) ([]redundancy.Shipment, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ships, ok := cs.shipments[version]
+	return ships, ok
 }
 
 // bumpLocked wakes everything blocked on the chunk's state.
@@ -112,7 +166,11 @@ func (cs *chunkState) advanceLocked() {
 			return
 		}
 		delete(cs.pending, cs.version)
-		cs.lite.Record(p.version+1, p.off, p.length)
+		if p.length > 0 {
+			// Zero-length entries are RS version bumps: the version advances
+			// but no bytes changed, so there is nothing to repair later.
+			cs.lite.Record(p.version+1, p.off, p.length)
+		}
 		cs.version++
 	}
 }

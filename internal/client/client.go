@@ -80,18 +80,18 @@ func (c *Config) fillDefaults() {
 // Client is the portal process: it owns the master session and chunk-server
 // connections, and opens VDisks.
 type Client struct {
-	cfg Config
+	cfg   Config
+	peers *transport.Peers // chunk-server connections, shared across vdisks
 
 	mu      sync.Mutex
 	masterC *transport.Client
-	peers   map[string]*transport.Client
 	closed  bool
 }
 
 // New creates a client portal.
 func New(cfg Config) *Client {
 	cfg.fillDefaults()
-	return &Client{cfg: cfg, peers: make(map[string]*transport.Client)}
+	return &Client{cfg: cfg, peers: transport.NewPeers(cfg.Dialer, cfg.Clock)}
 }
 
 // Close tears down all connections. Open VDisks become unusable.
@@ -104,15 +104,17 @@ func (c *Client) Close() {
 	c.closed = true
 	mc := c.masterC
 	c.masterC = nil
-	peers := c.peers
-	c.peers = map[string]*transport.Client{}
 	c.mu.Unlock()
 	if mc != nil {
 		mc.Close()
 	}
-	for _, p := range peers {
-		p.Close()
-	}
+	c.peers.CloseAll()
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // masterClient returns the cached master connection, dialing on demand.
@@ -154,6 +156,12 @@ func (c *Client) newOp(budget time.Duration) *opctx.Op {
 // masterCall performs one JSON-payload master RPC under its own
 // MasterTimeout-budgeted op.
 func (c *Client) masterCall(op proto.Op, req any, out any) (proto.Status, error) {
+	return c.masterCallT(c.cfg.MasterTimeout, op, req, out)
+}
+
+// masterCallT is masterCall with an explicit deadline budget, for callers
+// sitting on a tighter clock than MasterTimeout.
+func (c *Client) masterCallT(d time.Duration, op proto.Op, req any, out any) (proto.Status, error) {
 	mc, err := c.masterClient()
 	if err != nil {
 		return proto.StatusError, err
@@ -165,7 +173,7 @@ func (c *Client) masterCall(op proto.Op, req any, out any) (proto.Status, error)
 			return proto.StatusError, err
 		}
 	}
-	resp, err := mc.Do(c.newOp(c.cfg.MasterTimeout), &proto.Message{Op: op, Payload: payload}, 0)
+	resp, err := mc.Do(c.newOp(d), &proto.Message{Op: op, Payload: payload}, 0)
 	if err != nil {
 		c.mu.Lock()
 		if c.masterC == mc {
@@ -181,43 +189,6 @@ func (c *Client) masterCall(op proto.Op, req any, out any) (proto.Status, error)
 		}
 	}
 	return resp.Status, nil
-}
-
-// peer returns a cached chunk-server connection.
-func (c *Client) peer(addr string) (*transport.Client, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, util.ErrClosed
-	}
-	if p, ok := c.peers[addr]; ok {
-		c.mu.Unlock()
-		return p, nil
-	}
-	c.mu.Unlock()
-	conn, err := c.cfg.Dialer.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	p := transport.NewClient(conn, c.cfg.Clock)
-	c.mu.Lock()
-	if old, ok := c.peers[addr]; ok {
-		c.mu.Unlock()
-		p.Close()
-		return old, nil
-	}
-	c.peers[addr] = p
-	c.mu.Unlock()
-	return p, nil
-}
-
-func (c *Client) dropPeer(addr string, p *transport.Client) {
-	c.mu.Lock()
-	if c.peers[addr] == p {
-		delete(c.peers, addr)
-	}
-	c.mu.Unlock()
-	p.Close()
 }
 
 // CreateVDisk asks the master to create a virtual disk.

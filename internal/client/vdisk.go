@@ -1,8 +1,6 @@
 package client
 
 import (
-	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,6 +11,7 @@ import (
 	"ursa/internal/metrics"
 	"ursa/internal/opctx"
 	"ursa/internal/proto"
+	"ursa/internal/redundancy"
 	"ursa/internal/transport"
 	"ursa/internal/util"
 )
@@ -161,7 +160,7 @@ func (vd *VDisk) confirmChunk(idx int) error {
 			return nil
 		}
 		// Inconsistency: have the master fix it, refresh, retry (§4.2.1).
-		if err := vd.reportFailure(idx, failedAddr); err != nil {
+		if err := vd.reportFailure(nil, idx, failedAddr); err != nil {
 			return err
 		}
 		vd.c.cfg.Clock.Sleep(time.Duration(attempt+1) * time.Millisecond)
@@ -174,27 +173,38 @@ func (vd *VDisk) chunkID(idx int) blockstore.ChunkID {
 	return blockstore.MakeChunkID(vd.meta.ID, uint32(idx))
 }
 
-// call performs one chunk-server RPC on op's behalf with connection
-// recycling: bounded by the op's remaining budget, capped per attempt at
-// CallTimeout. Timeouts and op expiry/cancellation don't condemn the
-// connection; only real transport faults recycle it.
+// call performs one chunk-server RPC on op's behalf through the shared
+// peer pool: bounded by the op's remaining budget, capped per attempt at
+// CallTimeout. The pool recycles connections on real transport faults but
+// not on timeouts or op expiry/cancellation.
 func (vd *VDisk) call(op *opctx.Op, addr string, m *proto.Message) (*proto.Message, error) {
-	cli, err := vd.c.peer(addr)
-	if err != nil {
-		return nil, err
+	if vd.c.isClosed() {
+		return nil, util.ErrClosed
 	}
-	resp, err := cli.Do(op, m, vd.c.cfg.CallTimeout)
-	if err != nil && !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled) {
-		vd.c.dropPeer(addr, cli)
-	}
-	return resp, err
+	return vd.c.peers.Do(op, addr, m, vd.c.cfg.CallTimeout)
 }
 
 // reportFailure asks the master to run a view change for the chunk and
 // installs the returned metadata (§4.2.2).
-func (vd *VDisk) reportFailure(idx int, failedAddr string) error {
+func (vd *VDisk) reportFailure(op *opctx.Op, idx int, failedAddr string) error {
+	// The master holds the report until the chunk's recovery completes, and
+	// a recovery (a segment rebuild, or a whole-chunk clone) can outlast an
+	// I/O budget. When the report is on an I/O's critical path the wait is
+	// bounded by the op's remaining budget: blocking past the deadline
+	// helps nobody — the retry loop above is already dead. Maintenance
+	// callers pass nil and wait the full MasterTimeout.
+	d := vd.c.cfg.MasterTimeout
+	if op != nil {
+		rem, ok := op.Remaining()
+		if ok && rem < d {
+			d = rem
+		}
+		if d <= 0 {
+			return op.Err()
+		}
+	}
 	var newMeta master.ChunkMeta
-	status, err := vd.c.masterCall(proto.MOpReportFailure, master.ReportFailureReq{
+	status, err := vd.c.masterCallT(d, proto.MOpReportFailure, master.ReportFailureReq{
 		VDisk:      vd.meta.ID,
 		ChunkIndex: uint32(idx),
 		FailedAddr: failedAddr,
@@ -321,11 +331,15 @@ func (vd *VDisk) usable() error {
 }
 
 // readFragment reads one chunk-local range, failing over across replicas:
-// if the primary is unavailable it resorts to a backup as temporary primary
-// (§4.2.1) and tells the master to recover in parallel.
+// if the primary is unavailable a mirrored chunk resorts to a backup as
+// temporary primary (§4.2.1); an RS chunk — whose backups hold segments,
+// not copies — reconstructs the range from the segment holders instead.
+// Either way the master is told to recover in parallel.
 func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) error {
 	ch := vd.chunks[idx]
+	spec := vd.meta.Redundancy
 	var lastErr error
+	var corruptErr error
 	for attempt := 0; attempt < vd.c.cfg.MaxRetries; attempt++ {
 		if err := op.Err(); err != nil {
 			// Budget spent or caller gone: retrying would answer nobody.
@@ -349,11 +363,12 @@ func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) erro
 			View:    cm.View,
 			Version: version,
 		})
+		failover := false
 		switch {
 		case err != nil:
 			lastErr = err
-			vd.rotatePrimary(idx, primary)
-			go func() { _ = vd.reportFailure(idx, addr) }()
+			failover = true
+			go func() { _ = vd.reportFailure(nil, idx, addr) }()
 		case resp.Status == proto.StatusOK:
 			copy(buf, resp.Payload)
 			return nil
@@ -365,18 +380,46 @@ func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) erro
 		case resp.Status == proto.StatusBehind:
 			// Replica lags our committed state: try another.
 			lastErr = util.ErrFutureVersion
-			vd.rotatePrimary(idx, primary)
+			failover = true
+		case resp.Status == proto.StatusCorrupt:
+			// The replica's settled re-reads still fail checksums: its copy
+			// has rotted on disk. Fail over; when every copy is rotten the
+			// caller gets this error, never garbage bytes.
+			lastErr = fmt.Errorf("client: read chunk %d from %s: %w", idx, addr, util.ErrCorrupt)
+			corruptErr = lastErr
+			failover = true
 		default:
 			lastErr = fmt.Errorf("client: read chunk %d from %s: %s", idx, addr, resp.Status)
-			vd.rotatePrimary(idx, primary)
+			failover = true
+		}
+		if failover {
+			if spec.IsRS() {
+				// Segment holders cannot serve the chunk range directly;
+				// reconstruct it from them and keep the primary pinned.
+				if rerr := vd.readDegradedRS(op, idx, cm, spec, buf, off, version); rerr == nil {
+					return nil
+				} else if lastErr == nil || resp == nil || resp.Status != proto.StatusCorrupt {
+					lastErr = rerr
+				}
+			} else {
+				vd.rotatePrimary(idx, primary)
+			}
 		}
 		vd.retries.Add(1)
 		vd.backoff(op, attempt)
+	}
+	if corruptErr != nil {
+		// A replica's settled checksum failure is the load-bearing signal:
+		// when every path fails, report the rot, not whatever incidental
+		// stale-view or timeout the final attempt happened to race (the
+		// master keeps changing views while it tries to heal the chunk).
+		return fmt.Errorf("client: read chunk %d failed: %w", idx, corruptErr)
 	}
 	return fmt.Errorf("client: read chunk %d failed: %w", idx, lastErr)
 }
 
 // rotatePrimary switches to the next replica if primary is still current.
+// Only mirrored chunks rotate: RS backups hold segments, not copies.
 func (vd *VDisk) rotatePrimary(idx, sawPrimary int) {
 	ch := vd.chunks[idx]
 	ch.mu.Lock()
@@ -385,6 +428,110 @@ func (vd *VDisk) rotatePrimary(idx, sawPrimary int) {
 		vd.failovers.Add(1)
 	}
 	ch.mu.Unlock()
+}
+
+// readDegradedRS serves one chunk-local read while the primary is
+// unavailable: each covered data segment is read from its holder, and a
+// segment whose holder also fails is decoded from any N of the surviving
+// N+M segments. All pieces that feed one decode must agree on the replica
+// version — mixed-version pieces decode garbage, so they are discarded and
+// the caller retries.
+func (vd *VDisk) readDegradedRS(op *opctx.Op, idx int, cm master.ChunkMeta,
+	spec redundancy.Spec, buf []byte, off int64, version uint64) error {
+
+	if len(cm.Replicas) != 1+spec.N+spec.M {
+		return fmt.Errorf("client: chunk %d has %d replicas, want %d: %w",
+			idx, len(cm.Replicas), 1+spec.N+spec.M, util.ErrStaleView)
+	}
+	for _, pc := range redundancy.PieceRanges(spec, off, len(buf)) {
+		dst := buf[pc.BufLo:pc.BufHi]
+		if _, err := vd.readPiece(op, idx, cm, pc.Seg, pc.SegOff, dst, version); err == nil {
+			continue
+		}
+		if err := vd.reconstructPiece(op, idx, cm, spec, pc.Seg, pc.SegOff, dst, version); err != nil {
+			return err
+		}
+		vd.failovers.Add(1)
+	}
+	return nil
+}
+
+// readPiece reads [segOff, segOff+len(dst)) of segment seg from its holder
+// and reports the version the holder served it at.
+func (vd *VDisk) readPiece(op *opctx.Op, idx int, cm master.ChunkMeta,
+	seg int, segOff int64, dst []byte, version uint64) (uint64, error) {
+
+	addr := cm.Replicas[1+seg].Addr
+	resp, err := vd.call(op, addr, &proto.Message{
+		Op:      proto.OpRead,
+		Chunk:   vd.chunkID(idx),
+		Off:     segOff,
+		Length:  uint32(len(dst)),
+		View:    cm.View,
+		Version: version,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != proto.StatusOK {
+		return 0, fmt.Errorf("client: read chunk %d seg %d from %s: %s", idx, seg, addr, resp.Status)
+	}
+	copy(dst, resp.Payload)
+	return resp.Version, nil
+}
+
+// reconstructPiece decodes [segOff, segOff+len(dst)) of segment want from
+// the other segments' holders.
+func (vd *VDisk) reconstructPiece(op *opctx.Op, idx int, cm master.ChunkMeta,
+	spec redundancy.Spec, want int, segOff int64, dst []byte, version uint64) error {
+
+	code, err := redundancy.NewCode(spec.N, spec.M)
+	if err != nil {
+		return err
+	}
+	type piece struct {
+		idx  int
+		ver  uint64
+		data []byte
+	}
+	total := spec.N + spec.M
+	results := make(chan piece, total)
+	asked := 0
+	for p := 0; p < total; p++ {
+		if p == want {
+			continue
+		}
+		asked++
+		go func(p int) {
+			tmp := make([]byte, len(dst))
+			ver, err := vd.readPiece(op, idx, cm, p, segOff, tmp, version)
+			if err != nil {
+				results <- piece{idx: p}
+				return
+			}
+			results <- piece{idx: p, ver: ver, data: tmp}
+		}(p)
+	}
+	// Group by served version: a decode mixing versions is garbage. With
+	// the primary down nothing commits, so in practice all pieces agree.
+	byVer := map[uint64]map[int][]byte{}
+	for i := 0; i < asked; i++ {
+		r := <-results
+		if r.data == nil {
+			continue
+		}
+		if byVer[r.ver] == nil {
+			byVer[r.ver] = map[int][]byte{}
+		}
+		byVer[r.ver][r.idx] = r.data
+	}
+	for _, avail := range byVer {
+		if len(avail) >= spec.N {
+			return code.Reconstruct(avail, want, dst)
+		}
+	}
+	return fmt.Errorf("client: reconstruct chunk %d seg %d: not enough consistent pieces: %w",
+		idx, want, util.ErrNoQuorum)
 }
 
 // backoff sleeps between retry rounds; the wait is admission queueing from
@@ -434,10 +581,12 @@ func (vd *VDisk) writeFragment(op *opctx.Op, idx int, data []byte, off int64) er
 
 		var committed bool
 		var staleView bool
-		if len(data) <= vd.c.cfg.TinyThreshold || !healthy {
+		if (len(data) <= vd.c.cfg.TinyThreshold || !healthy) && !vd.meta.Redundancy.IsRS() {
 			committed, staleView = vd.writeClientDirected(op, idx, cm, data, off, version)
 			vd.tinyWrites.Add(1)
 		} else {
+			// RS chunks always write through the primary: only it holds the
+			// old data needed to compute parity deltas.
 			committed, staleView = vd.writeViaPrimary(op, idx, cm, data, off, version)
 		}
 		if committed {
@@ -453,7 +602,7 @@ func (vd *VDisk) writeFragment(op *opctx.Op, idx int, data []byte, off int64) er
 			if err := vd.refreshMeta(idx); err != nil {
 				lastErr = err
 			}
-		} else if err := vd.reportFailure(idx, ""); err != nil {
+		} else if err := vd.reportFailure(op, idx, ""); err != nil {
 			lastErr = err
 		}
 		vd.retries.Add(1)
@@ -477,7 +626,7 @@ func (vd *VDisk) writeViaPrimary(op *opctx.Op, idx int, cm master.ChunkMeta, dat
 		Payload: data,
 	})
 	if err != nil {
-		go func() { _ = vd.reportFailure(idx, addr) }()
+		go func() { _ = vd.reportFailure(nil, idx, addr) }()
 		return false, false
 	}
 	switch resp.Status {
@@ -540,7 +689,7 @@ func (vd *VDisk) writeClientDirected(op *opctx.Op, idx int, cm master.ChunkMeta,
 	}
 	if acks*2 > len(cm.Replicas) {
 		// Majority: committed, but tell the master to fix the stragglers.
-		go func() { _ = vd.reportFailure(idx, "") }()
+		go func() { _ = vd.reportFailure(nil, idx, "") }()
 		return true, false
 	}
 	return false, stales > 0

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ursa/internal/client"
+	"ursa/internal/clock"
+	"ursa/internal/core"
+	"ursa/internal/master"
+	"ursa/internal/redundancy"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// rs42 is the erasure-coding policy under test: 4 data + 2 parity segments
+// per chunk, tolerating any two lost segment holders.
+var rs42 = redundancy.Spec{Kind: redundancy.KindRS, N: 4, M: 2}
+
+// ecCluster builds a hybrid cluster wide enough for RS(4,2) placement: the
+// primary's machine plus six distinct holder machines, plus optional spares
+// for rebuild targets.
+func ecCluster(t *testing.T, machines int) *core.Cluster {
+	t.Helper()
+	c, err := core.New(core.Options{
+		Machines:       machines,
+		SSDsPerMachine: 1,
+		HDDsPerMachine: 2,
+		Mode:           core.Hybrid,
+		Clock:          clock.Realtime,
+		SSDModel: simdisk.SSDModel{
+			Capacity: 2 * util.GiB, Parallelism: 32,
+			ReadLatency: 2 * time.Microsecond, WriteLatency: 4 * time.Microsecond,
+			ReadBandwidth: 20e9, WriteBandwidth: 12e9,
+		},
+		HDDModel: simdisk.HDDModel{
+			Capacity: 4 * util.GiB, SeekMax: 400 * time.Microsecond,
+			SeekSettle: 25 * time.Microsecond, RPM: 288000,
+			Bandwidth: 6e9, TrackSkip: 512 * util.KiB,
+		},
+		NetLatency:  5 * time.Microsecond,
+		ReplTimeout: 40 * time.Millisecond,
+		CallTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func ecVDisk(t *testing.T, c *core.Cluster, chunks int64) *client.VDisk {
+	t.Helper()
+	cl := c.NewClient("ec-client")
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{
+		Name: "ec", Size: chunks * util.ChunkSize, Redundancy: rs42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vd, err := cl.Open("ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vd.Close() })
+	return vd
+}
+
+// TestChaosECSegmentDeath is the erasure-coding acceptance scenario (the
+// ec-smoke target): M=2 segment holders of an RS(4,2) chunk die
+// mid-workload and the client must not see a single failed or stale I/O —
+// writes keep committing on >=N acks while the master rebuilds the lost
+// segments onto fresh servers. Deterministic: fixed seed, scripted
+// schedule, linearizability-checked throughout plus a final sweep.
+func TestChaosECSegmentDeath(t *testing.T) {
+	c := ecCluster(t, 8) // 1 primary + 6 holders + 1 spare machine
+	vd := ecVDisk(t, c, 1)
+
+	mon := c.NewClient("monitor")
+	t.Cleanup(func() { mon.Close() })
+	meta, err := mon.OpenMeta("ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := meta.Chunks[0].Replicas
+	if len(reps) != 1+rs42.N+rs42.M {
+		t.Fatalf("placement has %d replicas, want %d", len(reps), 1+rs42.N+rs42.M)
+	}
+	schedule := []ChaosEvent{
+		{AtOp: 60, Kind: ChaosCrashServer, Server: reps[1].Addr},
+		{AtOp: 60, Kind: ChaosCrashServer, Server: reps[2].Addr},
+	}
+	rep, err := RunChaos(c, vd, ChaosOptions{
+		Ops:        300,
+		Seed:       42,
+		WriteFrac:  0.7,
+		Schedule:   schedule,
+		FinalSweep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WriteErrors != 0 || rep.ReadErrors != 0 {
+		t.Fatalf("client saw failed I/O with %d segment holders dead: %+v", len(schedule), rep)
+	}
+	if rep.EventsFired != len(schedule) {
+		t.Errorf("fired %d/%d events", rep.EventsFired, len(schedule))
+	}
+}
+
+// TestECDegradedReadReconstructs crashes an RS chunk's primary — the only
+// full copy — plus one data-segment holder, and requires reads to come back
+// byte-identical by decoding the covered range from the surviving segments.
+// With one SSD machine and the rest hosting holders there is no replacement
+// primary, so the chunk stays pinned degraded for the whole test.
+func TestECDegradedReadReconstructs(t *testing.T) {
+	c := ecCluster(t, 7) // no spare machine: a dead primary stays dead
+	vd := ecVDisk(t, c, 1)
+
+	const region = 256 * util.KiB
+	want := make([]byte, region)
+	util.NewRand(1234).Fill(want)
+	for off := int64(0); off < region; off += 64 * util.KiB {
+		if err := vd.WriteAt(want[off:off+64*util.KiB], off); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+
+	mon := c.NewClient("monitor")
+	t.Cleanup(func() { mon.Close() })
+	meta, err := mon.OpenMeta("ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := meta.Chunks[0].Replicas
+	// Kill the primary and segment 0's holder: the region lives entirely in
+	// segment 0, so every read must reconstruct from the other segments.
+	c.CrashServer(reps[0].Addr)
+	c.CrashServer(reps[1].Addr)
+
+	got := make([]byte, 32*util.KiB)
+	for off := int64(0); off < region; off += int64(len(got)) {
+		if err := vd.ReadAt(got, off); err != nil {
+			t.Fatalf("degraded read at %d: %v", off, err)
+		}
+		if !bytes.Equal(got, want[off:off+int64(len(got))]) {
+			t.Fatalf("degraded read at %d returned wrong bytes", off)
+		}
+	}
+}
+
+// TestAllReplicasCorruptCleanError is the integrity floor: when every
+// replica of a mirrored chunk has rotted on disk, the client must get a
+// clean error that unwraps to util.ErrCorrupt — never garbage bytes — and
+// must get it in bounded time (the far side's settling re-reads and the
+// client's failover rotation must not loop forever).
+func TestAllReplicasCorruptCleanError(t *testing.T) {
+	c := chaosCluster(t, false)
+	vd := chaosVDisk(t, c, 1)
+
+	// A write above the journal-bypass threshold lands in every replica's
+	// store — the regions about to rot.
+	data := make([]byte, 128*util.KiB)
+	util.NewRand(77).Fill(data)
+	if err := vd.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := c.NewClient("monitor")
+	t.Cleanup(func() { mon.Close() })
+	meta, err := mon.OpenMeta("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range meta.Chunks[0].Replicas {
+		mi, di, isHDD := replicaDevice(t, c, r.Addr)
+		faults := c.Machines[mi].SSDFaults
+		if isHDD {
+			faults = c.Machines[mi].HDDFaults
+		}
+		fi := faults[di]
+		fi.CorruptRange(0, fi.Size(), true)
+	}
+
+	start := time.Now()
+	buf := make([]byte, util.SectorSize)
+	rerr := vd.ReadAt(buf, 0)
+	elapsed := time.Since(start)
+	if rerr == nil {
+		t.Fatal("read of universally rotted data succeeded")
+	}
+	if !errors.Is(rerr, util.ErrCorrupt) {
+		t.Fatalf("read error %v does not unwrap to ErrCorrupt", rerr)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("corrupt read took %v: settling re-reads looped", elapsed)
+	}
+}

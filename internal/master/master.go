@@ -2,7 +2,6 @@ package master
 
 import (
 	"encoding/json"
-	"errors"
 	"sync"
 	"time"
 
@@ -10,7 +9,6 @@ import (
 	"ursa/internal/metrics"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
-	"ursa/internal/util"
 )
 
 // Config parameterizes the master.
@@ -82,8 +80,7 @@ type Master struct {
 	nextBackup  int
 	viewChanges int
 
-	peersMu sync.Mutex
-	peers   map[string]*transport.Client
+	peers *transport.Peers
 
 	// recMu guards recovering: one in-flight view change per chunk.
 	// Reporters of an already-recovering chunk wait for that recovery and
@@ -101,7 +98,7 @@ func New(cfg Config) *Master {
 		cfg:        cfg,
 		vdisks:     make(map[uint32]*vdisk),
 		byName:     make(map[string]uint32),
-		peers:      make(map[string]*transport.Client),
+		peers:      transport.NewPeers(cfg.Dialer, cfg.Clock),
 		recovering: make(map[uint64]chan struct{}),
 	}
 }
@@ -114,12 +111,7 @@ func (m *Master) Close() {
 	if m.rpc != nil {
 		m.rpc.Close()
 	}
-	m.peersMu.Lock()
-	for _, p := range m.peers {
-		p.Close()
-	}
-	m.peers = map[string]*transport.Client{}
-	m.peersMu.Unlock()
+	m.peers.CloseAll()
 }
 
 // AddServer registers a chunk server (Go API; MOpRegister is the RPC form).
@@ -134,58 +126,16 @@ func (m *Master) AddServer(addr, machine string, ssd bool) {
 	m.servers = append(m.servers, serverInfo{addr: addr, machine: machine, ssd: ssd})
 }
 
-// peer returns a cached RPC client to a chunk server.
-func (m *Master) peer(addr string) (*transport.Client, error) {
-	m.peersMu.Lock()
-	if c, ok := m.peers[addr]; ok {
-		m.peersMu.Unlock()
-		return c, nil
-	}
-	m.peersMu.Unlock()
-	conn, err := m.cfg.Dialer.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	c := transport.NewClient(conn, m.cfg.Clock)
-	m.peersMu.Lock()
-	if old, ok := m.peers[addr]; ok {
-		m.peersMu.Unlock()
-		c.Close()
-		return old, nil
-	}
-	m.peers[addr] = c
-	m.peersMu.Unlock()
-	return c, nil
-}
-
-func (m *Master) dropPeer(addr string, c *transport.Client) {
-	m.peersMu.Lock()
-	if m.peers[addr] == c {
-		delete(m.peers, addr)
-	}
-	m.peersMu.Unlock()
-	c.Close()
-}
-
-// call performs one RPC to a chunk server, evicting the cached connection
-// on failure so the next use redials.
+// call performs one RPC to a chunk server through the shared peer pool,
+// which evicts the cached connection on transport faults so the next use
+// redials.
 func (m *Master) call(addr string, req *proto.Message) (*proto.Message, error) {
-	return m.callT(addr, req, m.cfg.RPCTimeout)
+	return m.peers.Call(addr, req, m.cfg.RPCTimeout)
 }
 
 func (m *Master) callT(addr string, req *proto.Message, timeout time.Duration) (*proto.Message, error) {
-	cli, err := m.peer(addr)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := cli.Call(req, timeout)
-	if err != nil && !isTimeout(err) {
-		m.dropPeer(addr, cli)
-	}
-	return resp, err
+	return m.peers.Call(addr, req, timeout)
 }
-
-func isTimeout(err error) bool { return errors.Is(err, util.ErrTimeout) }
 
 // Handle dispatches master RPCs.
 func (m *Master) Handle(msg *proto.Message) *proto.Message {

@@ -3,10 +3,12 @@ package master
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"ursa/internal/blockstore"
 	"ursa/internal/chunkserver"
 	"ursa/internal/proto"
+	"ursa/internal/redundancy"
 	"ursa/internal/util"
 )
 
@@ -73,13 +75,20 @@ func (m *Master) RecoverChunk(vdiskID uint32, chunkIndex uint32, failedAddr stri
 	}()
 
 	t0 := m.cfg.Clock.Now()
-	cmp, err := m.chunkMeta(vdiskID, chunkIndex)
+	cmp, spec, err := m.chunkMetaSpec(vdiskID, chunkIndex)
 	if err != nil {
 		return nil, err
 	}
-	cm := *cmp
-
 	id := blockstore.MakeChunkID(vdiskID, chunkIndex)
+	if spec.IsRS() {
+		return m.recoverRS(t0, id, vdiskID, chunkIndex, *cmp, spec, failedAddr)
+	}
+	return m.recoverMirror(t0, id, vdiskID, chunkIndex, *cmp, failedAddr)
+}
+
+// recoverMirror is the view change for a mirrored chunk.
+func (m *Master) recoverMirror(t0 time.Time, id blockstore.ChunkID,
+	vdiskID, chunkIndex uint32, cm ChunkMeta, failedAddr string) (*ChunkMeta, error) {
 
 	// Step 1: collect versions.
 	states := make([]replicaVersion, len(cm.Replicas))
@@ -216,16 +225,254 @@ func (m *Master) RecoverChunk(vdiskID uint32, chunkIndex uint32, failedAddr stri
 	return &newMeta, nil
 }
 
+// recoverRS is the view change for an RS(N,M) chunk. The replica list is
+// position-keyed — Replicas[0] is the full-chunk primary and Replicas[1+i]
+// holds segment i — so recovery repairs each position in place (or
+// substitutes a fresh server at the same position) and never reorders or
+// shrinks the list.
+//
+// Rebuild sources are chosen for snapshot safety (see
+// chunkserver/segment.go): while a primary holds versionH, a holder rebuild
+// fetches an encoded segment snapshot from it (OpRebuildSegment with
+// Primary set). Only when the primary itself is down or lagging — so no
+// write can commit and the surviving holders are quiescent — do rebuilds
+// decode from N holders directly.
+func (m *Master) recoverRS(t0 time.Time, id blockstore.ChunkID,
+	vdiskID, chunkIndex uint32, cm ChunkMeta, spec redundancy.Spec, failedAddr string) (*ChunkMeta, error) {
+
+	// Step 1: collect versions, position-keyed. Unlike the mirror path, the
+	// reported address is probed like any other replica: the report is the
+	// hint that triggered this recovery, not proof of death — clients also
+	// report on mere RPC timeouts, and evicting an alive RS replica is
+	// expensive (a replaced primary re-decodes 64 MB from the holders). A
+	// "failed" replica that answers at versionH makes the whole recovery a
+	// no-op below instead of a view change.
+	states := make([]replicaVersion, len(cm.Replicas))
+	alive := 0
+	for i, r := range cm.Replicas {
+		states[i] = replicaVersion{addr: r.Addr, ssd: r.SSD}
+		resp, err := m.call(r.Addr, &proto.Message{Op: proto.OpGetVersion, Chunk: id})
+		if err != nil || resp.Status != proto.StatusOK {
+			continue
+		}
+		states[i].version = resp.Version
+		states[i].alive = true
+		alive++
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("master: recover %v: no replica reachable: %w", id, util.ErrNoQuorum)
+	}
+
+	// Stale-report short circuit: every position answered at one consistent
+	// version, so the chunk is whole — whatever prompted the report has
+	// healed, or was a reporter-side timeout. No new view.
+	if alive == len(cm.Replicas) {
+		consistent := true
+		for _, st := range states {
+			if st.version != states[0].version {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			return &cm, nil
+		}
+	}
+
+	// Step 2: versionH and who holds it.
+	var versionH uint64
+	for _, st := range states {
+		if st.alive && st.version > versionH {
+			versionH = st.version
+		}
+	}
+	primaryOK := states[0].alive && states[0].version == versionH
+	var sources []chunkserver.PieceSource
+	for i := 1; i < len(states); i++ {
+		if states[i].alive && states[i].version == versionH {
+			sources = append(sources, chunkserver.PieceSource{Addr: states[i].addr, Piece: i - 1})
+		}
+	}
+	if !primaryOK && len(sources) < spec.N {
+		return nil, fmt.Errorf("master: recover %v: version %d held by %d/%d segments and no primary: %w",
+			id, versionH, len(sources), spec.N, util.ErrNoQuorum)
+	}
+
+	newReplicas := append([]ReplicaInfo(nil), cm.Replicas...)
+	changed := false  // membership changed
+	repaired := false // some replica was rebuilt in place
+
+	// Step 3: restore the primary first so segment rebuilds can snapshot it.
+	if !primaryOK {
+		target := ReplicaInfo{Addr: states[0].addr, SSD: true}
+		haveTarget := states[0].alive // lagging but reachable: rebuild in place
+		if !haveTarget {
+			target, haveTarget = m.pickReplacement(newReplicas, states[0].addr, true)
+		}
+		if haveTarget && m.rsClonePrimary(id, cm, spec, target.Addr, sources, versionH) {
+			if target.Addr != states[0].addr {
+				newReplicas[0] = target
+				changed = true
+			} else {
+				repaired = true
+			}
+			primaryOK = true
+		}
+		// On failure the chunk stays degraded at position 0: clients
+		// reconstruct reads from the holders and the next report retries.
+	}
+	primaryAddr := ""
+	if primaryOK {
+		primaryAddr = newReplicas[0].Addr
+	}
+
+	// Step 4: rebuild dead or lagging segment holders at their positions.
+	for i := 1; i < len(states); i++ {
+		st := states[i]
+		if st.alive && st.version == versionH {
+			continue
+		}
+		if !primaryOK && len(sources) < spec.N {
+			break // nothing left to rebuild from
+		}
+		target := ReplicaInfo{Addr: st.addr, SSD: st.ssd}
+		if !st.alive {
+			var found bool
+			target, found = m.pickReplacement(newReplicas, st.addr, st.ssd)
+			if !found {
+				continue // degraded at this position until servers return
+			}
+		}
+		if !m.rsRebuildSegment(id, cm, spec, i-1, target.Addr, primaryAddr, sources, versionH) {
+			continue // keep the old entry; the next report retries
+		}
+		if target.Addr != st.addr {
+			newReplicas[i] = target
+			changed = true
+		} else {
+			repaired = true
+		}
+	}
+
+	// Step 5: install the new view everywhere — but only if this recovery
+	// made progress. A recovery that could not repair anything (e.g. no
+	// replacement server available) must not bump the view, or dead devices
+	// would drive unbounded view churn.
+	if !changed && !repaired {
+		return &cm, nil
+	}
+	newView := cm.View + 1
+	var backups []string
+	for _, r := range newReplicas[1:] {
+		backups = append(backups, r.Addr)
+	}
+	for i, r := range newReplicas {
+		req := chunkserver.CreateChunkReq{View: newView}
+		if i == 0 {
+			req.Backups = backups
+		} else {
+			req.Backups = []string{} // non-nil: clear stale primary state
+		}
+		payload, _ := json.Marshal(req)
+		_, _ = m.call(r.Addr, &proto.Message{
+			Op:      proto.OpSetView,
+			Chunk:   id,
+			View:    newView,
+			Payload: payload,
+		})
+	}
+
+	newMeta := ChunkMeta{View: newView, Replicas: newReplicas}
+	m.mu.Lock()
+	if vd, okID := m.vdisks[vdiskID]; okID && int(chunkIndex) < len(vd.meta.Chunks) {
+		vd.meta.Chunks[chunkIndex] = newMeta
+	}
+	m.viewChanges++
+	m.mu.Unlock()
+	if reg := m.cfg.Metrics; reg != nil {
+		reg.Counter(MetricChunkRecoveries).Inc()
+		reg.ObserveLatency(MetricRecoveryDuration, m.cfg.Clock.Now().Sub(t0))
+	}
+	return &newMeta, nil
+}
+
+// rsClonePrimary rebuilds a full-chunk primary by decoding N surviving
+// segments. This runs only while no primary holds versionH, so no write can
+// commit and the sources are quiescent at versionH; the far side rejects
+// piece fetches at any other version rather than decode a torn chunk.
+func (m *Master) rsClonePrimary(id blockstore.ChunkID, cm ChunkMeta, spec redundancy.Spec,
+	addr string, sources []chunkserver.PieceSource, versionH uint64) bool {
+
+	if len(sources) < spec.N {
+		return false
+	}
+	create, _ := json.Marshal(chunkserver.CreateChunkReq{View: cm.View, Redundancy: spec})
+	resp, err := m.call(addr, &proto.Message{Op: proto.OpCreateChunk, Chunk: id, Payload: create})
+	if err != nil || (resp.Status != proto.StatusOK && resp.Status != proto.StatusExists) {
+		return false
+	}
+	clone, _ := json.Marshal(chunkserver.CloneChunkReq{Spec: spec, Sources: sources})
+	// Decoding a full chunk moves 64 MB through the fabric: give it the
+	// same headroom as a whole-chunk clone.
+	resp, err = m.callT(addr, &proto.Message{
+		Op:      proto.OpCloneChunk,
+		Chunk:   id,
+		View:    cm.View,
+		Version: versionH,
+		Payload: clone,
+	}, 60*m.cfg.RPCTimeout)
+	return err == nil && resp.Status == proto.StatusOK && resp.Version >= versionH
+}
+
+// rsRebuildSegment (re)creates segment seg on target and rebuilds its
+// content — from the primary's snapshot when one holds versionH, otherwise
+// by decoding from N quiescent holders.
+func (m *Master) rsRebuildSegment(id blockstore.ChunkID, cm ChunkMeta, spec redundancy.Spec,
+	seg int, target, primary string, sources []chunkserver.PieceSource, versionH uint64) bool {
+
+	create, _ := json.Marshal(chunkserver.CreateChunkReq{
+		View: cm.View, Redundancy: spec, Holder: true, Seg: seg,
+	})
+	resp, err := m.call(target, &proto.Message{Op: proto.OpCreateChunk, Chunk: id, Payload: create})
+	if err != nil || (resp.Status != proto.StatusOK && resp.Status != proto.StatusExists) {
+		return false
+	}
+	req := chunkserver.RebuildSegmentReq{Spec: spec, Seg: seg}
+	if primary != "" {
+		req.Primary = primary
+	} else {
+		req.Sources = sources
+	}
+	payload, _ := json.Marshal(req)
+	resp, err = m.callT(target, &proto.Message{
+		Op:      proto.OpRebuildSegment,
+		Chunk:   id,
+		View:    cm.View,
+		Version: versionH,
+		Payload: payload,
+	}, 60*m.cfg.RPCTimeout)
+	return err == nil && resp.Status == proto.StatusOK
+}
+
 // chunkMeta returns a copy of one chunk's current metadata.
 func (m *Master) chunkMeta(vdiskID, chunkIndex uint32) (*ChunkMeta, error) {
+	cm, _, err := m.chunkMetaSpec(vdiskID, chunkIndex)
+	return cm, err
+}
+
+// chunkMetaSpec returns a copy of one chunk's current metadata plus its
+// vdisk's redundancy policy.
+func (m *Master) chunkMetaSpec(vdiskID, chunkIndex uint32) (*ChunkMeta, redundancy.Spec, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	vd, okID := m.vdisks[vdiskID]
 	if !okID || int(chunkIndex) >= len(vd.meta.Chunks) {
-		return nil, fmt.Errorf("master: recover c%d.%d: %w", vdiskID, chunkIndex, util.ErrNotFound)
+		return nil, redundancy.Spec{}, fmt.Errorf("master: recover c%d.%d: %w",
+			vdiskID, chunkIndex, util.ErrNotFound)
 	}
 	cm := vd.meta.Chunks[chunkIndex]
-	return &cm, nil
+	cm.Replicas = append([]ReplicaInfo(nil), cm.Replicas...)
+	return &cm, vd.meta.Redundancy, nil
 }
 
 func replicaInSet(cm ChunkMeta, addr string) bool {
@@ -244,11 +491,49 @@ func replicaInSet(cm ChunkMeta, addr string) bool {
 func (m *Master) allocateReplacement(id blockstore.ChunkID, cm ChunkMeta,
 	dead replicaVersion, source string, versionH uint64) (ReplicaInfo, error) {
 
+	cand, found := m.pickReplacement(cm.Replicas, dead.addr, dead.ssd)
+	if !found {
+		return ReplicaInfo{}, fmt.Errorf("master: no replacement server for %v: %w",
+			id, util.ErrQuota)
+	}
+
+	createPayload, _ := json.Marshal(chunkserver.CreateChunkReq{View: cm.View})
+	resp, err := m.call(cand.Addr, &proto.Message{
+		Op:      proto.OpCreateChunk,
+		Chunk:   id,
+		Payload: createPayload,
+	})
+	if err != nil || (resp.Status != proto.StatusOK && resp.Status != proto.StatusExists) {
+		return ReplicaInfo{}, fmt.Errorf("master: create replacement on %s failed", cand.Addr)
+	}
+	clonePayload, _ := json.Marshal(chunkserver.CloneChunkReq{Source: source})
+	// A whole-chunk clone moves 64 MB through a bandwidth-shaped fabric:
+	// give it far more headroom than a control RPC.
+	resp, err = m.callT(cand.Addr, &proto.Message{
+		Op:      proto.OpCloneChunk,
+		Chunk:   id,
+		View:    cm.View,
+		Payload: clonePayload,
+	}, 60*m.cfg.RPCTimeout)
+	if err != nil || resp.Status != proto.StatusOK {
+		return ReplicaInfo{}, fmt.Errorf("master: clone to %s failed", cand.Addr)
+	}
+	if resp.Version < versionH {
+		return ReplicaInfo{}, fmt.Errorf("master: clone to %s stopped at version %d < %d",
+			cand.Addr, resp.Version, versionH)
+	}
+	return cand, nil
+}
+
+// pickReplacement chooses a fresh server of the requested storage class
+// whose machine hosts none of the chunk's other replicas (deadAddr is the
+// replica being replaced and does not pin its machine).
+func (m *Master) pickReplacement(replicas []ReplicaInfo, deadAddr string, ssd bool) (ReplicaInfo, bool) {
 	m.mu.Lock()
-	// Machines already hosting live replicas are excluded.
+	defer m.mu.Unlock()
 	used := map[string]bool{}
-	for _, r := range cm.Replicas {
-		if r.Addr == dead.addr {
+	for _, r := range replicas {
+		if r.Addr == deadAddr {
 			continue
 		}
 		for _, s := range m.servers {
@@ -257,45 +542,12 @@ func (m *Master) allocateReplacement(id blockstore.ChunkID, cm ChunkMeta,
 			}
 		}
 	}
-	var cand *serverInfo
 	for i := range m.servers {
 		s := &m.servers[i]
-		if s.ssd != dead.ssd || s.addr == dead.addr || used[s.machine] {
+		if s.ssd != ssd || s.addr == deadAddr || used[s.machine] {
 			continue
 		}
-		cand = s
-		break
+		return ReplicaInfo{Addr: s.addr, SSD: s.ssd}, true
 	}
-	m.mu.Unlock()
-	if cand == nil {
-		return ReplicaInfo{}, fmt.Errorf("master: no replacement server for %v: %w",
-			id, util.ErrQuota)
-	}
-
-	createPayload, _ := json.Marshal(chunkserver.CreateChunkReq{View: cm.View})
-	resp, err := m.call(cand.addr, &proto.Message{
-		Op:      proto.OpCreateChunk,
-		Chunk:   id,
-		Payload: createPayload,
-	})
-	if err != nil || (resp.Status != proto.StatusOK && resp.Status != proto.StatusExists) {
-		return ReplicaInfo{}, fmt.Errorf("master: create replacement on %s failed", cand.addr)
-	}
-	clonePayload, _ := json.Marshal(chunkserver.CloneChunkReq{Source: source})
-	// A whole-chunk clone moves 64 MB through a bandwidth-shaped fabric:
-	// give it far more headroom than a control RPC.
-	resp, err = m.callT(cand.addr, &proto.Message{
-		Op:      proto.OpCloneChunk,
-		Chunk:   id,
-		View:    cm.View,
-		Payload: clonePayload,
-	}, 60*m.cfg.RPCTimeout)
-	if err != nil || resp.Status != proto.StatusOK {
-		return ReplicaInfo{}, fmt.Errorf("master: clone to %s failed", cand.addr)
-	}
-	if resp.Version < versionH {
-		return ReplicaInfo{}, fmt.Errorf("master: clone to %s stopped at version %d < %d",
-			cand.addr, resp.Version, versionH)
-	}
-	return ReplicaInfo{Addr: cand.addr, SSD: cand.ssd}, nil
+	return ReplicaInfo{}, false
 }

@@ -4,7 +4,11 @@
 // through view changes (§4.2.2). The master stays off the normal I/O path.
 package master
 
-import "time"
+import (
+	"time"
+
+	"ursa/internal/redundancy"
+)
 
 // ReplicaInfo locates one replica of a chunk.
 type ReplicaInfo struct {
@@ -38,6 +42,11 @@ type VDiskMeta struct {
 	// bytes/second (0 = unlimited): aggressive clients are throttled
 	// before journals exhaust their quotas (§3.2).
 	WriteRateLimit float64 `json:"writeRateLimit"`
+	// Redundancy is the vdisk's backup-tier policy. The zero value is
+	// mirroring; RS(N,M) chunks keep a full primary replica and spread
+	// N data + M parity segments across Replicas[1:], position-keyed:
+	// Replicas[1+i] holds segment i.
+	Redundancy redundancy.Spec `json:"redundancy,omitempty"`
 }
 
 // Clone deep-copies the metadata. Handlers must hand clones to anything
@@ -61,6 +70,8 @@ type CreateVDiskReq struct {
 	StripeUnit  int64  `json:"stripeUnit,omitempty"`
 	// Replication overrides the cluster default (3) when non-zero.
 	Replication int `json:"replication,omitempty"`
+	// Redundancy selects the backup-tier policy (zero value: mirroring).
+	Redundancy redundancy.Spec `json:"redundancy,omitempty"`
 }
 
 // OpenVDiskReq is the payload of MOpOpenVDisk; Client identifies the lease

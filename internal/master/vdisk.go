@@ -8,6 +8,7 @@ import (
 	"ursa/internal/blockstore"
 	"ursa/internal/chunkserver"
 	"ursa/internal/proto"
+	"ursa/internal/redundancy"
 	"ursa/internal/util"
 )
 
@@ -58,6 +59,9 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 	if repl <= 0 {
 		repl = m.cfg.Replication
 	}
+	if err := req.Redundancy.Validate(); err != nil {
+		return nil, fmt.Errorf("master: vdisk %q: %w", req.Name, err)
+	}
 	nchunks := int(util.CeilDiv(req.Size, util.ChunkSize))
 	// Round chunk count up to a whole number of stripe groups so the
 	// striping arithmetic never runs off the end.
@@ -75,7 +79,7 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 	chunks := make([]ChunkMeta, nchunks)
 	var placeErr error
 	for i := range chunks {
-		chunks[i], placeErr = m.placeChunkLocked(repl)
+		chunks[i], placeErr = m.placeChunkLocked(repl, req.Redundancy)
 		if placeErr != nil {
 			m.mu.Unlock()
 			return nil, placeErr
@@ -90,6 +94,7 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 		Chunks:         chunks,
 		LeaseTTL:       m.cfg.LeaseTTL,
 		WriteRateLimit: m.cfg.WriteRateLimit,
+		Redundancy:     req.Redundancy,
 	}
 	m.vdisks[id] = &vdisk{meta: meta}
 	m.byName[req.Name] = id
@@ -97,7 +102,7 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 
 	// Create replicas on the servers (outside the lock: RPC fan-out).
 	for i, cm := range chunks {
-		if err := m.createChunkReplicas(blockstore.MakeChunkID(id, uint32(i)), cm); err != nil {
+		if err := m.createChunkReplicas(blockstore.MakeChunkID(id, uint32(i)), cm, req.Redundancy); err != nil {
 			m.deleteVDiskByID(id) // best-effort cleanup
 			return nil, err
 		}
@@ -106,10 +111,13 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 	return &out, nil
 }
 
-// placeChunkLocked picks repl replicas: first an SSD server (the preferred
-// primary), then backups on HDD servers (hybrid mode) or SSD servers
-// (SSD-only mode), all on distinct machines.
-func (m *Master) placeChunkLocked(repl int) (ChunkMeta, error) {
+// placeChunkLocked picks the chunk's replica set: first an SSD server (the
+// preferred primary), then backups on HDD servers (hybrid mode) or SSD
+// servers (SSD-only mode), all on distinct machines. Mirroring places
+// repl-1 backups; RS(N,M) places N+M segment holders, position-keyed by
+// their list index.
+func (m *Master) placeChunkLocked(repl int, spec redundancy.Spec) (ChunkMeta, error) {
+	repl = 1 + spec.BackupCount(repl)
 	var ssds, backupsPool []serverInfo
 	for _, s := range m.servers {
 		if s.ssd {
@@ -151,14 +159,18 @@ func (m *Master) placeChunkLocked(repl int) (ChunkMeta, error) {
 }
 
 // createChunkReplicas issues OpCreateChunk to every replica; the primary
-// learns its backup list.
-func (m *Master) createChunkReplicas(id blockstore.ChunkID, cm ChunkMeta) error {
+// learns its backup list, and RS segment holders learn which segment of
+// the chunk their (smaller) slot stores.
+func (m *Master) createChunkReplicas(id blockstore.ChunkID, cm ChunkMeta, spec redundancy.Spec) error {
 	for i, r := range cm.Replicas {
-		req := chunkserver.CreateChunkReq{View: cm.View}
+		req := chunkserver.CreateChunkReq{View: cm.View, Redundancy: spec}
 		if i == 0 {
 			for _, b := range cm.Replicas[1:] {
 				req.Backups = append(req.Backups, b.Addr)
 			}
+		} else if spec.IsRS() {
+			req.Holder = true
+			req.Seg = i - 1
 		}
 		payload, err := json.Marshal(req)
 		if err != nil {

@@ -59,11 +59,11 @@ func TestValidName(t *testing.T) {
 		{"crc32c", true},
 		{"p99", true},
 		{"", false},
-		{"Chunk-Recoveries", false}, // mixed case
-		{"chunk_recoveries", false}, // snake_case
-		{"chunk.recoveries", false}, // dotted
-		{"-chunk", false},           // leading dash
-		{"chunk-", false},           // trailing dash
+		{"Chunk-Recoveries", false},  // mixed case
+		{"chunk_recoveries", false},  // snake_case
+		{"chunk.recoveries", false},  // dotted
+		{"-chunk", false},            // leading dash
+		{"chunk-", false},            // trailing dash
 		{"chunk--recoveries", false}, // doubled dash
 		{"chunk recoveries", false},  // space
 	}

@@ -67,6 +67,25 @@ const (
 	// a source replica (falling back to a full clone when the source's
 	// journal-lite history is gone, §4.2.1).
 	OpRepairFrom
+	// OpRebuildSegment tells an RS segment holder to rebuild its segment
+	// by decoding same-offset stripes fetched from N surviving holders
+	// (or, failing that, by copying its piece from the primary).
+	OpRebuildSegment
+	// OpFetchSegment asks a chunk primary for piece Seg of an RS stripe:
+	// data pieces are read from the local full chunk, parity pieces are
+	// encoded on the fly.
+	OpFetchSegment
+)
+
+// Flag bits qualifying how a replicate payload is applied.
+const (
+	// FlagXorApply marks an RS parity delta: the holder XORs the payload
+	// into its current contents instead of overwriting.
+	FlagXorApply uint8 = 1 << iota
+	// FlagVersionBump marks an empty replicate that only advances the
+	// holder's version (its segment is untouched by the write, but all
+	// holders stay in version lockstep).
+	FlagVersionBump
 )
 
 // Master operations (JSON payloads; off the hot path).
@@ -149,7 +168,12 @@ type Message struct {
 	// Budget is the op's remaining deadline budget at send time (0 = no
 	// deadline). Receivers re-anchor it on their own clock and bound every
 	// wait they perform on the op's behalf by it.
-	Budget  time.Duration
+	Budget time.Duration
+	// Flags qualifies replicate application (Flag* bits).
+	Flags uint8
+	// Seg is the RS piece index this message concerns (segment rebuilds
+	// and fetches); zero elsewhere.
+	Seg     uint16
 	Payload []byte
 }
 
@@ -158,14 +182,16 @@ type Message struct {
 //	0  ID       uint64
 //	8  Op       uint8
 //	9  Status   uint8
-//	10 _        uint16 (pad)
+//	10 Flags    uint8
+//	11 _        uint8 (pad)
 //	12 Length   uint32
 //	16 Chunk    uint64
 //	24 Off      int64
 //	32 View     uint64
 //	40 Version  uint64
 //	48 PayloadN uint32
-//	52 _        uint32 (pad)
+//	52 Seg      uint16
+//	54 _        uint16 (pad)
 //	56 OpID     uint64
 //	64 Budget   int64 (nanoseconds of remaining deadline; 0 = none)
 const HeaderSize = 72
@@ -180,14 +206,15 @@ func (m *Message) EncodeHeader(buf []byte) {
 	binary.LittleEndian.PutUint64(buf[0:], m.ID)
 	buf[8] = byte(m.Op)
 	buf[9] = byte(m.Status)
-	buf[10], buf[11] = 0, 0
+	buf[10], buf[11] = m.Flags, 0
 	binary.LittleEndian.PutUint32(buf[12:], m.Length)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(m.Chunk))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(m.Off))
 	binary.LittleEndian.PutUint64(buf[32:], m.View)
 	binary.LittleEndian.PutUint64(buf[40:], m.Version)
 	binary.LittleEndian.PutUint32(buf[48:], uint32(len(m.Payload)))
-	binary.LittleEndian.PutUint32(buf[52:], 0)
+	binary.LittleEndian.PutUint16(buf[52:], m.Seg)
+	binary.LittleEndian.PutUint16(buf[54:], 0)
 	binary.LittleEndian.PutUint64(buf[56:], m.OpID)
 	binary.LittleEndian.PutUint64(buf[64:], uint64(m.Budget))
 }
@@ -201,6 +228,7 @@ func (m *Message) DecodeHeader(buf []byte) (payloadLen int, err error) {
 	m.ID = binary.LittleEndian.Uint64(buf[0:])
 	m.Op = Op(buf[8])
 	m.Status = Status(buf[9])
+	m.Flags = buf[10]
 	m.Length = binary.LittleEndian.Uint32(buf[12:])
 	m.Chunk = blockstore.ChunkID(binary.LittleEndian.Uint64(buf[16:]))
 	m.Off = int64(binary.LittleEndian.Uint64(buf[24:]))
@@ -210,6 +238,7 @@ func (m *Message) DecodeHeader(buf []byte) (payloadLen int, err error) {
 	if n > MaxPayload {
 		return 0, fmt.Errorf("proto: payload %d exceeds limit", n)
 	}
+	m.Seg = binary.LittleEndian.Uint16(buf[52:])
 	m.OpID = binary.LittleEndian.Uint64(buf[56:])
 	m.Budget = time.Duration(binary.LittleEndian.Uint64(buf[64:]))
 	return int(n), nil
@@ -275,6 +304,7 @@ func (m *Message) Reply(status Status) *Message {
 		View:    m.View,
 		Version: m.Version,
 		OpID:    m.OpID,
+		Seg:     m.Seg,
 	}
 }
 

@@ -21,6 +21,8 @@ func TestMessageRoundTrip(t *testing.T) {
 		Version: 99,
 		OpID:    77,
 		Budget:  250 * time.Millisecond,
+		Flags:   FlagXorApply | FlagVersionBump,
+		Seg:     5,
 		Payload: []byte("hello block storage"),
 	}
 	var buf bytes.Buffer
@@ -38,6 +40,7 @@ func TestMessageRoundTrip(t *testing.T) {
 		got.Chunk != m.Chunk || got.Off != m.Off || got.Length != m.Length ||
 		got.View != m.View || got.Version != m.Version ||
 		got.OpID != m.OpID || got.Budget != m.Budget ||
+		got.Flags != m.Flags || got.Seg != m.Seg ||
 		!bytes.Equal(got.Payload, m.Payload) {
 		t.Errorf("round trip mismatch: %+v != %+v", got, m)
 	}
@@ -60,7 +63,8 @@ func TestMessageEmptyPayload(t *testing.T) {
 
 func TestMessagePropertyRoundTrip(t *testing.T) {
 	f := func(id uint64, op, status uint8, chunk uint64, off int64,
-		length uint32, view, version, opID uint64, budget int64, payload []byte) bool {
+		length uint32, view, version, opID uint64, budget int64,
+		flags uint8, seg uint16, payload []byte) bool {
 		if len(payload) > 1024 {
 			payload = payload[:1024]
 		}
@@ -68,7 +72,8 @@ func TestMessagePropertyRoundTrip(t *testing.T) {
 			ID: id, Op: Op(op), Status: Status(status),
 			Chunk: blockstore.ChunkID(chunk), Off: off, Length: length,
 			View: view, Version: version,
-			OpID: opID, Budget: time.Duration(budget), Payload: payload,
+			OpID: opID, Budget: time.Duration(budget),
+			Flags: flags, Seg: seg, Payload: payload,
 		}
 		var buf bytes.Buffer
 		if err := m.Encode(&buf); err != nil {
@@ -82,7 +87,8 @@ func TestMessagePropertyRoundTrip(t *testing.T) {
 			got.Chunk == m.Chunk && got.Off == m.Off &&
 			got.Length == m.Length && got.View == m.View &&
 			got.Version == m.Version && got.OpID == m.OpID &&
-			got.Budget == m.Budget && bytes.Equal(got.Payload, m.Payload)
+			got.Budget == m.Budget && got.Flags == m.Flags &&
+			got.Seg == m.Seg && bytes.Equal(got.Payload, m.Payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -1,0 +1,103 @@
+// Package redundancy defines how a chunk's backup tier is laid out and
+// encoded. The backup strategy was historically hardwired to full mirrored
+// replicas; this package turns it into a pluggable policy with two
+// implementations: Mirror (byte-for-byte copies, today's behavior) and
+// RS(N,M) Reed-Solomon coding, which splits each 64 MB chunk into N data
+// segments plus M parity segments on distinct backup machines and survives
+// any M segment losses at (N+M)/N× storage instead of M+1×.
+//
+// The arithmetic lives in GF(2^8) with the usual polynomial 0x11d, the
+// field every production erasure coder uses: bytes are field elements,
+// addition is XOR, and multiplication goes through log/exp tables.
+package redundancy
+
+// gfPoly is the irreducible polynomial x^8+x^4+x^3+x^2+1 (0x11d).
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // gfExp[i] = g^i, doubled so Mul needs no mod 255
+	gfLog [256]byte // gfLog[x] = i with g^i = x; gfLog[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a (a must be nonzero).
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("redundancy: inverse of zero")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfDiv returns a/b (b must be nonzero).
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("redundancy: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfMulAdd computes dst[i] ^= c*src[i] — the accumulate step of every
+// encode, decode, and parity-delta computation. c==0 is a no-op; c==1 is a
+// plain XOR, peeled off because data coefficients are often 1.
+func gfMulAdd(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	lc := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[s])]
+		}
+	}
+}
+
+// gfMulAddDelta computes dst[i] ^= c*(a[i]^b[i]) — the parity-delta step
+// of a partial-stripe update, fused so no intermediate buffer is needed.
+func gfMulAddDelta(dst, a, b []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range a {
+			dst[i] ^= a[i] ^ b[i]
+		}
+		return
+	}
+	lc := int(gfLog[c])
+	for i := range a {
+		if d := a[i] ^ b[i]; d != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[d])]
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package redundancy
+
+import "fmt"
+
+// Code is a systematic Reed-Solomon code over GF(2^8) with n data pieces
+// and m parity pieces. Piece indices 0..n-1 are data, n..n+m-1 are parity.
+// The parity rows come from a Cauchy matrix, whose defining property —
+// every square submatrix is invertible — guarantees that ANY n of the n+m
+// pieces reconstruct the originals.
+type Code struct {
+	n, m   int
+	parity [][]byte // m rows × n cols: parity_j = Σ_i parity[j][i]·data_i
+}
+
+// NewCode builds the RS(n,m) code. n+m must stay within the field
+// (n+m <= 255) and both counts must be positive.
+func NewCode(n, m int) (*Code, error) {
+	if n < 1 || m < 1 || n+m > 255 {
+		return nil, fmt.Errorf("redundancy: invalid RS(%d,%d)", n, m)
+	}
+	// Cauchy matrix C[j][i] = 1/(x_j + y_i) with x_j = n+j, y_i = i.
+	// The two index sets are disjoint, so x_j + y_i (XOR) is never zero.
+	c := &Code{n: n, m: m, parity: make([][]byte, m)}
+	for j := 0; j < m; j++ {
+		row := make([]byte, n)
+		for i := 0; i < n; i++ {
+			row[i] = gfInv(byte(n+j) ^ byte(i))
+		}
+		c.parity[j] = row
+	}
+	return c, nil
+}
+
+// DataPieces returns n; ParityPieces returns m.
+func (c *Code) DataPieces() int   { return c.n }
+func (c *Code) ParityPieces() int { return c.m }
+
+// ParityCoeff returns the encoding coefficient of data piece i in parity
+// piece j — the scalar a primary multiplies a data delta by before XORing
+// it into parity j during a partial-stripe update.
+func (c *Code) ParityCoeff(j, i int) byte { return c.parity[j][i] }
+
+// EncodeParity computes parity piece j over equal-length data slices into
+// dst (dst is zeroed first; len(dst) must equal the data piece length).
+func (c *Code) EncodeParity(j int, data [][]byte, dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < c.n; i++ {
+		gfMulAdd(dst, data[i], c.parity[j][i])
+	}
+}
+
+// pieceRow returns the generator row of piece idx over the data pieces:
+// identity for a data piece, the Cauchy row for a parity piece.
+func (c *Code) pieceRow(idx int) []byte {
+	row := make([]byte, c.n)
+	if idx < c.n {
+		row[idx] = 1
+	} else {
+		copy(row, c.parity[idx-c.n])
+	}
+	return row
+}
+
+// Reconstruct rebuilds piece `want` from any n surviving pieces, given as a
+// map from piece index to its bytes (all the same length; exactly the first
+// n entries in ascending index order are used). dst receives the result and
+// must have the piece length. Returns an error when fewer than n pieces are
+// available.
+func (c *Code) Reconstruct(avail map[int][]byte, want int, dst []byte) error {
+	// Pick n available pieces in ascending index order (determinism).
+	idxs := make([]int, 0, c.n)
+	for i := 0; i < c.n+c.m && len(idxs) < c.n; i++ {
+		if _, ok := avail[i]; ok {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) < c.n {
+		return fmt.Errorf("redundancy: %d pieces available, need %d", len(idxs), c.n)
+	}
+
+	// Fast path: the wanted piece survived.
+	if buf, ok := avail[want]; ok {
+		copy(dst, buf)
+		return nil
+	}
+
+	// Invert the n×n matrix mapping data pieces to the chosen survivors;
+	// row k of the inverse then expresses data piece k as a combination of
+	// the survivors.
+	mat := make([][]byte, c.n)
+	inv := make([][]byte, c.n)
+	for r, idx := range idxs {
+		mat[r] = c.pieceRow(idx)
+		inv[r] = make([]byte, c.n)
+		inv[r][r] = 1
+	}
+	if err := gaussInvert(mat, inv); err != nil {
+		return err
+	}
+
+	// Compose the row for `want` over the survivors: wantRow (over data) ×
+	// inverse (data over survivors) = coefficients over survivors.
+	wantRow := c.pieceRow(want)
+	coeff := make([]byte, c.n)
+	for s := 0; s < c.n; s++ {
+		var acc byte
+		for k := 0; k < c.n; k++ {
+			acc ^= gfMul(wantRow[k], inv[k][s])
+		}
+		coeff[s] = acc
+	}
+
+	for i := range dst {
+		dst[i] = 0
+	}
+	for s, idx := range idxs {
+		gfMulAdd(dst, avail[idx], coeff[s])
+	}
+	return nil
+}
+
+// gaussInvert performs in-place Gauss-Jordan elimination on mat, applying
+// the same row operations to inv, which therefore becomes mat's inverse.
+func gaussInvert(mat, inv [][]byte) error {
+	n := len(mat)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if mat[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return fmt.Errorf("redundancy: singular matrix at column %d", col)
+		}
+		mat[col], mat[pivot] = mat[pivot], mat[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := mat[col][col]; p != 1 {
+			pi := gfInv(p)
+			for i := 0; i < n; i++ {
+				mat[col][i] = gfMul(mat[col][i], pi)
+				inv[col][i] = gfMul(inv[col][i], pi)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || mat[r][col] == 0 {
+				continue
+			}
+			f := mat[r][col]
+			for i := 0; i < n; i++ {
+				mat[r][i] ^= gfMul(f, mat[col][i])
+				inv[r][i] ^= gfMul(f, inv[col][i])
+			}
+		}
+	}
+	return nil
+}

@@ -54,6 +54,10 @@ type Target interface {
 	// mismatch wraps util.ErrCorrupt (the target has already reported it
 	// for repair); a chunk deleted mid-scrub wraps util.ErrNotFound.
 	ScrubRange(id blockstore.ChunkID, off int64, n int) error
+	// ScrubSpan returns the chunk's local slot size — a full chunk, or one
+	// segment on an RS segment holder — bounding the sweep; 0 when the
+	// chunk is gone.
+	ScrubSpan(id blockstore.ChunkID) int64
 	// ScrubBusy reports whether the target's data disk is serving
 	// foreground I/O right now.
 	ScrubBusy() bool
@@ -197,14 +201,19 @@ func (s *Scrubber) run() {
 // scrubChunk verifies one chunk probe by probe. Returns false when the
 // scrubber is closing.
 func (s *Scrubber) scrubChunk(ti int, tgt Target, id blockstore.ChunkID, lastBusy []time.Time) bool {
-	for off := int64(0); off < util.ChunkSize; off += int64(s.cfg.ReadSize) {
+	span := tgt.ScrubSpan(id)
+	for off := int64(0); off < span; off += int64(s.cfg.ReadSize) {
 		if !s.waitIdle(ti, tgt, lastBusy) {
 			return false
 		}
-		err := tgt.ScrubRange(id, off, s.cfg.ReadSize)
+		n := s.cfg.ReadSize
+		if rem := span - off; rem < int64(n) {
+			n = int(rem)
+		}
+		err := tgt.ScrubRange(id, off, n)
 		switch {
 		case err == nil:
-			s.bytes.Add(int64(s.cfg.ReadSize))
+			s.bytes.Add(int64(n))
 		case errors.Is(err, util.ErrNotFound):
 			// Deleted mid-scrub; nothing to verify or repair.
 			return true
@@ -218,7 +227,7 @@ func (s *Scrubber) scrubChunk(ti int, tgt Target, id blockstore.ChunkID, lastBus
 			s.readErrors.Inc()
 			return true
 		}
-		if !s.pace(s.cfg.ReadSize) {
+		if !s.pace(n) {
 			return false
 		}
 	}

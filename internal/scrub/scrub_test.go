@@ -41,6 +41,8 @@ func (f *fakeTarget) ScrubChunks() []blockstore.ChunkID {
 
 func (f *fakeTarget) ScrubBusy() bool { return f.busy.Load() }
 
+func (f *fakeTarget) ScrubSpan(id blockstore.ChunkID) int64 { return util.ChunkSize }
+
 func (f *fakeTarget) ScrubRange(id blockstore.ChunkID, off int64, n int) error {
 	f.probes.Add(1)
 	f.mu.Lock()

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/opctx"
+	"ursa/internal/proto"
+	"ursa/internal/util"
+)
+
+// Peers is a cached pool of RPC clients keyed by address, extracted from
+// the identical dial/call/evict logic the chunk server's backup fan-out,
+// the master's recovery pushes, and the client library each grew on their
+// own. Connections are dialed on demand and reused across calls; a call
+// that fails with a transport-level fault evicts the cached client so the
+// next call redials, while a timeout or cancellation keeps it (the
+// connection is healthy — the budget just ran out).
+type Peers struct {
+	dial Dialer
+	clk  clock.Clock
+
+	mu sync.Mutex
+	m  map[string]*Client
+}
+
+// NewPeers returns an empty pool dialing through d.
+func NewPeers(d Dialer, clk clock.Clock) *Peers {
+	return &Peers{dial: d, clk: clk, m: make(map[string]*Client)}
+}
+
+// Get returns the cached client for addr, dialing if absent. Concurrent
+// callers racing on a cold address may both dial; the loser's connection
+// is closed.
+func (p *Peers) Get(addr string) (*Client, error) {
+	p.mu.Lock()
+	c := p.m[addr]
+	p.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	conn, err := p.dial.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	nc := NewClient(conn, p.clk)
+	p.mu.Lock()
+	if cur := p.m[addr]; cur != nil {
+		p.mu.Unlock()
+		nc.Close()
+		return cur, nil
+	}
+	p.m[addr] = nc
+	p.mu.Unlock()
+	return nc, nil
+}
+
+// Drop evicts c from the pool (if still cached under addr) and closes it.
+func (p *Peers) Drop(addr string, c *Client) {
+	p.mu.Lock()
+	if p.m[addr] == c {
+		delete(p.m, addr)
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// evictable reports whether an error means the cached connection itself is
+// suspect. Timeouts and cancellations are budget exhaustion, not transport
+// faults: the connection stays cached.
+func evictable(err error) bool {
+	return !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled)
+}
+
+// Do sends m to addr on behalf of op, bounded by the op's budget and cap,
+// evicting the cached connection on transport faults.
+func (p *Peers) Do(op *opctx.Op, addr string, m *proto.Message, cap time.Duration) (*proto.Message, error) {
+	c, err := p.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(op, m, cap)
+	if err != nil && evictable(err) {
+		p.Drop(addr, c)
+	}
+	return resp, err
+}
+
+// Call is Do with a single-purpose op of the given timeout.
+func (p *Peers) Call(addr string, m *proto.Message, timeout time.Duration) (*proto.Message, error) {
+	return p.Do(opctx.New(p.clk, timeout), addr, m, 0)
+}
+
+// CloseAll closes every cached connection and empties the pool.
+func (p *Peers) CloseAll() {
+	p.mu.Lock()
+	conns := make([]*Client, 0, len(p.m))
+	for _, c := range p.m {
+		conns = append(conns, c)
+	}
+	p.m = make(map[string]*Client)
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// cached reports whether addr currently has a pooled client (tests).
+func (p *Peers) cached(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.m[addr] != nil
+}

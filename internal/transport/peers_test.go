@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/proto"
+	"ursa/internal/util"
+)
+
+// peersFixture serves an echo handler (with a deliberately slow OpRead) on
+// "server" and returns a pool dialing from "caller".
+func peersFixture(t *testing.T) (*SimNet, *Peers) {
+	t.Helper()
+	net := NewSimNet(clock.Realtime, 0)
+	l, err := net.Listen("server", NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, func(m *proto.Message) *proto.Message {
+		if m.Op == proto.OpRead {
+			time.Sleep(100 * time.Millisecond)
+		}
+		return m.Reply(proto.StatusOK)
+	})
+	p := NewPeers(net.Dialer("caller", NodeConfig{}), clock.Realtime)
+	t.Cleanup(func() {
+		p.CloseAll()
+		srv.Close()
+	})
+	return net, p
+}
+
+func TestPeersReusesConnection(t *testing.T) {
+	_, p := peersFixture(t)
+	c1, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("second Get dialed a fresh connection")
+	}
+	if resp, err := p.Call("server", &proto.Message{Op: proto.OpNop}, time.Second); err != nil || resp.Status != proto.StatusOK {
+		t.Fatalf("Call = %+v, %v", resp, err)
+	}
+}
+
+func TestPeersDialFailure(t *testing.T) {
+	_, p := peersFixture(t)
+	if _, err := p.Call("nowhere", &proto.Message{Op: proto.OpNop}, time.Second); err == nil {
+		t.Fatal("call to unknown address succeeded")
+	}
+}
+
+// TestPeersTimeoutKeepsConnection: a budget timeout is not a transport
+// fault — the pooled connection must survive and serve the next call.
+func TestPeersTimeoutKeepsConnection(t *testing.T) {
+	_, p := peersFixture(t)
+	before, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Call("server", &proto.Message{Op: proto.OpRead}, 10*time.Millisecond)
+	if !errors.Is(err, util.ErrTimeout) {
+		t.Fatalf("slow call: %v", err)
+	}
+	if !p.cached("server") {
+		t.Fatal("timeout evicted the connection")
+	}
+	after, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Error("connection was replaced after a mere timeout")
+	}
+}
+
+// TestPeersFaultEvictsAndRedials: a crashed peer fails the call, evicts
+// the cached client, and a later call transparently redials once the peer
+// is back.
+func TestPeersFaultEvictsAndRedials(t *testing.T) {
+	net, p := peersFixture(t)
+	if _, err := p.Call("server", &proto.Message{Op: proto.OpNop}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash("server")
+	if _, err := p.Call("server", &proto.Message{Op: proto.OpNop}, 50*time.Millisecond); err == nil {
+		t.Fatal("call to crashed peer succeeded")
+	}
+	if p.cached("server") {
+		t.Fatal("transport fault did not evict the connection")
+	}
+	net.Restart("server")
+	if resp, err := p.Call("server", &proto.Message{Op: proto.OpNop}, time.Second); err != nil || resp.Status != proto.StatusOK {
+		t.Fatalf("post-restart call = %+v, %v", resp, err)
+	}
+}
+
+func TestPeersCloseAll(t *testing.T) {
+	_, p := peersFixture(t)
+	if _, err := p.Get("server"); err != nil {
+		t.Fatal(err)
+	}
+	p.CloseAll()
+	if p.cached("server") {
+		t.Fatal("CloseAll left a cached connection")
+	}
+	// The pool remains usable after CloseAll.
+	if _, err := p.Call("server", &proto.Message{Op: proto.OpNop}, time.Second); err != nil {
+		t.Fatalf("call after CloseAll: %v", err)
+	}
+}
