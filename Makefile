@@ -2,7 +2,7 @@
 # the race detector (the RPC/replication paths are goroutine-heavy).
 GO ?= go
 
-.PHONY: build test race vet lint check bench-quick bench-smoke chaos-smoke scrub-smoke ec-smoke
+.PHONY: build test race vet lint check bench-quick bench-smoke chaos-smoke scrub-smoke ec-smoke perf-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping"; fi
 
-check: vet lint build test race chaos-smoke scrub-smoke ec-smoke bench-smoke
+check: vet lint build test race chaos-smoke scrub-smoke ec-smoke perf-smoke bench-smoke
 
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
@@ -39,6 +39,13 @@ bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig recovery -quick
 	$(GO) run ./cmd/ursa-bench -fig scrub -quick
 	$(GO) run ./cmd/ursa-bench -fig ec -quick
+
+# Hot-path allocation regression gate: runs the steady-state micro
+# benchmarks (read+verify, write+stamp, pooled decode) and fails if any
+# loop's allocs/op or B/op exceeds the checked-in ceiling in
+# internal/bench/testdata/perf_baseline.json (currently 0 allocs/op).
+perf-smoke:
+	$(GO) test ./internal/bench -run TestPerfSmoke -count=1 -v
 
 # Deterministic chaos acceptance run (fixed seed, scripted schedule, ~2s):
 # every SSD journal in the cluster dies mid-workload and the client must

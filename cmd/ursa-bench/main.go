@@ -7,13 +7,19 @@
 //	ursa-bench -list
 //	ursa-bench -fig 6a
 //	ursa-bench -all [-quick] [-seed N]
+//	ursa-bench -fig ceiling -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	ursa-bench -fig ceiling -pprof :6060   # live net/http/pprof listener
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"ursa/internal/bench"
@@ -21,11 +27,14 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure/table id to run (1, 2, t1, 6a..16)")
-		all   = flag.Bool("all", false, "run every figure and table")
-		list  = flag.Bool("list", false, "list available figures")
-		quick = flag.Bool("quick", false, "reduced op counts")
-		seed  = flag.Uint64("seed", 42, "randomness seed")
+		fig        = flag.String("fig", "", "figure/table id to run (1, 2, t1, 6a..16)")
+		all        = flag.Bool("all", false, "run every figure and table")
+		list       = flag.Bool("list", false, "list available figures")
+		quick      = flag.Bool("quick", false, "reduced op counts")
+		seed       = flag.Uint64("seed", 42, "randomness seed")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the run's duration")
 	)
 	flag.Parse()
 
@@ -36,6 +45,43 @@ func main() {
 		}
 		return
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	run := func(e bench.Entry) {
 		start := time.Now()

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
@@ -211,6 +212,7 @@ func (o *OSD) relay(m *proto.Message, req *wireMsg) error {
 				return
 			}
 			r, err := decode(resp.Payload)
+			bufpool.Put(resp.Payload)
 			if err != nil || r.Status != "ok" {
 				errs <- fmt.Errorf("cephlike: replica nack")
 				return

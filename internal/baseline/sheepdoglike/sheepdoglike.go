@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/proto"
 	"ursa/internal/simdisk"
@@ -289,6 +290,7 @@ func (v *Volume) ReadAt(p []byte, off int64) error {
 			return fmt.Errorf("sheepdoglike: read failed: %s", resp.Status)
 		}
 		copy(buf, resp.Payload)
+		bufpool.Put(resp.Payload)
 		return nil
 	})
 }

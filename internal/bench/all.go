@@ -29,6 +29,7 @@ func All() []Entry {
 		{"15", Fig15},
 		{"16", Fig16},
 		{"journal", FigJournal},
+		{"ceiling", FigCeiling},
 		{"hotchunk", FigHotchunk},
 		{"recovery", FigRecovery},
 		{"scrub", FigScrub},

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// perfBaseline mirrors testdata/perf_baseline.json: hard per-iteration
+// allocation ceilings for the steady-state hot-path loops.
+type perfBaseline struct {
+	Loops map[string]struct {
+		AllocsPerOp int64 `json:"allocs_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+	} `json:"loops"`
+}
+
+// TestPerfSmoke is the allocation regression gate behind `make perf-smoke`:
+// it runs the ceiling figure's steady-state micro-benchmarks (blockstore
+// read+verify, write+stamp, pooled proto decode) and fails if any loop
+// allocates more than the checked-in baseline permits. The baseline pins
+// the hot path at 0 allocs/op — any regression that reintroduces a
+// per-I/O allocation fails here before it reaches a full bench run.
+func TestPerfSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime distorts allocation accounting; gate runs race-free via make perf-smoke")
+	}
+	raw, err := os.ReadFile("testdata/perf_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base perfBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+
+	micros := ceilingMicros()
+	if len(micros) == 0 {
+		t.Fatal("ceilingMicros returned nothing")
+	}
+	seen := make(map[string]bool)
+	for _, m := range micros {
+		seen[m.Name] = true
+		want, ok := base.Loops[m.Name]
+		if !ok {
+			t.Errorf("%s: no baseline entry — add one to testdata/perf_baseline.json", m.Name)
+			continue
+		}
+		t.Logf("%s: %.0f ns/op, %d allocs/op, %d B/op (ceiling %d allocs, %d B)",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp,
+			want.AllocsPerOp, want.BytesPerOp)
+		if m.AllocsPerOp > want.AllocsPerOp {
+			t.Errorf("%s: %d allocs/op exceeds baseline %d",
+				m.Name, m.AllocsPerOp, want.AllocsPerOp)
+		}
+		if m.BytesPerOp > want.BytesPerOp {
+			t.Errorf("%s: %d B/op exceeds baseline %d",
+				m.Name, m.BytesPerOp, want.BytesPerOp)
+		}
+	}
+	for name := range base.Loops {
+		if !seen[name] {
+			t.Errorf("baseline loop %s no longer measured", name)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose shadow-memory bookkeeping distorts per-op allocation accounting.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package blockstore
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ursa/internal/util"
 )
@@ -13,6 +14,24 @@ const chunkSectors = util.ChunkSize / util.SectorSize
 // zeroSectorCRC is the CRC-32C of an all-zero sector: the checksum every
 // sector of a fresh chunk carries, since chunks read as zeros until written.
 var zeroSectorCRC = util.Checksum(make([]byte, util.SectorSize))
+
+// sumShards stripes the checksum table by chunk ID so QD32 verify/stamp
+// traffic on different chunks never serializes. Must be a power of two.
+const sumShards = 32
+
+// scratchSectors is the stack budget for fused stamp/verify: requests up
+// to scratchSectors*512 B (32 KiB, which covers the whole 4–8 KiB hot
+// path) run with zero heap allocation.
+const scratchSectors = 64
+
+// legacySums switches Stamp/Verify back to the pre-fusion two-pass code:
+// a fresh []uint32 per call, CRC pass, then compare/copy under one global
+// mutex. It exists as the measured baseline of `ursa-bench -fig ceiling`.
+var legacySums atomic.Bool
+
+// SetLegacyChecksums toggles the pre-fusion checksum code path (true =
+// allocate per call, single global lock). Benchmarks only.
+func SetLegacyChecksums(on bool) { legacySums.Store(on) }
 
 // ChecksumStore keeps one CRC-32C per 512-byte sector of every resident
 // chunk, covering the chunk's logical content (for a backup that includes
@@ -26,29 +45,55 @@ var zeroSectorCRC = util.Checksum(make([]byte, util.SectorSize))
 // that failure domain is the point (production stores put them in NVRAM or
 // a separate checksum file; here a restarted server re-attaches to the same
 // Store, which models sums persisted outside the rotting device).
+//
+// The table is striped by chunk ID, and the hot paths are fused single
+// passes: Verify snapshots the expected sums (a few words) under the shard
+// lock, then walks the payload once, checksumming and comparing each
+// sector as it goes; Stamp checksums into a stack scratch and copies the
+// words in under the lock. Neither touches the payload under a lock or
+// allocates for requests ≤ 32 KiB.
 type ChecksumStore struct {
+	shards [sumShards]sumShard
+}
+
+type sumShard struct {
 	mu   sync.Mutex
 	sums map[ChunkID][]uint32 // nil slice = chunk exists, all sectors zero
 }
 
 func newChecksumStore() *ChecksumStore {
-	return &ChecksumStore{sums: make(map[ChunkID][]uint32)}
+	c := &ChecksumStore{}
+	for i := range c.shards {
+		c.shards[i].sums = make(map[ChunkID][]uint32)
+	}
+	return c
+}
+
+func (c *ChecksumStore) shard(id ChunkID) *sumShard {
+	if legacySums.Load() {
+		// Pre-stripe behavior: every chunk behind one mutex.
+		return &c.shards[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &c.shards[h>>58&(sumShards-1)]
 }
 
 // create registers a fresh chunk whose every sector reads as zeros.
 func (c *ChecksumStore) create(id ChunkID) {
-	c.mu.Lock()
-	if _, ok := c.sums[id]; !ok {
-		c.sums[id] = nil
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if _, ok := sh.sums[id]; !ok {
+		sh.sums[id] = nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // drop forgets a deleted chunk's sums.
 func (c *ChecksumStore) drop(id ChunkID) {
-	c.mu.Lock()
-	delete(c.sums, id)
-	c.mu.Unlock()
+	sh := c.shard(id)
+	sh.mu.Lock()
+	delete(sh.sums, id)
+	sh.mu.Unlock()
 }
 
 // sectorRange validates alignment and returns the covered sector window.
@@ -61,31 +106,48 @@ func sectorRange(id ChunkID, off int64, n int) (lo, hi int64) {
 	return off / util.SectorSize, (off + int64(n)) / util.SectorSize
 }
 
-// Stamp records the checksums of data just written at chunk-relative off.
-// Stamping an unknown chunk is a no-op (it was deleted concurrently).
-func (c *ChecksumStore) Stamp(id ChunkID, off int64, data []byte) {
-	lo, hi := sectorRange(id, off, len(data))
-	// CRC work outside the lock; only the copy-in is serialized.
-	fresh := make([]uint32, hi-lo)
-	for i := range fresh {
-		s := int64(i) * util.SectorSize
-		fresh[i] = util.Checksum(data[s : s+util.SectorSize])
-	}
-	c.mu.Lock()
-	arr, ok := c.sums[id]
+// materializeLocked returns the chunk's sum array, expanding the all-zero
+// nil representation on first stamp. ok=false means the chunk is unknown.
+func (sh *sumShard) materializeLocked(id ChunkID) ([]uint32, bool) {
+	arr, ok := sh.sums[id]
 	if !ok {
-		c.mu.Unlock()
-		return
+		return nil, false
 	}
 	if arr == nil {
 		arr = make([]uint32, chunkSectors)
 		for i := range arr {
 			arr[i] = zeroSectorCRC
 		}
-		c.sums[id] = arr
+		sh.sums[id] = arr
 	}
-	copy(arr[lo:hi], fresh)
-	c.mu.Unlock()
+	return arr, true
+}
+
+// Stamp records the checksums of data just written at chunk-relative off.
+// Stamping an unknown chunk is a no-op (it was deleted concurrently).
+func (c *ChecksumStore) Stamp(id ChunkID, off int64, data []byte) {
+	lo, hi := sectorRange(id, off, len(data))
+	if legacySums.Load() {
+		c.stampLegacy(id, lo, hi, data)
+		return
+	}
+	var scratch [scratchSectors]uint32
+	var fresh []uint32
+	if hi-lo <= scratchSectors {
+		fresh = scratch[:hi-lo]
+	} else {
+		fresh = make([]uint32, hi-lo)
+	}
+	for i := range fresh {
+		s := int64(i) * util.SectorSize
+		fresh[i] = util.Checksum(data[s : s+util.SectorSize])
+	}
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if arr, ok := sh.materializeLocked(id); ok {
+		copy(arr[lo:hi], fresh)
+	}
+	sh.mu.Unlock()
 }
 
 // Verify checks data read at chunk-relative off against the recorded sums.
@@ -93,14 +155,72 @@ func (c *ChecksumStore) Stamp(id ChunkID, off int64, data []byte) {
 // sector; an unknown chunk verifies vacuously (deleted concurrently).
 func (c *ChecksumStore) Verify(id ChunkID, off int64, data []byte) error {
 	lo, hi := sectorRange(id, off, len(data))
+	if legacySums.Load() {
+		return c.verifyLegacy(id, lo, hi, data)
+	}
+	// Snapshot the expected sums — a handful of words — under the shard
+	// lock, then walk the payload exactly once outside it, comparing each
+	// sector's checksum as it is computed.
+	var scratch [scratchSectors]uint32
+	var want []uint32
+	if hi-lo <= scratchSectors {
+		want = scratch[:hi-lo]
+	} else {
+		want = make([]uint32, hi-lo)
+	}
+	sh := c.shard(id)
+	sh.mu.Lock()
+	arr, ok := sh.sums[id]
+	if !ok {
+		sh.mu.Unlock()
+		return nil
+	}
+	if arr == nil {
+		for i := range want {
+			want[i] = zeroSectorCRC
+		}
+	} else {
+		copy(want, arr[lo:hi])
+	}
+	sh.mu.Unlock()
+	for i := range want {
+		s := int64(i) * util.SectorSize
+		if g := util.Checksum(data[s : s+util.SectorSize]); g != want[i] {
+			return fmt.Errorf("blockstore: chunk %v sector %d: checksum %08x, want %08x: %w",
+				id, lo+int64(i), g, want[i], util.ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+// stampLegacy is the pre-fusion stamp: allocate, CRC pass, copy under the
+// global lock.
+func (c *ChecksumStore) stampLegacy(id ChunkID, lo, hi int64, data []byte) {
+	fresh := make([]uint32, hi-lo)
+	for i := range fresh {
+		s := int64(i) * util.SectorSize
+		fresh[i] = util.Checksum(data[s : s+util.SectorSize])
+	}
+	sh := &c.shards[0]
+	sh.mu.Lock()
+	if arr, ok := sh.materializeLocked(id); ok {
+		copy(arr[lo:hi], fresh)
+	}
+	sh.mu.Unlock()
+}
+
+// verifyLegacy is the pre-fusion verify: allocate, CRC pass, compare under
+// the global lock.
+func (c *ChecksumStore) verifyLegacy(id ChunkID, lo, hi int64, data []byte) error {
 	got := make([]uint32, hi-lo)
 	for i := range got {
 		s := int64(i) * util.SectorSize
 		got[i] = util.Checksum(data[s : s+util.SectorSize])
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	arr, ok := c.sums[id]
+	sh := &c.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	arr, ok := sh.sums[id]
 	if !ok {
 		return nil
 	}
@@ -119,9 +239,10 @@ func (c *ChecksumStore) Verify(id ChunkID, off int64, data []byte) error {
 
 // Sum returns the recorded checksum of one sector (tests and diagnostics).
 func (c *ChecksumStore) Sum(id ChunkID, sector int64) (uint32, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	arr, ok := c.sums[id]
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	arr, ok := sh.sums[id]
 	if !ok || sector < 0 || sector >= chunkSectors {
 		return 0, false
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/bufpool"
 	"ursa/internal/opctx"
 	"ursa/internal/proto"
 	"ursa/internal/redundancy"
@@ -110,16 +111,22 @@ func (s *Server) fetchSegmentSnapshot(op *opctx.Op, primary string, m *proto.Mes
 				Length: uint32(n),
 				Seg:    uint16(seg),
 			}, window)
-			if err != nil || resp.Status != proto.StatusOK || len(resp.Payload) != int(n) {
+			if err != nil {
+				return nil, 0, false
+			}
+			if resp.Status != proto.StatusOK || len(resp.Payload) != int(n) {
+				bufpool.Put(resp.Payload)
 				return nil, 0, false
 			}
 			if off == 0 {
 				ver = resp.Version
 			} else if resp.Version != ver {
+				bufpool.Put(resp.Payload)
 				okAll = false // torn across pieces: a write landed mid-fetch
 				break
 			}
 			copy(buf[off:], resp.Payload)
+			bufpool.Put(resp.Payload)
 		}
 		if okAll {
 			return buf, ver, true
@@ -152,6 +159,9 @@ func (s *Server) fetchPieces(op *opctx.Op, sources []PieceSource, chunk blocksto
 			}, window)
 			if err != nil || resp.Status != proto.StatusOK ||
 				len(resp.Payload) != n || resp.Version != wantVer {
+				if err == nil {
+					bufpool.Put(resp.Payload)
+				}
 				results <- result{src.Piece, nil}
 				return
 			}
@@ -167,6 +177,13 @@ func (s *Server) fetchPieces(op *opctx.Op, sources []PieceSource, chunk blocksto
 		}
 	}
 	return avail
+}
+
+// putPieces releases the payload leases a fetchPieces call handed out.
+func putPieces(avail map[int][]byte) {
+	for _, b := range avail {
+		bufpool.Put(b)
+	}
 }
 
 // handleRebuildSegment reconstructs this holder's segment: a version-exact
@@ -223,7 +240,9 @@ func (s *Server) handleRebuildSegment(op *opctx.Op, m *proto.Message) *proto.Mes
 			}
 			avail := s.fetchPieces(op, req.Sources, m.Chunk, off, int(n), m.Version)
 			buf := make([]byte, n)
-			if err := code.Reconstruct(avail, req.Seg, buf); err != nil {
+			err := code.Reconstruct(avail, req.Seg, buf)
+			putPieces(avail)
+			if err != nil {
 				return m.Reply(proto.StatusError)
 			}
 			if err := s.writeRebuilt(*m, buf, off); err != nil {
@@ -281,20 +300,23 @@ func (s *Server) handleFetchSegment(op *opctx.Op, m *proto.Message) *proto.Messa
 		}
 		return m.Reply(proto.StatusError)
 	}
-	buf := make([]byte, m.Length)
+	buf := bufpool.Get(int(m.Length))
 	if seg < spec.N {
 		if r := readSlice(seg, buf); r != nil {
+			bufpool.Put(buf)
 			return r
 		}
 	} else {
 		code, err := redundancy.NewCode(spec.N, spec.M)
 		if err != nil {
+			bufpool.Put(buf)
 			return m.Reply(proto.StatusError)
 		}
 		data := make([][]byte, spec.N)
 		for i := 0; i < spec.N; i++ {
 			data[i] = make([]byte, m.Length)
 			if r := readSlice(i, data[i]); r != nil {
+				bufpool.Put(buf)
 				return r
 			}
 		}
@@ -344,13 +366,16 @@ func (s *Server) cloneFromSegments(op *opctx.Op, m *proto.Message, req CloneChun
 			if buf == nil {
 				buf = make([]byte, n)
 				if err := code.Reconstruct(avail, i, buf); err != nil {
+					putPieces(avail)
 					return m.Reply(proto.StatusError)
 				}
 			}
 			if err := s.writeRebuilt(*m, buf, int64(i)*segSize+off); err != nil {
+				putPieces(avail)
 				return m.Reply(proto.StatusError)
 			}
 		}
+		putPieces(avail)
 	}
 	cs.adoptVersionLocked(m.Version)
 	if m.View > cs.view {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/journal"
 	"ursa/internal/metrics"
@@ -114,8 +115,10 @@ type Server struct {
 	store *blockstore.Store
 	jset  *journal.Set // nil for primaries
 
-	mu     sync.Mutex
-	chunks map[blockstore.ChunkID]*chunkState
+	// chunks is the chunk registry, striped by chunk ID hash: every request
+	// resolves its chunkState here, so one registry mutex would serialize
+	// the whole data path at QD32.
+	chunks [chunkShards]chunkShard
 	peers  *transport.Peers
 
 	// upMu/upCond gate request admission during a hot upgrade (§5.2):
@@ -151,9 +154,11 @@ func New(cfg Config, store *blockstore.Store, jset *journal.Set) *Server {
 		cfg:        cfg,
 		store:      store,
 		jset:       jset,
-		chunks:     make(map[blockstore.ChunkID]*chunkState),
 		peers:      transport.NewPeers(cfg.Dialer, cfg.Clock),
 		lastReport: make(map[string]time.Time),
+	}
+	for i := range s.chunks {
+		s.chunks[i].m = make(map[blockstore.ChunkID]*chunkState)
 	}
 	s.upCond = sync.NewCond(&s.upMu)
 	if jset != nil {
@@ -276,11 +281,25 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// chunkShards stripes the chunk registry; power of two.
+const chunkShards = 32
+
+type chunkShard struct {
+	mu sync.Mutex
+	m  map[blockstore.ChunkID]*chunkState
+}
+
+func (s *Server) shard(id blockstore.ChunkID) *chunkShard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &s.chunks[h>>59&(chunkShards-1)]
+}
+
 // chunk returns the state for id, or nil.
 func (s *Server) chunk(id blockstore.ChunkID) *chunkState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.chunks[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[id]
 }
 
 // Handle dispatches one request; it is the transport.Handler.
@@ -420,26 +439,29 @@ func (s *Server) handleCreateChunk(m *proto.Message) *proto.Message {
 			// store: install fresh in-memory state over the existing slot
 			// (and its checksums). The Exists status is kept so recovery
 			// flows still learn the slot was already there.
-			s.mu.Lock()
-			if s.chunks[m.Chunk] == nil {
-				s.chunks[m.Chunk] = cs
+			sh := s.shard(m.Chunk)
+			sh.mu.Lock()
+			if sh.m[m.Chunk] == nil {
+				sh.m[m.Chunk] = cs
 			}
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			return m.Reply(proto.StatusExists)
 		}
 		return m.Reply(proto.StatusQuota)
 	}
-	s.mu.Lock()
-	s.chunks[m.Chunk] = cs
-	s.mu.Unlock()
+	sh := s.shard(m.Chunk)
+	sh.mu.Lock()
+	sh.m[m.Chunk] = cs
+	sh.mu.Unlock()
 	return m.Reply(proto.StatusOK)
 }
 
 func (s *Server) handleDeleteChunk(m *proto.Message) *proto.Message {
-	s.mu.Lock()
-	cs := s.chunks[m.Chunk]
-	delete(s.chunks, m.Chunk)
-	s.mu.Unlock()
+	sh := s.shard(m.Chunk)
+	sh.mu.Lock()
+	cs := sh.m[m.Chunk]
+	delete(sh.m, m.Chunk)
+	sh.mu.Unlock()
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
 	}
@@ -525,8 +547,11 @@ func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 	ver := cs.version
 	cs.mu.Unlock()
 
-	buf := make([]byte, m.Length)
+	// Leased, not allocated: the response payload rides to the transport,
+	// whose Send consumes the lease once the bytes are on the wire.
+	buf := bufpool.Get(int(m.Length))
 	if err := s.readVerified(op, m.Chunk, buf, m.Off); err != nil {
+		bufpool.Put(buf)
 		s.reportDeviceFailure(m.Chunk, err)
 		if errors.Is(err, util.ErrCorrupt) {
 			// Distinguishable integrity failure: the client fails over to
@@ -572,9 +597,9 @@ func (s *Server) readVerified(op *opctx.Op, id blockstore.ChunkID, buf []byte, o
 	}
 	var err error
 	if op != nil {
-		stop := op.StartStage(stage)
+		st := op.Stage(stage)
 		err = s.readData(id, buf, off)
-		stop()
+		st.Stop()
 	} else {
 		err = s.readData(id, buf, off)
 	}
@@ -727,8 +752,8 @@ func (s *Server) awaitDeps(op *opctx.Op, deps []*pendingWrite) error {
 	clk := s.cfg.Clock
 	t0 := clk.Now()
 	deadline := t0.Add(s.opBudget(op, s.cfg.ReplTimeout))
-	stop := op.StartStage(opctx.StageApplyWait)
-	defer stop()
+	st := op.Stage(opctx.StageApplyWait)
+	defer st.Stop()
 	for _, dep := range deps {
 		rem := deadline.Sub(clk.Now())
 		if rem <= 0 {
@@ -763,8 +788,8 @@ func (s *Server) awaitCommit(cs *chunkState, op *opctx.Op, want uint64) (uint64,
 		return cs.version, true
 	}
 	deadline := s.cfg.Clock.Now().Add(s.opBudget(op, s.cfg.ReplTimeout))
-	stop := op.StartStage(opctx.StageCommitWait)
-	defer stop()
+	st := op.Stage(opctx.StageCommitWait)
+	defer st.Stop()
 	for cs.version < want && !cs.deleted {
 		if !cs.waitChangeLocked(op, deadline) {
 			break
@@ -852,9 +877,9 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 			cs.cacheShipments(m.Version, ships)
 			startFanout(ships)
 		}
-		stop := op.StartStage(opctx.StagePrimarySSD)
+		st := op.Stage(opctx.StagePrimarySSD)
 		err := s.store.WriteAt(m.Chunk, m.Payload, m.Off)
-		stop()
+		st.Stop()
 		if err == nil {
 			s.store.Sums().Stamp(m.Chunk, m.Off, m.Payload)
 		}
@@ -916,6 +941,13 @@ func (s *Server) replicateShipments(op *opctx.Op, backups []string, m *proto.Mes
 	}
 	results := make(chan result, len(ships))
 	for _, sh := range ships {
+		// Mirror shipments alias the request payload, whose lease the
+		// transport server releases when the handler returns — but a
+		// shipment may outlive the handler (degraded-commit stragglers keep
+		// applying in the background). Each goroutine therefore carries its
+		// own reference, consumed by its one Do. RS shipments own their
+		// buffers, making this a no-op.
+		bufpool.Retain(sh.Data)
 		go func(sh redundancy.Shipment) {
 			var flags uint8
 			if sh.Xor {
@@ -940,8 +972,8 @@ func (s *Server) replicateShipments(op *opctx.Op, backups []string, m *proto.Mes
 	}
 	acks := 0
 	var failed []int
-	stop := op.StartStage(opctx.StageReplWait)
-	defer stop()
+	st := op.Stage(opctx.StageReplWait)
+	defer st.Stop()
 	for done := 1; done <= len(ships); done++ {
 		if r := <-results; r.ok {
 			acks++
@@ -1029,12 +1061,14 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 		var err error
 		if !bump {
 			data := m.Payload
+			var cur []byte
 			if m.Flags&proto.FlagXorApply != 0 {
 				// Parity RMW: fold the delta into the current parity bytes.
 				// The read must verify — folding a delta into rotten parity
 				// would launder the rot into every future reconstruction.
-				cur := make([]byte, len(m.Payload))
+				cur = bufpool.Get(len(m.Payload))
 				if rerr := s.readVerified(op, m.Chunk, cur, m.Off); rerr != nil {
+					bufpool.Put(cur)
 					cs.applyDone(pw, rerr)
 					s.reportDeviceFailure(m.Chunk, rerr)
 					if errors.Is(rerr, util.ErrCorrupt) {
@@ -1047,11 +1081,16 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 				}
 				data = cur
 			}
-			stop := op.StartStage(opctx.StageBackupJournal)
+			st := op.Stage(opctx.StageBackupJournal)
 			err = s.applyBackupWrite(op, m, data)
-			stop()
+			st.Stop()
 			if err == nil {
 				s.store.Sums().Stamp(m.Chunk, m.Off, data)
+			}
+			if cur != nil {
+				// Append/WriteDirect return only after the device write, so
+				// nothing references the folded bytes anymore.
+				bufpool.Put(cur)
 			}
 		}
 		cs.applyDone(pw, err)
@@ -1181,10 +1220,11 @@ func (s *Server) handleFetchChunk(m *proto.Message) *proto.Message {
 	if err := validRangeIn(m.Off, int(m.Length), cs.span()); err != nil {
 		return m.Reply(proto.StatusError)
 	}
-	buf := make([]byte, m.Length)
+	buf := bufpool.Get(int(m.Length))
 	// Verified read: a recovery clone that copied rotten bytes would
 	// propagate corruption to the replacement replica.
 	if err := s.readVerified(nil, m.Chunk, buf, m.Off); err != nil {
+		bufpool.Put(buf)
 		s.reportDeviceFailure(m.Chunk, err)
 		if errors.Is(err, util.ErrCorrupt) {
 			return m.Reply(proto.StatusCorrupt)
@@ -1251,17 +1291,24 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 	span := cs.span()
 	const clonePipeline = 4
 	type piece struct {
-		off int64
-		ch  <-chan *proto.Message
+		off  int64
+		call *transport.PendingCall
 	}
 	var inflight []piece
 	issue := func(off int64) {
-		inflight = append(inflight, piece{off, cli.Go(&proto.Message{
+		inflight = append(inflight, piece{off, cli.Start(&proto.Message{
 			Op:     proto.OpFetchChunk,
 			Chunk:  m.Chunk,
 			Off:    off,
 			Length: cloneFetchSize,
 		})})
+	}
+	// An early exit abandons the calls still in flight so their responses'
+	// payload leases are released whenever they land.
+	abandon := func() {
+		for _, p := range inflight {
+			p.call.Abandon()
+		}
 	}
 	next := int64(0)
 	for ; next < int64(clonePipeline)*cloneFetchSize && next < span; next += cloneFetchSize {
@@ -1270,11 +1317,14 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 	for len(inflight) > 0 {
 		p := inflight[0]
 		inflight = inflight[1:]
-		fresp, ok := <-p.ch
+		fresp, ok := <-p.call.Done()
 		if !ok || fresp.Status != proto.StatusOK {
-			if !ok {
+			if ok {
+				bufpool.Put(fresp.Payload)
+			} else {
 				s.peers.Drop(req.Source, cli)
 			}
+			abandon()
 			return m.Reply(proto.StatusError)
 		}
 		if next < span {
@@ -1288,10 +1338,13 @@ func (s *Server) handleCloneChunk(op *opctx.Op, m *proto.Message) *proto.Message
 			werr = s.store.WriteAt(m.Chunk, fresp.Payload, p.off)
 		}
 		if werr != nil {
+			bufpool.Put(fresp.Payload)
+			abandon()
 			return m.Reply(proto.StatusError)
 		}
 		s.store.Sums().Stamp(m.Chunk, p.off, fresp.Payload)
 		s.bytesWritten.Add(int64(len(fresp.Payload)))
+		bufpool.Put(fresp.Payload)
 	}
 	cs.adoptVersionLocked(srcVersion)
 	if m.View > cs.view {
@@ -1337,7 +1390,9 @@ func (s *Server) handleRepairFrom(op *opctx.Op, m *proto.Message) *proto.Message
 			Version: resp.Version,
 			Payload: resp.Payload,
 		}
-		return s.handleApplyRepair(apply)
+		r := s.handleApplyRepair(apply)
+		bufpool.Put(resp.Payload) // applied synchronously; the lease ends here
+		return r
 	case proto.StatusFallback:
 		return s.handleCloneChunk(op, m) // same payload shape: {source}
 	default:

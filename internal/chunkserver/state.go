@@ -106,7 +106,6 @@ func newChunkState(view uint64, backups []string, liteCap int) *chunkState {
 		backups: backups,
 		lite:    journal.NewLite(liteCap),
 		pending: make(map[uint64]*pendingWrite),
-		changed: make(chan struct{}),
 		strat:   redundancy.Mirror{},
 	}
 }
@@ -149,10 +148,14 @@ func (cs *chunkState) cachedShipments(version uint64) ([]redundancy.Shipment, bo
 	return ships, ok
 }
 
-// bumpLocked wakes everything blocked on the chunk's state.
+// bumpLocked wakes everything blocked on the chunk's state. The broadcast
+// channel is created lazily by waitChangeLocked, so the common no-waiter
+// case (unpipelined writes, reads) closes and allocates nothing.
 func (cs *chunkState) bumpLocked() {
-	close(cs.changed)
-	cs.changed = make(chan struct{})
+	if cs.changed != nil {
+		close(cs.changed)
+		cs.changed = nil
+	}
 }
 
 // advanceLocked commits applied pending writes in version order: the
@@ -218,6 +221,9 @@ func (cs *chunkState) waitChangeLocked(op *opctx.Op, deadline time.Time) bool {
 	rem := deadline.Sub(clk.Now())
 	if rem <= 0 || op.Canceled() {
 		return false
+	}
+	if cs.changed == nil {
+		cs.changed = make(chan struct{})
 	}
 	ch := cs.changed
 	cs.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/master"
 	"ursa/internal/metrics"
@@ -185,9 +186,11 @@ func (c *Client) masterCallT(d time.Duration, op proto.Op, req any, out any) (pr
 	}
 	if resp.Status == proto.StatusOK && out != nil && len(resp.Payload) > 0 {
 		if err := json.Unmarshal(resp.Payload, out); err != nil {
+			bufpool.Put(resp.Payload)
 			return proto.StatusError, err
 		}
 	}
+	bufpool.Put(resp.Payload)
 	return resp.Status, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/bufpool"
 	"ursa/internal/master"
 	"ursa/internal/metrics"
 	"ursa/internal/opctx"
@@ -285,9 +286,9 @@ func (vd *VDisk) WriteAt(p []byte, off int64) error {
 	}
 	op := vd.c.newOp(vd.c.cfg.IOTimeout)
 	if vd.wlimit != nil {
-		stop := op.StartStage(opctx.StageQueue)
+		st := op.Stage(opctx.StageQueue)
 		vd.wlimit.Take(len(p))
-		stop()
+		st.Stop()
 	}
 	frags := mapRange(&vd.meta, off, len(p))
 	err := vd.forEachFragment(frags, func(f fragment) error {
@@ -371,6 +372,7 @@ func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) erro
 			go func() { _ = vd.reportFailure(nil, idx, addr) }()
 		case resp.Status == proto.StatusOK:
 			copy(buf, resp.Payload)
+			bufpool.Put(resp.Payload)
 			return nil
 		case resp.Status == proto.StatusStaleView:
 			lastErr = util.ErrStaleView
@@ -477,6 +479,7 @@ func (vd *VDisk) readPiece(op *opctx.Op, idx int, cm master.ChunkMeta,
 		return 0, fmt.Errorf("client: read chunk %d seg %d from %s: %s", idx, seg, addr, resp.Status)
 	}
 	copy(dst, resp.Payload)
+	bufpool.Put(resp.Payload)
 	return resp.Version, nil
 }
 
@@ -550,9 +553,9 @@ func (vd *VDisk) backoff(op *opctx.Op, attempt int) {
 	if d <= 0 {
 		return
 	}
-	stop := op.StartStage(opctx.StageQueue)
+	st := op.Stage(opctx.StageQueue)
 	vd.c.cfg.Clock.Sleep(d)
-	stop()
+	st.Stop()
 }
 
 // writeFragment writes one chunk-local range. The version is assigned

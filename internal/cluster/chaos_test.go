@@ -18,11 +18,11 @@ import (
 	"ursa/internal/util"
 )
 
-// chaosCluster is testCluster with a configurable HDD overflow journal, so
-// journal-death tests can pin each backup to a single SSD journal.
-func chaosCluster(t *testing.T, hddJournal bool) *core.Cluster {
-	t.Helper()
-	c, err := core.New(core.Options{
+// chaosClusterOptions is the shared chaos-cluster shape: a configurable HDD
+// overflow journal lets journal-death tests pin each backup to a single SSD
+// journal.
+func chaosClusterOptions(hddJournal bool) core.Options {
+	return core.Options{
 		Machines:       4,
 		SSDsPerMachine: 1,
 		HDDsPerMachine: 2,
@@ -42,7 +42,12 @@ func chaosCluster(t *testing.T, hddJournal bool) *core.Cluster {
 		NetLatency:  5 * time.Microsecond,
 		ReplTimeout: 40 * time.Millisecond,
 		CallTimeout: 250 * time.Millisecond,
-	})
+	}
+}
+
+func chaosCluster(t *testing.T, hddJournal bool) *core.Cluster {
+	t.Helper()
+	c, err := core.New(chaosClusterOptions(hddJournal))
 	if err != nil {
 		t.Fatal(err)
 	}

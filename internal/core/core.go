@@ -111,6 +111,12 @@ type Options struct {
 	// ScrubConfig tunes the scrubbers (zero value = scrub.DefaultConfig;
 	// a nil Metrics field inherits the cluster registry).
 	ScrubConfig scrub.Config
+	// JournalCoalesce makes every journal flush coalesce its batch into
+	// one freshly allocated contiguous buffer instead of the default
+	// scatter/gather vectored write (journal.Config.CoalesceFlush) — the
+	// copying baseline the ceiling bench measures the zero-copy path
+	// against.
+	JournalCoalesce bool
 }
 
 func (o *Options) fillDefaults() {
@@ -378,6 +384,7 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 
 		jcfg := journal.DefaultConfig()
 		jcfg.Metrics = opts.Metrics // group-commit batch/flush distributions
+		jcfg.CoalesceFlush = opts.JournalCoalesce
 		jset := journal.NewSet(c.clk, store, jcfg)
 		ssdIdx := k % opts.SSDsPerMachine
 		slot := int64(k / opts.SSDsPerMachine)

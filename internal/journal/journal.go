@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/jindex"
 	"ursa/internal/simdisk"
 	"ursa/internal/util"
 )
@@ -51,6 +52,15 @@ type Journal struct {
 	bytesAppended  int64
 	flushes        int64 // group-commit device write batches
 	batchedRecords int64 // records committed across those batches
+
+	// Flush scratch, reused across batches. Only the journal's current
+	// batch leader touches these (leadership is exclusive), so no lock
+	// guards them: insertScratch/orderScratch accumulate one flush's index
+	// inserts, iovHdrs/iovBufs one run's scatter/gather list.
+	insertScratch map[blockstore.ChunkID][]jindex.Extent
+	orderScratch  []blockstore.ChunkID
+	iovHdrs       [][]byte
+	iovBufs       [][]byte
 }
 
 // pendingRecord is the in-memory replay queue entry for one record (or a

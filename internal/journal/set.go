@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/jindex"
 	"ursa/internal/metrics"
@@ -43,6 +44,12 @@ type Config struct {
 	// ReplayWindow caps the records the replayer drains per pass before
 	// reclaiming their journal space. 0 selects DefaultReplayWindow.
 	ReplayWindow int
+	// CoalesceFlush switches the group-commit flush back to copying each
+	// run of records into one contiguous buffer before the device write,
+	// instead of handing the device a scatter/gather list of the callers'
+	// payload buffers. It exists as the measured baseline of
+	// `ursa-bench -fig ceiling`.
+	CoalesceFlush bool
 	// Metrics, when set, receives the group-commit distributions:
 	// batch sizes ("journal-batch-records"), flush latency
 	// ("journal-flush"), commit-queue wait ("journal-commit-queue"), and
@@ -121,8 +128,8 @@ type commitReq struct {
 	flushed time.Time // the batch's device write completed
 
 	err  error
-	done chan struct{} // closed when the record's fate is final
-	lead chan struct{} // closed to promote this waiter to batch leader
+	done chan struct{} // buffered 1: fires when the record's fate is final
+	lead chan struct{} // buffered 1: fires to promote this waiter to leader
 }
 
 // Set manages the journals of one backup server, in expansion priority
@@ -170,9 +177,11 @@ type Set struct {
 	done      chan struct{}
 
 	// chunkLocks serialize replay against journal-bypass direct writes on
-	// the same chunk; they are always acquired BEFORE s.mu.
-	chunkMu    sync.Mutex
-	chunkLocks map[blockstore.ChunkID]*sync.Mutex
+	// the same chunk; they are always acquired BEFORE s.mu. Striped by
+	// chunk ID hash: two chunks sharing a stripe serialize spuriously but
+	// harmlessly, and the lookup is a shift instead of a mutex-guarded map
+	// that QD32 bypass writes used to contend on.
+	chunkLocks [chunkLockStripes]sync.Mutex
 
 	// Fault callbacks, registered via OnFault (the owning chunk server
 	// installs them after Start — hence guarded by mu, read at fire time).
@@ -203,12 +212,11 @@ func NewSet(clk clock.Clock, sink Sink, cfg Config) *Set {
 		cfg.ReplayWindow = DefaultReplayWindow
 	}
 	s := &Set{
-		clk:        clk,
-		sink:       sink,
-		cfg:        cfg,
-		indexes:    make(map[blockstore.ChunkID]*jindex.Index),
-		chunkLocks: make(map[blockstore.ChunkID]*sync.Mutex),
-		done:       make(chan struct{}),
+		clk:     clk,
+		sink:    sink,
+		cfg:     cfg,
+		indexes: make(map[blockstore.ChunkID]*jindex.Index),
+		done:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.drainCond = sync.NewCond(&s.mu)
@@ -340,12 +348,9 @@ func (s *Set) Append(op *opctx.Op, id blockstore.ChunkID, off int64, data []byte
 		}
 		j.fifo = append(j.fifo, rec)
 		s.pending++
-		req := &commitReq{
-			rec: rec, pos: pos, hdr: h, data: data,
-			enq:  s.clk.Now(),
-			done: make(chan struct{}),
-			lead: make(chan struct{}),
-		}
+		req := getCommitReq()
+		req.rec, req.pos, req.hdr, req.data = rec, pos, h, data
+		req.enq = s.clk.Now()
 		j.commitq = append(j.commitq, req)
 		j.queued++
 		leader := !j.flushing
@@ -369,13 +374,42 @@ func (s *Set) Append(op *opctx.Op, id blockstore.ChunkID, off int64, data []byte
 			<-req.done
 		}
 		s.observeCommit(op, req)
-		if errors.Is(req.err, errJournalDead) {
+		err := req.err
+		putCommitReq(req)
+		if errors.Is(err, errJournalDead) {
 			// The journal died under us; its picker slot is gone, so the
 			// retry lands on a survivor (or degrades to bypass).
 			continue
 		}
-		return req.err
+		return err
 	}
+}
+
+// commitReqPool recycles commit-queue entries: one struct and two channels
+// per append otherwise. A commitReq is recyclable once its appender has
+// consumed its fate — done and lead are buffered single-fire channels with
+// exactly that one consumer, so both are empty when Append returns.
+var commitReqPool = sync.Pool{New: func() any {
+	return &commitReq{
+		done: make(chan struct{}, 1),
+		lead: make(chan struct{}, 1),
+	}
+}}
+
+func getCommitReq() *commitReq {
+	if bufpool.Enabled() {
+		return commitReqPool.Get().(*commitReq)
+	}
+	return &commitReq{done: make(chan struct{}, 1), lead: make(chan struct{}, 1)}
+}
+
+func putCommitReq(req *commitReq) {
+	if !bufpool.Enabled() {
+		return
+	}
+	req.rec, req.data, req.err = nil, nil, nil
+	req.claimed, req.flushed = time.Time{}, time.Time{}
+	commitReqPool.Put(req)
 }
 
 // pickJournalLocked selects the journal for a new record: the least
@@ -439,7 +473,7 @@ func (s *Set) flush(j *Journal) {
 				end += batch[k].rec.footer
 				k++
 			}
-			writeRun(j, batch[i:k])
+			s.writeRun(j, batch[i:k])
 			i = k
 		}
 	}
@@ -448,8 +482,21 @@ func (s *Set) flush(j *Journal) {
 	s.mu.Lock()
 	var deadCb func(name string, err error)
 	var deadCause error
-	inserts := make(map[blockstore.ChunkID][]jindex.Extent)
+	// Index-insert accumulation uses the journal's leader-owned scratch when
+	// pooling is on; the map keeps its keys across flushes (cleared to empty
+	// slices), so presence in `order` is tracked by emptiness, not by key.
+	pooledScratch := bufpool.Enabled()
+	var inserts map[blockstore.ChunkID][]jindex.Extent
 	var order []blockstore.ChunkID
+	if pooledScratch {
+		if j.insertScratch == nil {
+			j.insertScratch = make(map[blockstore.ChunkID][]jindex.Extent)
+		}
+		inserts = j.insertScratch
+		order = j.orderScratch[:0]
+	} else {
+		inserts = make(map[blockstore.ChunkID][]jindex.Extent)
+	}
 	for _, r := range batch {
 		r.flushed = flushed
 		j.queued--
@@ -473,7 +520,7 @@ func (s *Set) flush(j *Journal) {
 		r.rec.ready = true
 		j.appends++
 		j.bytesAppended += int64(r.rec.dataLen)
-		if _, ok := inserts[r.rec.chunk]; !ok {
+		if len(inserts[r.rec.chunk]) == 0 {
 			order = append(order, r.rec.chunk)
 		}
 		inserts[r.rec.chunk] = append(inserts[r.rec.chunk], jindex.Extent{
@@ -484,6 +531,12 @@ func (s *Set) flush(j *Journal) {
 	}
 	for _, id := range order {
 		s.indexLocked(id).InsertBatch(inserts[id])
+		if pooledScratch {
+			inserts[id] = inserts[id][:0]
+		}
+	}
+	if pooledScratch {
+		j.orderScratch = order
 	}
 	j.flushes++
 	j.batchedRecords += int64(len(batch))
@@ -504,10 +557,10 @@ func (s *Set) flush(j *Journal) {
 	s.mu.Unlock()
 
 	if next != nil {
-		close(next.lead)
+		next.lead <- struct{}{}
 	}
 	for _, r := range batch {
-		close(r.done)
+		r.done <- struct{}{}
 	}
 	if deadCb != nil {
 		deadCb(j.name, deadCause)
@@ -518,16 +571,44 @@ func (s *Set) flush(j *Journal) {
 // device write — headers and payloads laid out back-to-back — and stamps
 // each request with the write's result. Space is already reserved, so no
 // lock is needed.
-func writeRun(j *Journal, run []*commitReq) {
+//
+// The default path is zero-copy: each record contributes a leased header
+// sector and its caller's payload buffer to one scatter/gather list, and
+// the device writes the whole batch straight out of them (simdisk.WritevAt;
+// the pwritev of a real journal). CoalesceFlush restores the old
+// allocate-and-copy path as the ceiling bench's baseline.
+func (s *Set) writeRun(j *Journal, run []*commitReq) {
 	first := run[0].pos
-	last := run[len(run)-1]
-	buf := make([]byte, last.pos+last.rec.footer-first)
-	for _, r := range run {
-		at := r.pos - first
-		r.hdr.encode(buf[at:])
-		copy(buf[at+headerSize:], r.data)
+	off := j.base + first%j.size
+	var err error
+	if s.cfg.CoalesceFlush {
+		last := run[len(run)-1]
+		buf := make([]byte, last.pos+last.rec.footer-first)
+		for _, r := range run {
+			at := r.pos - first
+			r.hdr.encode(buf[at:])
+			copy(buf[at+headerSize:], r.data)
+		}
+		err = j.disk.WriteAt(buf, off)
+	} else {
+		// Record payloads are sector-aligned (checkAligned), so the iovec is
+		// exactly [hdr, data] per record with no padding between records.
+		// The iovec slices are leader-owned journal scratch, reused across
+		// runs.
+		hdrs := j.iovHdrs[:0]
+		bufs := j.iovBufs[:0]
+		for _, r := range run {
+			hdr := bufpool.Get(headerSize)
+			r.hdr.encode(hdr)
+			hdrs = append(hdrs, hdr)
+			bufs = append(bufs, hdr, r.data)
+		}
+		err = simdisk.WritevAt(j.disk, bufs, off)
+		for _, h := range hdrs {
+			bufpool.Put(h)
+		}
+		j.iovHdrs, j.iovBufs = hdrs, bufs
 	}
-	err := j.disk.WriteAt(buf, j.base+first%j.size)
 	for _, r := range run {
 		r.err = err
 	}
@@ -543,16 +624,13 @@ func (s *Set) observeCommit(op *opctx.Op, req *commitReq) {
 	op.ObserveStage(opctx.StageJournalFlush, req.flushed.Sub(req.claimed))
 }
 
-// chunkLock returns the per-chunk serialization mutex.
+// chunkLockStripes is the per-chunk lock stripe count; power of two.
+const chunkLockStripes = 32
+
+// chunkLock returns the per-chunk serialization mutex (striped).
 func (s *Set) chunkLock(id blockstore.ChunkID) *sync.Mutex {
-	s.chunkMu.Lock()
-	defer s.chunkMu.Unlock()
-	m, ok := s.chunkLocks[id]
-	if !ok {
-		m = &sync.Mutex{}
-		s.chunkLocks[id] = m
-	}
-	return m
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &s.chunkLocks[h>>59&(chunkLockStripes-1)]
 }
 
 // WriteDirect performs a journal-bypass backup write (large sequential
@@ -947,16 +1025,18 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, 
 			}
 			exts := current[i:k]
 			lo, hi := exts[0].Off, exts[len(exts)-1].End()
-			buf := make([]byte, int64(hi-lo)*util.SectorSize)
+			buf := bufpool.Get(int(int64(hi-lo) * util.SectorSize))
 			for _, e := range exts {
 				dst := buf[int64(e.Off-lo)*util.SectorSize:][:int64(e.Len)*util.SectorSize]
 				jj := s.journalOf(e.JOff)
 				if jj == nil {
 					chunkErr = fmt.Errorf("journal: no journal owns joff %d", e.JOff)
+					bufpool.Put(buf)
 					break readLoop // index corrupt; park the records
 				}
 				if err := jj.readAtJOff(dst, e.JOff); err != nil {
 					chunkErr = err // journal device unreadable; park the records
+					bufpool.Put(buf)
 					break readLoop
 				}
 			}
@@ -979,6 +1059,9 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, 
 		}
 		writes++
 		written = append(written, r.exts...)
+	}
+	for _, r := range runs {
+		bufpool.Put(r.data)
 	}
 
 	s.mu.Lock()
@@ -1007,7 +1090,8 @@ func (s *Set) verifyRecordLocked(rec *pendingRecord) error {
 		return fmt.Errorf("journal: no journal owns joff %d", rec.dataJOff)
 	}
 	// The header sector sits immediately before the payload sectors.
-	hbuf := make([]byte, headerSize)
+	hbuf := bufpool.Get(headerSize)
+	defer bufpool.Put(hbuf)
 	if err := j.readAtJOff(hbuf, rec.dataJOff-1); err != nil {
 		return err
 	}
@@ -1021,7 +1105,8 @@ func (s *Set) verifyRecordLocked(rec *pendingRecord) error {
 		return fmt.Errorf("journal %s: record %v@%d: header does not match appended record: %w",
 			j.name, rec.chunk, rec.off, util.ErrCorrupt)
 	}
-	data := make([]byte, util.AlignUp(int64(rec.dataLen), util.SectorSize))
+	data := bufpool.Get(int(util.AlignUp(int64(rec.dataLen), util.SectorSize)))
+	defer bufpool.Put(data)
 	if err := j.readAtJOff(data, rec.dataJOff); err != nil {
 		return err
 	}

@@ -119,62 +119,65 @@ func mustValidName(name string) {
 // every component the cluster builds gets it as the sink for its ops' stage
 // breadcrumbs; subsystems (the journal group-commit path) feed their own
 // distributions in directly.
+//
+// Name lookups are lock-free (sync.Map): every I/O on every server records
+// several stage breadcrumbs through one cluster-wide registry, so a
+// mutex-guarded map here serializes the whole data path at QD32. The
+// mutex now guards only first-registration and ResetStages.
 type Registry struct {
-	mu       sync.Mutex
-	stages   map[string]*util.Hist
-	lats     map[string]*util.Hist
-	values   map[string]*ValueHist
-	counters map[string]*Counter
+	mu       sync.Mutex // creation + stage-map swap only
+	stages   atomic.Pointer[sync.Map]
+	lats     sync.Map // name -> *util.Hist
+	values   sync.Map // name -> *ValueHist
+	counters sync.Map // name -> *Counter
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		stages:   make(map[string]*util.Hist),
-		lats:     make(map[string]*util.Hist),
-		values:   make(map[string]*ValueHist),
-		counters: make(map[string]*Counter),
-	}
+	r := &Registry{}
+	r.stages.Store(&sync.Map{})
+	return r
 }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		mustValidName(name)
-		c = &Counter{}
-		r.counters[name] = c
-	}
-	return c
+	mustValidName(name)
+	c, _ := r.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
 }
 
 // ObserveStage records one stage latency sample. It implements opctx.Sink.
-// The registry lock guards only the name lookup; the histogram observe runs
-// outside it — and the lookup unlocks via defer so a bad-name panic cannot
-// leave the registry locked forever.
+// The name lookup is a lock-free map hit; validation runs only on first
+// registration (under the creation mutex, released via defer so a bad-name
+// panic cannot leave the registry locked forever).
 func (r *Registry) ObserveStage(stage string, d time.Duration) {
 	r.stageFor(stage).Observe(d)
 }
 
 func (r *Registry) stageFor(stage string) *util.Hist {
+	m := r.stages.Load()
+	if h, ok := m.Load(stage); ok {
+		return h.(*util.Hist)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.stages[stage]
-	if !ok {
-		mustValidName(stage)
-		h = util.NewHist()
-		r.stages[stage] = h
-	}
-	return h
+	mustValidName(stage)
+	// Re-load under the lock: ResetStages may have swapped the map.
+	h, _ := r.stages.Load().LoadOrStore(stage, util.NewHist())
+	return h.(*util.Hist)
 }
 
 // StageHist returns the named stage's histogram, or nil if never observed.
 func (r *Registry) StageHist(stage string) *util.Hist {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stages[stage]
+	if h, ok := r.stages.Load().Load(stage); ok {
+		return h.(*util.Hist)
+	}
+	return nil
 }
 
 // ObserveLatency records one sample into a named free-form latency
@@ -184,22 +187,22 @@ func (r *Registry) ObserveLatency(name string, d time.Duration) {
 }
 
 func (r *Registry) latFor(name string) *util.Hist {
+	if h, ok := r.lats.Load(name); ok {
+		return h.(*util.Hist)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.lats[name]
-	if !ok {
-		mustValidName(name)
-		h = util.NewHist()
-		r.lats[name] = h
-	}
-	return h
+	mustValidName(name)
+	h, _ := r.lats.LoadOrStore(name, util.NewHist())
+	return h.(*util.Hist)
 }
 
 // LatencyHist returns the named latency histogram, or nil if never observed.
 func (r *Registry) LatencyHist(name string) *util.Hist {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.lats[name]
+	if h, ok := r.lats.Load(name); ok {
+		return h.(*util.Hist)
+	}
+	return nil
 }
 
 // ObserveValue records one sample into a named value histogram.
@@ -208,44 +211,36 @@ func (r *Registry) ObserveValue(name string, x int64) {
 }
 
 func (r *Registry) valueFor(name string) *ValueHist {
+	if v, ok := r.values.Load(name); ok {
+		return v.(*ValueHist)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	v, ok := r.values[name]
-	if !ok {
-		mustValidName(name)
-		v = &ValueHist{h: util.NewHist()}
-		r.values[name] = v
-	}
-	return v
+	mustValidName(name)
+	v, _ := r.values.LoadOrStore(name, &ValueHist{h: util.NewHist()})
+	return v.(*ValueHist)
 }
 
 // ValueHist returns the named value histogram, or nil if never observed.
 func (r *Registry) ValueHist(name string) *ValueHist {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.values[name]
+	if v, ok := r.values.Load(name); ok {
+		return v.(*ValueHist)
+	}
+	return nil
 }
 
 // StageSnapshot returns every observed stage's distribution, sorted by
 // total time descending — the stage eating the most of the budget first.
 func (r *Registry) StageSnapshot() []StageStat {
-	r.mu.Lock()
-	names := make([]string, 0, len(r.stages))
-	hists := make([]*util.Hist, 0, len(r.stages))
-	for name, h := range r.stages {
-		names = append(names, name)
-		hists = append(hists, h)
-	}
-	r.mu.Unlock()
-
-	out := make([]StageStat, 0, len(names))
-	for i, h := range hists {
+	var out []StageStat
+	r.stages.Load().Range(func(k, v any) bool {
+		h := v.(*util.Hist)
 		n := h.Count()
 		if n == 0 {
-			continue
+			return true
 		}
 		out = append(out, StageStat{
-			Stage: names[i],
+			Stage: k.(string),
 			Count: n,
 			Total: h.Sum(),
 			Mean:  h.Mean(),
@@ -253,7 +248,8 @@ func (r *Registry) StageSnapshot() []StageStat {
 			P99:   h.Quantile(0.99),
 			Max:   h.Max(),
 		})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {
 			return out[i].Total > out[j].Total
@@ -268,5 +264,5 @@ func (r *Registry) StageSnapshot() []StageStat {
 func (r *Registry) ResetStages() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.stages = make(map[string]*util.Hist)
+	r.stages.Store(&sync.Map{})
 }

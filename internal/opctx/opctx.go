@@ -128,8 +128,12 @@ type Op struct {
 	deadline time.Time // zero = no deadline
 	sink     Sink
 
-	cancelOnce sync.Once
-	done       chan struct{}
+	// done is created lazily on the first Done() call: most server-side
+	// ops never select on cancellation, so the common case allocates no
+	// channel. canceled is the authoritative cancel flag; the channel,
+	// when it exists, mirrors it.
+	canceled atomic.Bool
+	done     atomic.Pointer[chan struct{}]
 
 	mu    sync.Mutex
 	trail [numStages]stageCell
@@ -148,9 +152,8 @@ func New(clk clock.Clock, budget time.Duration) *Op {
 		clk = clock.Realtime
 	}
 	o := &Op{
-		id:   nextID.Add(1),
-		clk:  clk,
-		done: make(chan struct{}),
+		id:  nextID.Add(1),
+		clk: clk,
 	}
 	if budget > 0 {
 		o.deadline = clk.Now().Add(budget)
@@ -198,16 +201,29 @@ func (o *Op) Deadline() (time.Time, bool) {
 // Done implements context.Context. The channel fires on Cancel. Deadline
 // expiry does not fire it (no per-op timer goroutine exists); waits must
 // additionally bound themselves with Budget/Remaining.
-func (o *Op) Done() <-chan struct{} { return o.done }
+func (o *Op) Done() <-chan struct{} {
+	if p := o.done.Load(); p != nil {
+		return *p
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if p := o.done.Load(); p != nil {
+		return *p
+	}
+	ch := make(chan struct{})
+	if o.canceled.Load() {
+		close(ch)
+	}
+	o.done.Store(&ch)
+	return ch
+}
 
 // Err implements context.Context: context.Canceled after Cancel, an error
 // matching both context.DeadlineExceeded and util.ErrTimeout after the
 // deadline, else nil.
 func (o *Op) Err() error {
-	select {
-	case <-o.done:
+	if o.canceled.Load() {
 		return context.Canceled
-	default:
 	}
 	if !o.deadline.IsZero() && !o.clk.Now().Before(o.deadline) {
 		return errExpired
@@ -221,18 +237,17 @@ func (o *Op) Value(any) any { return nil }
 // Cancel abandons the op: Done fires, and every in-flight wait bound to
 // the op (RPC waits, version-slot queueing) unblocks promptly.
 func (o *Op) Cancel() {
-	o.cancelOnce.Do(func() { close(o.done) })
+	o.mu.Lock()
+	if !o.canceled.Swap(true) {
+		if p := o.done.Load(); p != nil {
+			close(*p)
+		}
+	}
+	o.mu.Unlock()
 }
 
 // Canceled reports whether Cancel was called.
-func (o *Op) Canceled() bool {
-	select {
-	case <-o.done:
-		return true
-	default:
-		return false
-	}
-}
+func (o *Op) Canceled() bool { return o.canceled.Load() }
 
 // Remaining returns the unspent deadline budget. ok=false when the op has
 // no deadline; a non-positive duration means the deadline has passed.
@@ -303,9 +318,26 @@ func (o *Op) ObserveStage(s Stage, d time.Duration) {
 //
 //	defer op.StartStage(opctx.StagePrimarySSD)()
 func (o *Op) StartStage(s Stage) func() {
-	t0 := o.clk.Now()
-	return func() { o.ObserveStage(s, o.clk.Now().Sub(t0)) }
+	t := o.Stage(s)
+	return t.Stop
 }
+
+// StageTimer is an in-flight stage measurement. It is a value: hot-path
+// callers that can pair Stage/Stop explicitly avoid the closure allocation
+// StartStage pays per call.
+type StageTimer struct {
+	o  *Op
+	s  Stage
+	t0 time.Time
+}
+
+// Stage begins timing s without allocating; record with Stop.
+func (o *Op) Stage(s Stage) StageTimer {
+	return StageTimer{o: o, s: s, t0: o.clk.Now()}
+}
+
+// Stop records the stage measurement begun by Stage.
+func (t StageTimer) Stop() { t.o.ObserveStage(t.s, t.o.clk.Now().Sub(t.t0)) }
 
 // StageSample is one breadcrumb trail entry.
 type StageSample struct {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ursa/internal/blockstore"
+	"ursa/internal/bufpool"
 )
 
 // Op identifies a request type.
@@ -271,7 +272,10 @@ func (m *Message) Encode(w io.Writer) error {
 	return nil
 }
 
-// Decode reads one full frame from r.
+// Decode reads one full frame from r. The payload buffer is reused when
+// the message already carries one of sufficient capacity; otherwise it is
+// leased from bufpool (the decoder's consumer owns it and must release it
+// with bufpool.Put when done — see DESIGN.md "Hot-path memory ownership").
 func (m *Message) Decode(r io.Reader) error {
 	hdr := hdrPool.Get().(*[HeaderSize]byte)
 	defer hdrPool.Put(hdr)
@@ -283,7 +287,11 @@ func (m *Message) Decode(r io.Reader) error {
 		return err
 	}
 	if n > 0 {
-		m.Payload = make([]byte, n)
+		if cap(m.Payload) >= n {
+			m.Payload = m.Payload[:n]
+		} else {
+			m.Payload = bufpool.Get(n)
+		}
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
 			return err
 		}

@@ -218,7 +218,12 @@ func (r *RS) PlanWrite(off int64, data, old []byte, backups int) ([]Shipment, er
 	affected := make(map[int]bool, len(pieces))
 	lo, hi := int64(-1), int64(-1)
 	for _, p := range pieces {
-		ships = append(ships, Shipment{Target: p.Seg, Off: p.SegOff, Data: data[p.BufLo:p.BufHi]})
+		// Own copy, not a sub-slice of data: the fan-out may outlive the
+		// caller's payload buffer (stragglers keep applying after a degraded
+		// commit, duplicates resend the cached plan), and data may be a
+		// pooled buffer recycled as soon as the caller releases it.
+		ships = append(ships, Shipment{Target: p.Seg, Off: p.SegOff,
+			Data: append([]byte(nil), data[p.BufLo:p.BufHi]...)})
 		affected[p.Seg] = true
 		pe := p.SegOff + int64(p.BufHi-p.BufLo)
 		if lo < 0 || p.SegOff < lo {

@@ -297,6 +297,30 @@ func (f *FaultInjector) WriteAt(p []byte, off int64) error {
 	return f.do(p, off, true)
 }
 
+// WritevAt implements VectoredWriter: the batch is one operation for fault
+// purposes — armed write faults intersecting any part of its total range
+// fail the whole batch, and stall/slow penalties apply once.
+func (f *FaultInjector) WritevAt(bufs [][]byte, off int64) error {
+	ferr, stall, slow := f.check(off, vecLen(bufs), true)
+	if ferr != nil {
+		f.writeFailed.Add(1)
+		return ferr
+	}
+	if stall > 0 {
+		f.delayedOps.Add(1)
+		f.clk.Sleep(stall)
+	}
+	t0 := f.clk.Now()
+	err := WritevAt(f.inner, bufs, off)
+	if slow > 1 {
+		if stall <= 0 {
+			f.delayedOps.Add(1)
+		}
+		f.clk.Sleep(time.Duration(float64(f.clk.Now().Sub(t0)) * (slow - 1)))
+	}
+	return err
+}
+
 // Size implements Disk.
 func (f *FaultInjector) Size() int64 { return f.inner.Size() }
 

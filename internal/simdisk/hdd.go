@@ -37,8 +37,16 @@ type HDD struct {
 type hddReq struct {
 	off   int64
 	buf   []byte
+	bufs  [][]byte // non-nil: vectored write; buf is unused
 	write bool
 	errc  chan error
+}
+
+func (r *hddReq) length() int {
+	if r.bufs != nil {
+		return vecLen(r.bufs)
+	}
+	return len(r.buf)
 }
 
 // NewHDD creates a simulated HDD and starts its service loop.
@@ -65,12 +73,25 @@ func (d *HDD) WriteAt(p []byte, off int64) error {
 	return d.submit(p, off, true)
 }
 
+// WritevAt implements VectoredWriter: the batch is queued as one request,
+// costing one elevator pass plus the transfer time of its total length —
+// the single sequential write a real group commit issues with pwritev.
+func (d *HDD) WritevAt(bufs [][]byte, off int64) error {
+	if err := d.store.check(off, vecLen(bufs)); err != nil {
+		return err
+	}
+	return d.enqueue(&hddReq{off: off, bufs: bufs, write: true, errc: make(chan error, 1)})
+}
+
 func (d *HDD) submit(p []byte, off int64, write bool) error {
 	if err := d.store.check(off, len(p)); err != nil {
 		return err
 	}
-	req := &hddReq{off: off, buf: p, write: write, errc: make(chan error, 1)}
+	return d.enqueue(&hddReq{off: off, buf: p, write: write, errc: make(chan error, 1)})
+}
 
+func (d *HDD) enqueue(req *hddReq) error {
+	off := req.off
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -112,15 +133,18 @@ func (d *HDD) serve() {
 		d.clk.Sleep(service)
 
 		var err error
-		if req.write {
+		switch {
+		case req.bufs != nil:
+			err = d.store.writevAt(req.bufs, req.off)
+		case req.write:
 			err = d.store.writeAt(req.buf, req.off)
-		} else {
+		default:
 			err = d.store.readAt(req.buf, req.off)
 		}
 		if err == nil {
-			d.stats.record(req.write, len(req.buf), service)
+			d.stats.record(req.write, req.length(), service)
 		}
-		d.headPos = req.off + int64(len(req.buf))
+		d.headPos = req.off + int64(req.length())
 
 		d.mu.Lock()
 		d.depth--
@@ -162,7 +186,7 @@ func (d *HDD) serviceTime(req *hddReq) time.Duration {
 	if dist < 0 {
 		dist = -dist
 	}
-	t := transfer(len(req.buf), d.model.Bandwidth)
+	t := transfer(req.length(), d.model.Bandwidth)
 	if dist > d.model.TrackSkip {
 		// Seek: settle + stroke-proportional travel + half a rotation.
 		frac := float64(dist) / float64(d.model.Capacity)

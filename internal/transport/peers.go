@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/opctx"
 	"ursa/internal/proto"
@@ -76,10 +77,13 @@ func evictable(err error) bool {
 }
 
 // Do sends m to addr on behalf of op, bounded by the op's budget and cap,
-// evicting the cached connection on transport faults.
+// evicting the cached connection on transport faults. Do consumes one
+// reference to m.Payload on every path (a failed dial releases it here;
+// everything later goes through Client.Do, which has the same contract).
 func (p *Peers) Do(op *opctx.Op, addr string, m *proto.Message, cap time.Duration) (*proto.Message, error) {
 	c, err := p.Get(addr)
 	if err != nil {
+		bufpool.Put(m.Payload)
 		return nil, err
 	}
 	resp, err := c.Do(op, m, cap)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/opctx"
 	"ursa/internal/proto"
@@ -54,8 +55,11 @@ func (c *Client) recvLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- m // buffered; never blocks
+		} else {
+			// Unknown ID: a late response to a timed-out or abandoned call.
+			// The message dies here, so its payload lease dies with it.
+			bufpool.Put(m.Payload)
 		}
-		// Unknown IDs are late responses to timed-out calls: dropped.
 	}
 }
 
@@ -72,27 +76,102 @@ func (c *Client) failAll() {
 // Go sends m and returns a channel that yields the response, or is closed
 // on connection failure. The caller owns timeout policy.
 func (c *Client) Go(m *proto.Message) <-chan *proto.Message {
-	ch := make(chan *proto.Message, 1)
+	return c.Start(m).ch
+}
+
+// PendingCall is one in-flight request started with Start. Exactly one of
+// Done-receive or Abandon must consume it: Abandon releases the response's
+// payload lease no matter how the race with the dispatcher falls, which is
+// what lets pipelined callers (chunk clones) bail out mid-stream without
+// leaking pooled buffers.
+type PendingCall struct {
+	c  *Client
+	id uint64
+	ch chan *proto.Message
+}
+
+// pcPool recycles PendingCalls and their reply channels between calls —
+// one struct + one buffered channel per RPC otherwise. Only Do recycles
+// (its PendingCall never escapes); Start/Go callers own theirs. A
+// PendingCall is recyclable only while its channel is open and empty:
+// after a successful receive, or after an Abandon that either beat the
+// dispatcher or drained a real response. Closed channels (connection
+// failure) are never pooled.
+var pcPool = sync.Pool{New: func() any {
+	return &PendingCall{ch: make(chan *proto.Message, 1)}
+}}
+
+// timerPool recycles call timers. clk.After leaves a live runtime timer
+// behind on every completed call until it expires; a pooled Stop'd timer
+// is one runtime timer total per concurrent call.
+var timerPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return t
+}}
+
+// Start sends m and returns the in-flight call. The response channel is
+// closed on connection failure. Start consumes one reference to m.Payload
+// on every path — normally through Send, directly when the client is
+// already closed — so callers can treat "handed to Start/Go/Do" as
+// "released" unconditionally.
+func (c *Client) Start(m *proto.Message) *PendingCall {
+	var pc *PendingCall
+	if bufpool.Enabled() {
+		pc = pcPool.Get().(*PendingCall)
+		pc.c = c
+	} else {
+		pc = &PendingCall{c: c, ch: make(chan *proto.Message, 1)}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		close(ch)
-		return ch
+		bufpool.Put(m.Payload)
+		close(pc.ch)
+		return pc
 	}
 	c.nextID++
 	m.ID = c.nextID
-	c.pending[m.ID] = ch
+	pc.id = m.ID
+	c.pending[m.ID] = pc.ch
 	c.mu.Unlock()
 
 	if err := c.conn.Send(m); err != nil {
 		c.mu.Lock()
-		if _, ok := c.pending[m.ID]; ok {
-			delete(c.pending, m.ID)
-			close(ch)
+		if _, ok := c.pending[pc.id]; ok {
+			delete(c.pending, pc.id)
+			close(pc.ch)
 		}
 		c.mu.Unlock()
 	}
-	return ch
+	return pc
+}
+
+// Done yields the response, or is closed on connection failure.
+func (pc *PendingCall) Done() <-chan *proto.Message { return pc.ch }
+
+// Abandon gives up on the call. If the dispatcher already claimed it, the
+// (delivered or imminent) response is drained and its payload released;
+// otherwise the pending entry is removed and the dispatcher will release
+// the late response when it arrives.
+func (pc *PendingCall) Abandon() { pc.abandon() }
+
+// abandon does Abandon's work and reports whether the channel is still
+// open and empty — i.e. whether pc may be recycled.
+func (pc *PendingCall) abandon() bool {
+	if pc.c.forget(pc.id) {
+		return true // no send ever happens; channel open and empty
+	}
+	// The dispatcher removed the entry before we could: its channel send
+	// is complete or imminent (or the channel is closed). Never blocks
+	// long.
+	if resp, ok := <-pc.ch; ok {
+		if resp != nil {
+			bufpool.Put(resp.Payload)
+		}
+		return true // drained; channel open and empty again
+	}
+	return false // closed by connection failure; not reusable
 }
 
 // Do sends m on behalf of op and waits for the response, bounded by the
@@ -103,47 +182,79 @@ func (c *Client) Go(m *proto.Message) <-chan *proto.Message {
 // unblocks the wait promptly; in either early-exit case the pending entry
 // is removed, so a late response is dropped by the dispatcher instead of
 // leaking.
+// Like Start, Do consumes one reference to m.Payload on every path,
+// including the pre-send early returns.
 func (c *Client) Do(op *opctx.Op, m *proto.Message, cap time.Duration) (*proto.Message, error) {
 	if err := op.Err(); err != nil {
+		bufpool.Put(m.Payload)
 		return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, err)
 	}
 	wait, ok := op.Budget(cap)
 	if !ok {
+		bufpool.Put(m.Payload)
 		return nil, fmt.Errorf("rpc call op=%d: budget spent: %w", m.Op, util.ErrTimeout)
 	}
 	m.OpID = op.ID()
 	m.Budget = op.WireBudget()
 
-	stop := op.StartStage(opctx.StageNet)
-	ch := c.Go(m)
-	var timer <-chan time.Time
+	st := op.Stage(opctx.StageNet)
+	pc := c.Start(m)
+	// Do's PendingCall never escapes, so safe completions recycle it (and
+	// the timer) instead of allocating per call.
+	var timer *time.Timer
+	var timerC <-chan time.Time
 	if wait > 0 {
-		timer = c.clk.After(wait)
+		if bufpool.Enabled() {
+			timer = timerPool.Get().(*time.Timer)
+			timer.Reset(time.Duration(float64(wait) * c.clk.Scale()))
+			timerC = timer.C
+		} else {
+			timerC = c.clk.After(wait)
+		}
 	}
 	select {
-	case resp, respOK := <-ch:
-		stop()
+	case resp, respOK := <-pc.ch:
+		st.Stop()
+		if timer != nil {
+			timer.Stop()
+			timerPool.Put(timer)
+		}
 		if !respOK {
 			return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, ErrConnClosed)
 		}
+		pcPool.Put(pc)
 		return resp, nil
-	case <-timer:
-		stop()
-		c.forget(m.ID)
+	case <-timerC:
+		st.Stop()
+		if timer != nil {
+			timerPool.Put(timer) // fired and drained; nothing to stop
+		}
+		if pc.abandon() {
+			pcPool.Put(pc)
+		}
 		return nil, fmt.Errorf("rpc call op=%d after %v: %w", m.Op, wait, util.ErrTimeout)
 	case <-op.Done():
-		stop()
-		c.forget(m.ID)
+		st.Stop()
+		if timer != nil {
+			timer.Stop()
+			timerPool.Put(timer)
+		}
+		if pc.abandon() {
+			pcPool.Put(pc)
+		}
 		return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, op.Err())
 	}
 }
 
-// forget abandons an in-flight call so the dispatcher drops its late
-// response instead of delivering it (and instead of leaking the entry).
-func (c *Client) forget(id uint64) {
+// forget abandons an in-flight call so the dispatcher drops (and releases)
+// its late response instead of delivering it. It reports whether the entry
+// was still pending; false means the dispatcher already claimed it.
+func (c *Client) forget(id uint64) bool {
 	c.mu.Lock()
+	_, ok := c.pending[id]
 	delete(c.pending, id)
 	c.mu.Unlock()
+	return ok
 }
 
 // pendingCalls reports the number of in-flight calls (tests).
@@ -266,7 +377,33 @@ func (s *Server) connLoop(conn MsgConn) {
 		conn.Close()
 	}()
 	sem := make(chan struct{}, s.maxInflight)
+	// Parked handler workers, each identified by its inbox. Handler chains
+	// run deep (rpc -> chunkserver -> blockstore/journal), so a fresh
+	// goroutine per message pays runtime.newstack/copystack to re-grow the
+	// same stack every request — ~20% of all CPU at the zero-latency IOPS
+	// ceiling. Reusing workers keeps stacks grown. Invariant: a worker
+	// parks (pushes its inbox) BEFORE inner.Done(), so once inner.Wait()
+	// returns every surviving worker is reachable through idle.
+	idle := make(chan chan *proto.Message, s.maxInflight)
 	var inner sync.WaitGroup
+	worker := func(inbox chan *proto.Message, m *proto.Message) {
+		for {
+			s.serveOne(conn, m)
+			<-sem
+			select {
+			case idle <- inbox:
+			default: // enough idlers parked; retire
+				inner.Done()
+				return
+			}
+			inner.Done()
+			var ok bool
+			if m, ok = <-inbox; !ok {
+				return
+			}
+			// Dispatcher did inner.Add(1) before handing us m.
+		}
+	}
 	for {
 		m, err := conn.Recv()
 		if err != nil {
@@ -277,15 +414,46 @@ func (s *Server) connLoop(conn MsgConn) {
 			s.qsink.ObserveValue(MetricConnInflight, int64(len(sem)))
 		}
 		inner.Add(1)
-		go func(m *proto.Message) {
-			defer inner.Done()
-			defer func() { <-sem }()
-			if resp := s.h(m); resp != nil {
-				_ = conn.Send(resp) // conn teardown surfaces at Recv
-			}
-		}(m)
+		if !bufpool.Enabled() {
+			// Legacy (pre-pool) dispatch: one goroutine per message. Kept
+			// reachable so the ceiling bench can measure it as baseline.
+			go func(m *proto.Message) {
+				defer inner.Done()
+				defer func() { <-sem }()
+				s.serveOne(conn, m)
+			}(m)
+			continue
+		}
+		select {
+		case w := <-idle:
+			w <- m
+		default:
+			go worker(make(chan *proto.Message), m)
+		}
 	}
 	inner.Wait()
+	// All requests are done; release parked workers.
+	for {
+		select {
+		case w := <-idle:
+			close(w)
+		default:
+			return
+		}
+	}
+}
+
+// serveOne runs the handler for one request and settles the request
+// payload's lease.
+func (s *Server) serveOne(conn MsgConn, m *proto.Message) {
+	if resp := s.h(m); resp != nil {
+		_ = conn.Send(resp) // conn teardown surfaces at Recv
+	}
+	// The server owns the request's payload lease (TCP decode
+	// leases from bufpool; in-process payloads are foreign no-ops).
+	// A handler that extends the payload's lifetime past its return
+	// — a replication fan-out, an aliased response — must Retain.
+	bufpool.Put(m.Payload)
 }
 
 // Addr returns the listener address.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/proto"
 	"ursa/internal/util"
@@ -183,17 +184,64 @@ type timedMsg struct {
 // simPipe is one direction of a connection: a deep FIFO plus propagation
 // delay applied at the receiver, so many messages can be in flight — the
 // in-network pipelining the paper leans on (§3.4).
+//
+// Enqueue and close are serialized by the mutex so a message can never be
+// committed to a pipe after close has drained it — undrained messages
+// would leak their payload leases. A full pipe drops the message like a
+// congested switch would (the FIFO is 16× deeper than the per-connection
+// inflight cap, so this does not happen outside adversarial tests).
 type simPipe struct {
+	mu     sync.Mutex
+	dead   bool
 	ch     chan timedMsg
 	closed chan struct{}
-	once   sync.Once
 }
 
 func newSimPipe() *simPipe {
 	return &simPipe{ch: make(chan timedMsg, 4096), closed: make(chan struct{})}
 }
 
-func (p *simPipe) close() { p.once.Do(func() { close(p.closed) }) }
+// send enqueues tm, taking ownership of its payload lease. A closed pipe
+// reports ErrConnClosed; a full pipe drops silently. Either way the lease
+// is released — the simulated wire is a consumer like any other.
+func (p *simPipe) send(tm timedMsg) error {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		bufpool.Put(tm.m.Payload)
+		return ErrConnClosed
+	}
+	select {
+	case p.ch <- tm:
+		p.mu.Unlock()
+		return nil
+	default:
+		p.mu.Unlock()
+		bufpool.Put(tm.m.Payload) // congestion drop
+		return nil
+	}
+}
+
+// close marks the pipe dead and releases every undelivered message's
+// payload lease. Idempotent; safe against concurrent send and recv.
+func (p *simPipe) close() {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	close(p.closed)
+	p.mu.Unlock()
+	for {
+		select {
+		case tm := <-p.ch:
+			bufpool.Put(tm.m.Payload)
+		default:
+			return
+		}
+	}
+}
 
 // simConn is one end of a simulated connection.
 type simConn struct {
@@ -206,25 +254,25 @@ type simConn struct {
 }
 
 // Send shapes the message through both NICs and enqueues it, dropping it
-// silently when the link is partitioned or the peer is down.
+// silently when the link is partitioned or the peer is down. Send consumes
+// the caller's reference to m.Payload: delivery hands it to the receiver,
+// and every drop path releases it (a dropped message's payload would
+// otherwise leak its lease).
 func (c *simConn) Send(m *proto.Message) error {
 	select {
 	case <-c.sendPipe.closed:
+		bufpool.Put(m.Payload)
 		return ErrConnClosed
 	default:
 	}
 	size := m.WireSize()
 	c.local.out.Take(size)
 	if c.net.partitioned(c.local.addr, c.remoteAddr) || c.net.Down(c.remoteAddr) {
+		bufpool.Put(m.Payload)
 		return nil // dropped on the wire; timeouts upstairs handle it
 	}
 	c.net.nodeIn(c.remoteAddr).Take(size)
-	select {
-	case c.sendPipe.ch <- timedMsg{m: m, sent: c.net.clk.Now()}:
-		return nil
-	case <-c.sendPipe.closed:
-		return ErrConnClosed
-	}
+	return c.sendPipe.send(timedMsg{m: m, sent: c.net.clk.Now()})
 }
 
 func (n *SimNet) nodeIn(addr string) *TokenBucket {

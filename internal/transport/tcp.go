@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"ursa/internal/bufpool"
 	"ursa/internal/proto"
 )
 
@@ -31,11 +32,15 @@ func NewTCPConn(c net.Conn) MsgConn {
 
 func (t *tcpConn) Send(m *proto.Message) error {
 	t.wm.Lock()
-	defer t.wm.Unlock()
-	if err := m.Encode(t.w); err != nil {
-		return err
+	err := m.Encode(t.w)
+	if err == nil {
+		err = t.w.Flush()
 	}
-	return t.w.Flush()
+	t.wm.Unlock()
+	// Send consumes the caller's reference: the payload is on the wire (or
+	// lost with the connection) and the caller must not touch it again.
+	bufpool.Put(m.Payload)
+	return err
 }
 
 func (t *tcpConn) Recv() (*proto.Message, error) {

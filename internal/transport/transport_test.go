@@ -6,13 +6,18 @@ import (
 	"testing"
 	"time"
 
+	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/proto"
 	"ursa/internal/util"
 )
 
-// echoHandler responds with the request payload reversed in status OK.
+// echoHandler responds with the request payload in status OK. Aliasing the
+// request payload into the response hands a second consumer (Send) the
+// same buffer, so the handler takes its own reference first — the
+// Retain-on-alias rule of the ownership contract.
 func echoHandler(m *proto.Message) *proto.Message {
+	bufpool.Retain(m.Payload)
 	r := m.Reply(proto.StatusOK)
 	r.Payload = m.Payload
 	return r
