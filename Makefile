@@ -30,9 +30,10 @@ check: vet lint build test race chaos-smoke scrub-smoke ec-smoke perf-smoke benc
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
 
-# Short-run sanity pass over the bench figures that gate acceptance. Every
-# run refreshes the canonical BENCH_*.json artifacts at the repository root
-# (internal/bench/artifactPath anchors them there no matter the cwd).
+# Short-run sanity pass over the bench figures that gate acceptance. Quick
+# runs write their (shrunk, noisy) artifacts to a temp dir; only explicit
+# full `-fig X` runs refresh the canonical repo-root BENCH_*.json files
+# (internal/bench/artifactPath).
 bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig journal -quick
 	$(GO) run ./cmd/ursa-bench -fig hotchunk -quick
@@ -41,8 +42,9 @@ bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig ec -quick
 
 # Hot-path allocation regression gate: runs the steady-state micro
-# benchmarks (read+verify, write+stamp, pooled decode) and fails if any
-# loop's allocs/op or B/op exceeds the checked-in ceiling in
+# benchmarks (read+verify, write+stamp, pooled decode, client-directed
+# write fan-out, jindex insert/query) and fails if any loop's allocs/op or
+# B/op exceeds the checked-in ceiling in
 # internal/bench/testdata/perf_baseline.json (currently 0 allocs/op).
 perf-smoke:
 	$(GO) test ./internal/bench -run TestPerfSmoke -count=1 -v

@@ -318,8 +318,18 @@ func buildComparison(volumeSize int64) ([]system, error) {
 // artifactPath anchors a BENCH_*.json artifact at the repository root (the
 // nearest ancestor directory holding go.mod), so `go test ./internal/bench`
 // and `go run ./cmd/ursa-bench` refresh the same canonical files instead of
-// scattering copies per working directory.
-func artifactPath(name string) string {
+// scattering copies per working directory. Quick (smoke) runs are CI
+// probes with shrunk op counts: their numbers must never overwrite the
+// canonical artifacts, so they land in a temp directory instead and only
+// explicit full -fig runs refresh the repository copies.
+func artifactPath(cfg Config, name string) string {
+	if cfg.Quick {
+		dir := filepath.Join(os.TempDir(), "ursa-bench")
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			return filepath.Join(dir, name)
+		}
+		return filepath.Join(os.TempDir(), name)
+	}
 	dir, err := os.Getwd()
 	if err != nil {
 		return name

@@ -13,9 +13,12 @@ import (
 	"ursa/internal/bufpool"
 	"ursa/internal/clock"
 	"ursa/internal/core"
+	"ursa/internal/jindex"
 	"ursa/internal/master"
+	"ursa/internal/opctx"
 	"ursa/internal/proto"
 	"ursa/internal/simdisk"
+	"ursa/internal/transport"
 	"ursa/internal/util"
 	"ursa/internal/workload"
 )
@@ -267,7 +270,84 @@ func ceilingMicros() []ceilingMicro {
 		}
 	}))
 	bufpool.Put(msg.Payload)
+
+	// Client-directed fan-out: one pooled 3-way broadcast per op against a
+	// synchronous stub replica, isolating the dispatch machinery (flight
+	// lease, message frames, worker hand-off, result collection) from the
+	// server stack. This is the loop writeClientDirected runs per tiny write.
+	bc := transport.NewBroadcaster(fanoutStub{})
+	op := opctx.New(clock.Realtime, 0)
+	fanAddrs := [3]string{"r0", "r1", "r2"}
+	payload := bufpool.Get(4096)
+	copy(payload, data)
+	out = append(out, run("write4k-client-directed", func(i int) {
+		fl := bc.Begin(len(fanAddrs))
+		for t := range fanAddrs {
+			m := proto.GetMessage()
+			m.Op = proto.OpReplicate
+			m.Chunk = id
+			m.Off = offs[i&63]
+			m.Length = 4096
+			m.Version = 7
+			m.Payload = payload
+			bufpool.Retain(payload)
+			fl.Go(t, fanAddrs[t], op, time.Second, m)
+		}
+		for range fanAddrs {
+			if r := fl.Next(); r.Err || r.Status != proto.StatusOK {
+				panic("fan-out stub failed")
+			}
+		}
+		fl.Finish()
+	}))
+	bufpool.Put(payload)
+	bc.Close()
+
+	// Journal-index insert: cycling writes over a small working set, with a
+	// periodic merge so the freeze/merge scratch and the node freelist are
+	// exercised (their cost amortizes to zero per op, which is the claim).
+	ins := jindex.New(0)
+	insJOff := uint64(0)
+	out = append(out, run("jindex-insert", func(i int) {
+		ins.Insert(uint32(offs[i&63]/util.SectorSize), 8, insJOff)
+		insJOff += 8
+		if i&4095 == 4095 {
+			ins.MergeNow()
+		}
+	}))
+
+	// Journal-index query: resolve a 32 KiB range against a populated
+	// tree+array index into reused extent and hole buffers.
+	qix := jindex.New(0)
+	qJOff := uint64(0)
+	for sec := uint32(0); sec < 8192; sec += 16 {
+		qix.Insert(sec, 8, qJOff) // half coverage: extents and holes alike
+		qJOff += 8
+	}
+	qix.MergeNow() // push into the sorted array level
+	for i, o := range offs {
+		qix.Insert(uint32(o/util.SectorSize), 4, qJOff+uint64(i)*4)
+	}
+	var qExt, qHoles []jindex.Extent
+	out = append(out, run("jindex-query", func(i int) {
+		off := uint32(offs[i&63] / util.SectorSize)
+		qExt = qix.QueryInto(qExt[:0], off, 64)
+		qHoles = jindex.HolesInto(qHoles[:0], off, 64, qExt)
+	}))
 	return out
+}
+
+// fanoutStub is the zero-cost replica behind the write4k-client-directed
+// micro: it settles the request exactly as the transport would (one payload
+// reference consumed, frame recycled) and answers OK from the message pool.
+type fanoutStub struct{}
+
+func (fanoutStub) Do(op *opctx.Op, addr string, m *proto.Message, cap time.Duration) (*proto.Message, error) {
+	resp := m.Reply(proto.StatusOK)
+	resp.Version = m.Version
+	bufpool.Put(m.Payload)
+	proto.Recycle(m)
+	return resp, nil
 }
 
 // FigCeiling benchmarks the software IOPS ceiling: 4 KiB random reads and
@@ -334,7 +414,7 @@ func FigCeiling(cfg Config) Table {
 		fmt.Sprintf("pool leases=%d, in-use after drain=%d (must be 0)",
 			doc.PoolLeases, doc.PoolInUseAfter))
 	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
-		if werr := os.WriteFile(artifactPath(ceilingBenchJSON), append(buf, '\n'), 0o644); werr != nil {
+		if werr := os.WriteFile(artifactPath(cfg, ceilingBenchJSON), append(buf, '\n'), 0o644); werr != nil {
 			t.Notes = append(t.Notes, "write "+ceilingBenchJSON+": "+werr.Error())
 		}
 	}

@@ -92,7 +92,7 @@ func FigEC(cfg Config) Table {
 		}
 	}
 	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
-		if werr := os.WriteFile(artifactPath(ecBenchJSON), append(buf, '\n'), 0o644); werr != nil {
+		if werr := os.WriteFile(artifactPath(cfg, ecBenchJSON), append(buf, '\n'), 0o644); werr != nil {
 			t.Notes = append(t.Notes, "write "+ecBenchJSON+": "+werr.Error())
 		}
 	}

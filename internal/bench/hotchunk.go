@@ -270,7 +270,7 @@ func FigHotchunk(cfg Config) Table {
 		"so the primary SSD sees real queue depth and the backups' journals batch same-chunk",
 		"appends per flush (mean batch > 1 is impossible on one chunk without the pipeline).")
 	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
-		if werr := os.WriteFile(artifactPath(hotchunkBenchJSON), append(buf, '\n'), 0o644); werr != nil {
+		if werr := os.WriteFile(artifactPath(cfg, hotchunkBenchJSON), append(buf, '\n'), 0o644); werr != nil {
 			t.Notes = append(t.Notes, "write "+hotchunkBenchJSON+": "+werr.Error())
 		}
 	}

@@ -160,7 +160,7 @@ func FigJournal(cfg Config) Table {
 		"contiguous sequential journal write and wakes every waiter. At QD 1 there is nothing",
 		"to batch and the modes converge; at QD >= 8 batching collapses per-record dispatch.")
 	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
-		if werr := os.WriteFile(artifactPath(journalBenchJSON), append(buf, '\n'), 0o644); werr != nil {
+		if werr := os.WriteFile(artifactPath(cfg, journalBenchJSON), append(buf, '\n'), 0o644); werr != nil {
 			t.Notes = append(t.Notes, "write "+journalBenchJSON+": "+werr.Error())
 		}
 	}

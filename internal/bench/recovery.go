@@ -180,7 +180,7 @@ func FigRecovery(cfg Config) Table {
 			", recovery p50 = "+f1(doc.RecoveryP50Ms)+"ms).")
 
 	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
-		if werr := os.WriteFile(artifactPath(recoveryBenchJSON), append(buf, '\n'), 0o644); werr != nil {
+		if werr := os.WriteFile(artifactPath(cfg, recoveryBenchJSON), append(buf, '\n'), 0o644); werr != nil {
 			t.Notes = append(t.Notes, "write "+recoveryBenchJSON+": "+werr.Error())
 		}
 	}

@@ -349,7 +349,7 @@ func FigScrub(cfg Config) Table {
 	t.Extra = append(t.Extra, rel)
 
 	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
-		if werr := os.WriteFile(artifactPath(scrubBenchJSON), append(buf, '\n'), 0o644); werr != nil {
+		if werr := os.WriteFile(artifactPath(cfg, scrubBenchJSON), append(buf, '\n'), 0o644); werr != nil {
 			t.Notes = append(t.Notes, "write "+scrubBenchJSON+": "+werr.Error())
 		}
 	}

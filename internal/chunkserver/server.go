@@ -120,6 +120,9 @@ type Server struct {
 	// the whole data path at QD32.
 	chunks [chunkShards]chunkShard
 	peers  *transport.Peers
+	// bcast fans replication shipments out onto pooled workers with pooled
+	// result collectors (no per-write goroutines/channels on the hot path).
+	bcast *transport.Broadcaster
 
 	// upMu/upCond gate request admission during a hot upgrade (§5.2):
 	// Handle parks on the condvar while draining, Upgrade parks until the
@@ -160,6 +163,7 @@ func New(cfg Config, store *blockstore.Store, jset *journal.Set) *Server {
 	for i := range s.chunks {
 		s.chunks[i].m = make(map[blockstore.ChunkID]*chunkState)
 	}
+	s.bcast = transport.NewBroadcaster(s.peers)
 	s.upCond = sync.NewCond(&s.upMu)
 	if jset != nil {
 		// A journal dying is handled inside the set (re-route, then bypass)
@@ -251,6 +255,7 @@ func (s *Server) Close() {
 	if s.rpc != nil {
 		s.rpc.Close()
 	}
+	s.bcast.Close()
 	s.peers.CloseAll()
 	if s.jset != nil {
 		s.jset.Close()
@@ -935,50 +940,49 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 // configured ReplTimeout.
 func (s *Server) replicateShipments(op *opctx.Op, backups []string, m *proto.Message, strat redundancy.Strategy, ships []redundancy.Shipment) bool {
 	window := s.opBudget(op, s.cfg.ReplTimeout)
-	type result struct {
-		target int
-		ok     bool
-	}
-	results := make(chan result, len(ships))
+	// The transport recycles the request frame m when the handler returns,
+	// and the handler may return (commit decided) while straggler shipments
+	// are still applying in the background — so the correlation fields are
+	// copied out of m into each branch's own pooled message up front;
+	// nothing dispatched below reads through m.
+	chunk, view, version := m.Chunk, m.View, m.Version
+	fl := s.bcast.Begin(len(ships))
 	for _, sh := range ships {
 		// Mirror shipments alias the request payload, whose lease the
 		// transport server releases when the handler returns — but a
 		// shipment may outlive the handler (degraded-commit stragglers keep
-		// applying in the background). Each goroutine therefore carries its
+		// applying in the background). Each branch therefore carries its
 		// own reference, consumed by its one Do. RS shipments own their
 		// buffers, making this a no-op.
 		bufpool.Retain(sh.Data)
-		go func(sh redundancy.Shipment) {
-			var flags uint8
-			if sh.Xor {
-				flags |= proto.FlagXorApply
-			}
-			if sh.Bump {
-				flags |= proto.FlagVersionBump
-			}
-			req := &proto.Message{
-				Op:      proto.OpReplicate,
-				Chunk:   m.Chunk,
-				Off:     sh.Off,
-				View:    m.View,
-				Version: m.Version,
-				Flags:   flags,
-				Seg:     uint16(sh.Target),
-				Payload: sh.Data,
-			}
-			resp, err := s.peers.Do(op, backups[sh.Target], req, window)
-			results <- result{sh.Target, err == nil && resp.Status == proto.StatusOK}
-		}(sh)
+		var flags uint8
+		if sh.Xor {
+			flags |= proto.FlagXorApply
+		}
+		if sh.Bump {
+			flags |= proto.FlagVersionBump
+		}
+		req := proto.GetMessage()
+		req.Op = proto.OpReplicate
+		req.Chunk = chunk
+		req.Off = sh.Off
+		req.View = view
+		req.Version = version
+		req.Flags = flags
+		req.Seg = uint16(sh.Target)
+		req.Payload = sh.Data
+		fl.Go(sh.Target, backups[sh.Target], op, window, req)
 	}
+	defer fl.Finish()
 	acks := 0
 	var failed []int
 	st := op.Stage(opctx.StageReplWait)
 	defer st.Stop()
 	for done := 1; done <= len(ships); done++ {
-		if r := <-results; r.ok {
+		if r := fl.Next(); !r.Err && r.Status == proto.StatusOK {
 			acks++
 		} else {
-			failed = append(failed, r.target)
+			failed = append(failed, r.Target)
 		}
 		if acks == len(ships) {
 			return true
@@ -1001,7 +1005,7 @@ func (s *Server) replicateShipments(op *opctx.Op, backups []string, m *proto.Mes
 			s.degradedCommits.Add(1)
 			if strat.Spec().IsRS() {
 				for _, t := range failed {
-					s.reportFailure(m.Chunk, backups[t])
+					s.reportFailure(chunk, backups[t])
 				}
 			}
 			return true

@@ -49,6 +49,12 @@ type Config struct {
 	// MaxRetries bounds how many recover-and-retry rounds an I/O attempts
 	// before failing.
 	MaxRetries int
+	// ReportCooldown bounds how often the client re-files the same
+	// asynchronous (chunk, address) failure report: straggler reports from
+	// the client-directed majority-ack path are fire-and-forget, and
+	// without the cooldown a flapping replica spawns one report per failed
+	// write. 0 means 1s.
+	ReportCooldown time.Duration
 	// Metrics, when non-nil, receives per-stage latency breadcrumbs from
 	// this client's operations.
 	Metrics *metrics.Registry
@@ -72,6 +78,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.IOTimeout <= 0 {
 		c.IOTimeout = time.Duration(c.MaxRetries+1) * c.CallTimeout
+	}
+	if c.ReportCooldown <= 0 {
+		c.ReportCooldown = time.Second
 	}
 	if c.Name == "" {
 		c.Name = "client"

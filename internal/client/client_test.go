@@ -11,6 +11,7 @@ import (
 	"ursa/internal/clock"
 	"ursa/internal/journal"
 	"ursa/internal/master"
+	"ursa/internal/metrics"
 	"ursa/internal/simdisk"
 	"ursa/internal/transport"
 	"ursa/internal/util"
@@ -138,6 +139,34 @@ func TestClientRoundTripAndStats(t *testing.T) {
 	}
 	if vd.ID() == 0 || vd.Meta().Name != "d" {
 		t.Error("metadata accessors wrong")
+	}
+}
+
+func TestClientRegistryMetrics(t *testing.T) {
+	e := newEnv(t)
+	reg := metrics.NewRegistry()
+	cl := New(Config{
+		Name: "m", MasterAddr: "master", Clock: e.clk,
+		Dialer:      e.net.Dialer("client-m", transport.NodeConfig{}),
+		CallTimeout: 300 * time.Millisecond,
+		Metrics:     reg,
+	})
+	t.Cleanup(cl.Close)
+	vd := e.vdisk(t, cl, "d", 128*util.MiB)
+
+	data := make([]byte, 4*util.KiB)
+	util.NewRand(3).Fill(data)
+	for i := 0; i < 3; i++ {
+		if err := vd.WriteAt(data, int64(i)*int64(len(data))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("client-tiny-writes").Load(); got != 3 {
+		t.Errorf("client-tiny-writes = %d, want 3", got)
+	}
+	h := reg.LatencyHist("client-directed-fanout")
+	if h == nil || h.Count() != 3 {
+		t.Errorf("client-directed-fanout hist = %v", h)
 	}
 }
 

@@ -41,29 +41,55 @@ type VDisk struct {
 	meta   master.VDiskMeta
 	chunks []*chunkHandle
 	wlimit *transport.TokenBucket // master-imposed write budget (§3.2)
+	// bcast fans client-directed replication out onto pooled workers with a
+	// pooled result collector — no per-write goroutines or channels.
+	bcast *transport.Broadcaster
 
 	renewStop chan struct{}
 	renewDone chan struct{}
 	closed    atomic.Bool
 	leaseOK   atomic.Bool
 
+	// Straggler failure reports are fire-and-forget; the dedup below keeps a
+	// flapping replica from spawning one report goroutine per failed write
+	// (mirroring the chunkserver's per-chunk report cooldown).
+	repMu       sync.Mutex
+	repInflight map[int]struct{}       // chunk idx -> report in flight
+	repLast     map[reportKey]time.Time // last report per (chunk, addr)
+
 	reads, writes         metrics.Counter
 	bytesRead, bytesWrite metrics.Counter
 	retries, failovers    metrics.Counter
 	tinyWrites            metrics.Counter
+	// tinyWritesC mirrors tinyWrites into the shared metrics registry
+	// ("client-tiny-writes"); nil when the client has no registry.
+	tinyWritesC *metrics.Counter
+}
+
+// reportKey identifies one (chunk, failed address) straggler report for
+// the cooldown window.
+type reportKey struct {
+	idx  int
+	addr string
 }
 
 func newVDisk(c *Client, meta master.VDiskMeta) *VDisk {
 	vd := &VDisk{
-		c:      c,
-		meta:   meta,
-		chunks: make([]*chunkHandle, len(meta.Chunks)),
+		c:           c,
+		meta:        meta,
+		chunks:      make([]*chunkHandle, len(meta.Chunks)),
+		bcast:       transport.NewBroadcaster(c.peers),
+		repInflight: make(map[int]struct{}),
+		repLast:     make(map[reportKey]time.Time),
 	}
 	for i, cm := range meta.Chunks {
 		vd.chunks[i] = &chunkHandle{meta: cm}
 	}
 	if meta.WriteRateLimit > 0 {
 		vd.wlimit = transport.NewTokenBucket(c.cfg.Clock, meta.WriteRateLimit)
+	}
+	if c.cfg.Metrics != nil {
+		vd.tinyWritesC = c.cfg.Metrics.Counter("client-tiny-writes")
 	}
 	vd.leaseOK.Store(true)
 	return vd
@@ -227,6 +253,34 @@ func (vd *VDisk) reportFailure(op *opctx.Op, idx int, failedAddr string) error {
 	return nil
 }
 
+// reportFailureAsync files a failure report off the I/O's critical path.
+// One report per chunk is in flight at a time, and repeats of the same
+// (chunk, address) report within ReportCooldown are dropped — a flapping
+// replica under a write-heavy workload would otherwise spawn an unbounded
+// herd of report goroutines all asking the master for the same recovery.
+func (vd *VDisk) reportFailureAsync(idx int, failedAddr string) {
+	now := vd.c.cfg.Clock.Now()
+	key := reportKey{idx: idx, addr: failedAddr}
+	vd.repMu.Lock()
+	if _, busy := vd.repInflight[idx]; busy {
+		vd.repMu.Unlock()
+		return
+	}
+	if t, ok := vd.repLast[key]; ok && now.Sub(t) < vd.c.cfg.ReportCooldown {
+		vd.repMu.Unlock()
+		return
+	}
+	vd.repLast[key] = now
+	vd.repInflight[idx] = struct{}{}
+	vd.repMu.Unlock()
+	go func() {
+		_ = vd.reportFailure(nil, idx, failedAddr)
+		vd.repMu.Lock()
+		delete(vd.repInflight, idx)
+		vd.repMu.Unlock()
+	}()
+}
+
 // refreshMeta re-reads the chunk placement from the master (stale-view
 // recovery path).
 func (vd *VDisk) refreshMeta(idx int) error {
@@ -356,34 +410,44 @@ func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) erro
 		ch.mu.Unlock()
 		addr := cm.Replicas[primary%len(cm.Replicas)].Addr
 
-		resp, err := vd.call(op, addr, &proto.Message{
-			Op:      proto.OpRead,
-			Chunk:   vd.chunkID(idx),
-			Off:     off,
-			Length:  uint32(len(buf)),
-			View:    cm.View,
-			Version: version,
-		})
+		m := proto.GetMessage()
+		m.Op = proto.OpRead
+		m.Chunk = vd.chunkID(idx)
+		m.Off = off
+		m.Length = uint32(len(buf))
+		m.View = cm.View
+		m.Version = version
+		resp, err := vd.call(op, addr, m)
+		// Consume the response before branching: copy out the payload,
+		// capture the status, settle the lease, recycle the frame. Nothing
+		// below may read through resp.
+		var status proto.Status
+		if err == nil {
+			status = resp.Status
+			if status == proto.StatusOK {
+				copy(buf, resp.Payload)
+			}
+			bufpool.Put(resp.Payload)
+			proto.Recycle(resp)
+		}
 		failover := false
 		switch {
 		case err != nil:
 			lastErr = err
 			failover = true
-			go func() { _ = vd.reportFailure(nil, idx, addr) }()
-		case resp.Status == proto.StatusOK:
-			copy(buf, resp.Payload)
-			bufpool.Put(resp.Payload)
+			vd.reportFailureAsync(idx, addr)
+		case status == proto.StatusOK:
 			return nil
-		case resp.Status == proto.StatusStaleView:
+		case status == proto.StatusStaleView:
 			lastErr = util.ErrStaleView
 			if err := vd.refreshMeta(idx); err != nil {
 				lastErr = err
 			}
-		case resp.Status == proto.StatusBehind:
+		case status == proto.StatusBehind:
 			// Replica lags our committed state: try another.
 			lastErr = util.ErrFutureVersion
 			failover = true
-		case resp.Status == proto.StatusCorrupt:
+		case status == proto.StatusCorrupt:
 			// The replica's settled re-reads still fail checksums: its copy
 			// has rotted on disk. Fail over; when every copy is rotten the
 			// caller gets this error, never garbage bytes.
@@ -391,7 +455,7 @@ func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) erro
 			corruptErr = lastErr
 			failover = true
 		default:
-			lastErr = fmt.Errorf("client: read chunk %d from %s: %s", idx, addr, resp.Status)
+			lastErr = fmt.Errorf("client: read chunk %d from %s: %s", idx, addr, status)
 			failover = true
 		}
 		if failover {
@@ -400,7 +464,7 @@ func (vd *VDisk) readFragment(op *opctx.Op, idx int, buf []byte, off int64) erro
 				// reconstruct it from them and keep the primary pinned.
 				if rerr := vd.readDegradedRS(op, idx, cm, spec, buf, off, version); rerr == nil {
 					return nil
-				} else if lastErr == nil || resp == nil || resp.Status != proto.StatusCorrupt {
+				} else if lastErr == nil || err != nil || status != proto.StatusCorrupt {
 					lastErr = rerr
 				}
 			} else {
@@ -464,23 +528,27 @@ func (vd *VDisk) readPiece(op *opctx.Op, idx int, cm master.ChunkMeta,
 	seg int, segOff int64, dst []byte, version uint64) (uint64, error) {
 
 	addr := cm.Replicas[1+seg].Addr
-	resp, err := vd.call(op, addr, &proto.Message{
-		Op:      proto.OpRead,
-		Chunk:   vd.chunkID(idx),
-		Off:     segOff,
-		Length:  uint32(len(dst)),
-		View:    cm.View,
-		Version: version,
-	})
+	m := proto.GetMessage()
+	m.Op = proto.OpRead
+	m.Chunk = vd.chunkID(idx)
+	m.Off = segOff
+	m.Length = uint32(len(dst))
+	m.View = cm.View
+	m.Version = version
+	resp, err := vd.call(op, addr, m)
 	if err != nil {
 		return 0, err
 	}
-	if resp.Status != proto.StatusOK {
-		return 0, fmt.Errorf("client: read chunk %d seg %d from %s: %s", idx, seg, addr, resp.Status)
+	status, ver := resp.Status, resp.Version
+	if status == proto.StatusOK {
+		copy(dst, resp.Payload)
 	}
-	copy(dst, resp.Payload)
 	bufpool.Put(resp.Payload)
-	return resp.Version, nil
+	proto.Recycle(resp)
+	if status != proto.StatusOK {
+		return 0, fmt.Errorf("client: read chunk %d seg %d from %s: %s", idx, seg, addr, status)
+	}
+	return ver, nil
 }
 
 // reconstructPiece decodes [segOff, segOff+len(dst)) of segment want from
@@ -587,6 +655,9 @@ func (vd *VDisk) writeFragment(op *opctx.Op, idx int, data []byte, off int64) er
 		if (len(data) <= vd.c.cfg.TinyThreshold || !healthy) && !vd.meta.Redundancy.IsRS() {
 			committed, staleView = vd.writeClientDirected(op, idx, cm, data, off, version)
 			vd.tinyWrites.Add(1)
+			if vd.tinyWritesC != nil {
+				vd.tinyWritesC.Add(1)
+			}
 		} else {
 			// RS chunks always write through the primary: only it holds the
 			// old data needed to compute parity deltas.
@@ -620,19 +691,23 @@ func (vd *VDisk) writeViaPrimary(op *opctx.Op, idx int, cm master.ChunkMeta, dat
 	off int64, version uint64) (committed, staleView bool) {
 
 	addr := cm.Replicas[0].Addr
-	resp, err := vd.call(op, addr, &proto.Message{
-		Op:      proto.OpWrite,
-		Chunk:   vd.chunkID(idx),
-		Off:     off,
-		View:    cm.View,
-		Version: version,
-		Payload: data,
-	})
+	m := proto.GetMessage()
+	m.Op = proto.OpWrite
+	m.Chunk = vd.chunkID(idx)
+	m.Off = off
+	m.View = cm.View
+	m.Version = version
+	m.Payload = data
+	bufpool.Retain(data) // the call consumes one reference on every path
+	resp, err := vd.call(op, addr, m)
 	if err != nil {
-		go func() { _ = vd.reportFailure(nil, idx, addr) }()
+		vd.reportFailureAsync(idx, addr)
 		return false, false
 	}
-	switch resp.Status {
+	status := resp.Status
+	bufpool.Put(resp.Payload)
+	proto.Recycle(resp)
+	switch status {
 	case proto.StatusOK:
 		return true, false
 	case proto.StatusStaleView:
@@ -648,51 +723,54 @@ func (vd *VDisk) writeViaPrimary(op *opctx.Op, idx int, cm master.ChunkMeta, dat
 func (vd *VDisk) writeClientDirected(op *opctx.Op, idx int, cm master.ChunkMeta, data []byte,
 	off int64, version uint64) (committed, staleView bool) {
 
-	type res struct {
-		ok    bool
-		stale bool
+	var t0 time.Time
+	if vd.c.cfg.Metrics != nil {
+		t0 = vd.c.cfg.Clock.Now()
 	}
-	results := make(chan res, len(cm.Replicas))
+	cid := vd.chunkID(idx)
+	fl := vd.bcast.Begin(len(cm.Replicas))
 	for i, r := range cm.Replicas {
 		wireOp := proto.OpReplicate
 		if i == 0 {
 			wireOp = proto.OpWritePrimary
 		}
-		go func(addr string, wireOp proto.Op) {
-			resp, err := vd.call(op, addr, &proto.Message{
-				Op:      wireOp,
-				Chunk:   vd.chunkID(idx),
-				Off:     off,
-				View:    cm.View,
-				Version: version,
-				Payload: data,
-			})
-			if err != nil {
-				results <- res{}
-				return
-			}
-			results <- res{
-				ok:    resp.Status == proto.StatusOK,
-				stale: resp.Status == proto.StatusStaleView,
-			}
-		}(r.Addr, wireOp)
+		m := proto.GetMessage()
+		m.Op = wireOp
+		m.Chunk = cid
+		m.Off = off
+		m.View = cm.View
+		m.Version = version
+		m.Payload = data
+		// All branches share one payload; each branch consumes one
+		// reference (a no-op for the user's foreign buffer, a real share
+		// when a pooled buffer ever flows through here).
+		bufpool.Retain(data)
+		fl.Go(i, r.Addr, op, vd.c.cfg.CallTimeout, m)
 	}
 	acks, stales := 0, 0
 	for range cm.Replicas {
-		r := <-results
-		if r.ok {
+		r := fl.Next()
+		if r.Err {
+			continue
+		}
+		if r.Status == proto.StatusOK {
 			acks++
 		}
-		if r.stale {
+		if r.Status == proto.StatusStaleView {
 			stales++
 		}
+	}
+	fl.Finish()
+	if vd.c.cfg.Metrics != nil {
+		vd.c.cfg.Metrics.ObserveLatency("client-directed-fanout", vd.c.cfg.Clock.Now().Sub(t0))
 	}
 	if acks == len(cm.Replicas) {
 		return true, false
 	}
 	if acks*2 > len(cm.Replicas) {
-		// Majority: committed, but tell the master to fix the stragglers.
-		go func() { _ = vd.reportFailure(nil, idx, "") }()
+		// Majority: committed, but tell the master to fix the stragglers
+		// (deduplicated: one in-flight report per chunk, cooldown per key).
+		vd.reportFailureAsync(idx, "")
 		return true, false
 	}
 	return false, stales > 0
@@ -734,6 +812,7 @@ func (vd *VDisk) Close() error {
 		close(vd.renewStop)
 		<-vd.renewDone
 	}
+	vd.bcast.Close()
 	_, _ = vd.c.masterCall(proto.MOpCloseVDisk,
 		master.LeaseReq{ID: vd.meta.ID, Client: vd.c.cfg.Name}, nil)
 	return nil

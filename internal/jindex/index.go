@@ -2,7 +2,6 @@ package jindex
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 )
 
@@ -18,6 +17,17 @@ type Index struct {
 
 	autoMergeAt int // tree size that triggers a background merge; 0 = manual
 	merging     bool
+
+	// Write-side scratch, touched only under the write lock.
+	doomed []KV     // insertOneLocked's intersection list
+	insIt  llrbIter // insertOneLocked's tree scan
+
+	// Merge scratch ping-pong: each merge retires the level slices it
+	// replaces and the next merge writes into them. Safe because readers
+	// never retain a level slice past their read lock, so a slice retired
+	// one full merge ago has no live aliases.
+	arrScratch  []KV // destination for the next tree+arr merge
+	snapScratch []KV // destination for the next freeze snapshot
 }
 
 // New returns an empty index that merges the tree into the array in the
@@ -112,14 +122,15 @@ func joffAdvance(joff uint64, by uint32) uint64 {
 // and inserts kv. Lower levels are masked at query time and dropped at
 // merge time, exactly as the paper describes.
 func (ix *Index) insertOneLocked(kv KV) {
-	var doomed []KV
-	ix.tree.scanFrom(kv.Off(), func(k KV) bool {
-		if k.Off() >= kv.End() {
-			return false
+	doomed := ix.doomed[:0]
+	ix.insIt.init(ix.tree.root, kv.Off())
+	for {
+		k, ok := ix.insIt.next()
+		if !ok || k.Off() >= kv.End() {
+			break
 		}
 		doomed = append(doomed, k)
-		return true
-	})
+	}
 	for _, k := range doomed {
 		ix.tree.delete(k.Off())
 		if k.Off() < kv.Off() {
@@ -130,99 +141,197 @@ func (ix *Index) insertOneLocked(kv KV) {
 		}
 	}
 	ix.tree.insert(kv)
+	ix.doomed = doomed[:0]
 }
 
 // span is a half-open sector interval used during query resolution.
 type span struct{ off, end uint32 }
+
+// queryScratch carries one query's resolution state: the gap ping-pong
+// buffers and the tree iterator. Pooled so steady-state queries allocate
+// nothing beyond the caller's destination slice.
+type queryScratch struct {
+	cur, next []span
+	it        llrbIter
+}
+
+var queryPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
 // Query resolves [off, off+length) against all levels, newest first, and
 // returns the mapped extents sorted by offset. Regions with no journal data
 // (never written, or invalidated by a tombstone) are simply absent; Holes
 // computes them when the caller needs to fall back to the backup disk.
 func (ix *Index) Query(off, length uint32) []Extent {
+	return ix.QueryInto(nil, off, length)
+}
+
+// QueryInto is the allocation-free form of Query: it appends the resolved
+// extents to dst and returns the extended slice, sorted by offset within
+// the appended region. With a dst whose capacity has stabilized it performs
+// no allocation, which is what keeps the journal read path off the heap.
+func (ix *Index) QueryInto(dst []Extent, off, length uint32) []Extent {
 	if length == 0 {
-		return nil
+		return dst
 	}
+	base := len(dst)
+	qs := queryPool.Get().(*queryScratch)
+	gaps := append(qs.cur[:0], span{off, off + length})
+	spare := qs.next[:0]
+
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-
-	gaps := []span{{off, off + length}}
-	var out []Extent
-
-	resolve := func(scan func(span) []KV) {
-		if len(gaps) == 0 {
-			return
-		}
-		var next []span
+	// Level 0: the write-cache tree, newest entries.
+	if ix.tree.root != nil {
+		next := spare
 		for _, g := range gaps {
 			pos := g.off
-			for _, k := range scan(g) {
-				piece := k.slice(g.off, g.end)
-				if piece.Off() > pos {
-					next = append(next, span{pos, piece.Off()})
+			qs.it.init(ix.tree.root, g.off)
+			for {
+				k, ok := qs.it.next()
+				if !ok || k.Off() >= g.end {
+					break
 				}
-				if !piece.IsTombstone() {
-					out = append(out, Extent{piece.Off(), piece.Len(), piece.JOff()})
-				}
-				pos = piece.End()
+				dst, next, pos = emitPiece(dst, next, pos, g, k)
 			}
 			if pos < g.end {
 				next = append(next, span{pos, g.end})
 			}
 		}
-		gaps = next
+		gaps, spare = next, gaps[:0]
 	}
+	// Levels 0.5 and 1: the frozen snapshot, then the sorted array.
+	dst, gaps, spare = resolveSorted(dst, gaps, spare, ix.frozen)
+	dst, gaps, spare = resolveSorted(dst, gaps, spare, ix.arr)
+	ix.mu.RUnlock()
 
-	resolve(func(g span) []KV {
-		var ks []KV
-		ix.tree.scanFrom(g.off, func(k KV) bool {
-			if k.Off() >= g.end {
-				return false
-			}
-			ks = append(ks, k)
-			return true
-		})
-		return ks
-	})
-	resolve(func(g span) []KV { return scanSorted(ix.frozen, g) })
-	resolve(func(g span) []KV { return scanSorted(ix.arr, g) })
-
-	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
-	return out
+	qs.cur, qs.next = gaps[:0], spare[:0]
+	queryPool.Put(qs)
+	sortExtents(dst[base:])
+	return dst
 }
 
-// scanSorted returns the entries of a sorted non-intersecting slice that
-// overlap g, in order.
-func scanSorted(a []KV, g span) []KV {
-	// Ends are strictly increasing, so binary-search the first entry that
-	// ends past g.off.
-	i := sort.Search(len(a), func(i int) bool { return a[i].End() > g.off })
-	var out []KV
-	for ; i < len(a) && a[i].Off() < g.end; i++ {
-		out = append(out, a[i])
+// emitPiece resolves one key overlapping gap g at cursor pos: the uncovered
+// prefix becomes a surviving gap, the covered piece an extent (unless
+// tombstoned), and the cursor advances past it.
+func emitPiece(dst []Extent, next []span, pos uint32, g span, k KV) ([]Extent, []span, uint32) {
+	piece := k.slice(g.off, g.end)
+	if piece.Off() > pos {
+		next = append(next, span{pos, piece.Off()})
 	}
-	return out
+	if !piece.IsTombstone() {
+		dst = append(dst, Extent{piece.Off(), piece.Len(), piece.JOff()})
+	}
+	return dst, next, piece.End()
+}
+
+// resolveSorted resolves the remaining gaps against one sorted level,
+// appending mapped extents to dst and surviving gaps into spare. It returns
+// the new gap list plus the retired one for reuse by the next level.
+func resolveSorted(dst []Extent, gaps, spare []span, a []KV) ([]Extent, []span, []span) {
+	if len(gaps) == 0 || len(a) == 0 {
+		return dst, gaps, spare
+	}
+	next := spare[:0]
+	for _, g := range gaps {
+		pos := g.off
+		for i := searchEndGT(a, g.off); i < len(a) && a[i].Off() < g.end; i++ {
+			dst, next, pos = emitPiece(dst, next, pos, g, a[i])
+		}
+		if pos < g.end {
+			next = append(next, span{pos, g.end})
+		}
+	}
+	return dst, next, gaps
+}
+
+// searchEndGT returns the index of the first entry whose End() > off. Ends
+// are strictly increasing (sorted, non-intersecting level), so this is a
+// plain binary search — hand-rolled to avoid sort.Search's closure on the
+// read hot path.
+func searchEndGT(a []KV, off uint32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid].End() > off {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// sortExtents sorts by offset without sort.Slice's closure and interface
+// boxing. Offsets within one query result are unique (levels resolve
+// disjoint gap pieces) and arrive nearly sorted, so insertion sort is the
+// common case; larger runs go through median-of-three quicksort.
+func sortExtents(a []Extent) {
+	for len(a) > 32 {
+		mid := len(a) / 2
+		last := len(a) - 1
+		if a[mid].Off < a[0].Off {
+			a[0], a[mid] = a[mid], a[0]
+		}
+		if a[last].Off < a[0].Off {
+			a[0], a[last] = a[last], a[0]
+		}
+		if a[last].Off < a[mid].Off {
+			a[mid], a[last] = a[last], a[mid]
+		}
+		pivot := a[mid].Off
+		i, j := 0, last
+		for i <= j {
+			for a[i].Off < pivot {
+				i++
+			}
+			for a[j].Off > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j+1 < len(a)-i {
+			sortExtents(a[:j+1])
+			a = a[i:]
+		} else {
+			sortExtents(a[i:])
+			a = a[:j+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Off < a[j-1].Off; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // Holes returns the sub-ranges of [off, off+length) not covered by extents
 // (which must be sorted, as returned by Query). Callers read holes from the
 // backup disk during recovery and temporary-primary reads.
 func Holes(off, length uint32, extents []Extent) []Extent {
-	var holes []Extent
+	return HolesInto(nil, off, length, extents)
+}
+
+// HolesInto is the allocation-free form of Holes: it appends the uncovered
+// sub-ranges to dst and returns the extended slice.
+func HolesInto(dst []Extent, off, length uint32, extents []Extent) []Extent {
 	pos := off
 	end := off + length
 	for _, e := range extents {
 		if e.Off > pos {
-			holes = append(holes, Extent{Off: pos, Len: e.Off - pos})
+			dst = append(dst, Extent{Off: pos, Len: e.Off - pos})
 		}
 		if e.End() > pos {
 			pos = e.End()
 		}
 	}
 	if pos < end {
-		holes = append(holes, Extent{Off: pos, Len: end - pos})
+		dst = append(dst, Extent{Off: pos, Len: end - pos})
 	}
-	return holes
+	return dst
 }
 
 // MergeNow synchronously merges the tree (and any frozen snapshot) into the
@@ -245,11 +354,18 @@ func (ix *Index) mergeAsync() {
 	ix.mu.Lock()
 	ix.freezeLocked()
 	frozen, arr := ix.frozen, ix.arr
+	// The destination is the arr retired by the merge before last; nothing
+	// live aliases it, while the current frozen and arr slices may still be
+	// read concurrently and must not be written.
+	dst := ix.arrScratch[:0]
+	ix.arrScratch = nil
 	ix.mu.Unlock()
 
-	merged := mergeLevels(frozen, arr)
+	merged := mergeLevelsInto(dst, frozen, arr)
 
 	ix.mu.Lock()
+	ix.arrScratch = ix.arr[:0]     // retire the replaced arr for the next merge
+	ix.snapScratch = ix.frozen[:0] // retire the snapshot for the next freeze
 	ix.arr = merged
 	ix.frozen = nil
 	ix.merging = false
@@ -259,11 +375,13 @@ func (ix *Index) mergeAsync() {
 // freezeLocked moves the tree into the frozen snapshot. Any existing frozen
 // snapshot is first folded in (callers ensure no concurrent merge).
 func (ix *Index) freezeLocked() {
-	snap := ix.tree.toSlice()
+	snap := ix.tree.toSliceInto(ix.snapScratch[:0])
+	ix.snapScratch = nil // ownership moves to the frozen level
 	if len(ix.frozen) > 0 {
 		snap = mergeLevels(snap, ix.frozen)
 	}
 	ix.frozen = snap
+	ix.tree.releaseNodes()
 	ix.tree = llrb{}
 }
 
@@ -272,7 +390,12 @@ func (ix *Index) freezeLocked() {
 // dropped after masking. Both inputs are sorted and non-intersecting and
 // are not modified (readers may hold references to them); so is the result.
 func mergeLevels(newer, older []KV) []KV {
-	out := make([]KV, 0, len(newer)+len(older))
+	return mergeLevelsInto(make([]KV, 0, len(newer)+len(older)), newer, older)
+}
+
+// mergeLevelsInto is mergeLevels appending into out, which must not alias
+// either input (the index's retired-scratch ping-pong guarantees that).
+func mergeLevelsInto(out, newer, older []KV) []KV {
 	j := 0
 	var pending KV // trimmed tail of older[j-1], valid when pendingOK
 	pendingOK := false
@@ -372,6 +495,7 @@ func (ix *Index) Len() int {
 // Clear empties the index (used when a journal is truncated after replay).
 func (ix *Index) Clear() {
 	ix.mu.Lock()
+	ix.tree.releaseNodes()
 	ix.tree = llrb{}
 	ix.frozen = nil
 	ix.arr = nil

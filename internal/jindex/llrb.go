@@ -1,5 +1,11 @@
 package jindex
 
+import (
+	"sync"
+
+	"ursa/internal/bufpool"
+)
+
 // llrb is a left-leaning red-black tree over composite KVs ordered by
 // offset. It is the index's first level: insert-optimized, at the price of
 // two child pointers and a color bit per entry — the storage overhead the
@@ -16,6 +22,94 @@ type llrbNode struct {
 	kv          KV
 	left, right *llrbNode
 	red         bool
+}
+
+// nodePool recycles tree nodes: every journaled write inserts (and erased
+// intersections delete) nodes, and each freeze discards a whole tree — the
+// dominant steady-state allocation of the index before pooling. Recycling
+// is safe because all structural mutation runs under the index write lock,
+// so no reader can hold a node once it is freed. Gated on bufpool.Enabled
+// so the ceiling bench's baseline mode measures the pre-pool behaviour.
+var nodePool = sync.Pool{New: func() any { return new(llrbNode) }}
+
+func newNode(kv KV) *llrbNode {
+	if !bufpool.Enabled() {
+		return &llrbNode{kv: kv, red: true}
+	}
+	n := nodePool.Get().(*llrbNode)
+	n.kv = kv
+	n.left, n.right = nil, nil
+	n.red = true
+	return n
+}
+
+func freeNode(n *llrbNode) {
+	if !bufpool.Enabled() {
+		return
+	}
+	n.left, n.right = nil, nil
+	nodePool.Put(n)
+}
+
+// releaseNodes returns the whole tree's nodes to the pool (freeze and
+// Clear, after the keys have been copied out). Caller holds the index
+// write lock and resets the tree afterwards.
+func (t *llrb) releaseNodes() {
+	if !bufpool.Enabled() {
+		return
+	}
+	releaseSubtree(t.root)
+	t.root = nil
+}
+
+func releaseSubtree(h *llrbNode) {
+	if h == nil {
+		return
+	}
+	releaseSubtree(h.left)
+	releaseSubtree(h.right)
+	freeNode(h)
+}
+
+// llrbIter walks a tree in offset order starting from the first key whose
+// End() > off, without allocating: the explicit stack replaces scanFrom's
+// escaping closures on the query hot path. The stack bound follows from
+// the red-black height bound 2·log2(n+1) with n ≤ MaxOff (2^17) entries.
+type llrbIter struct {
+	off   uint32
+	top   int
+	stack [48]*llrbNode
+}
+
+func (it *llrbIter) init(root *llrbNode, off uint32) {
+	it.off = off
+	it.top = 0
+	it.descend(root)
+}
+
+// descend pushes h's leftmost qualifying path, applying scanNode's prune
+// rule: a node (and its whole left subtree) ending at or before off cannot
+// qualify, so descent continues right.
+func (it *llrbIter) descend(h *llrbNode) {
+	for h != nil {
+		if h.kv.End() <= it.off {
+			h = h.right
+			continue
+		}
+		it.stack[it.top] = h
+		it.top++
+		h = h.left
+	}
+}
+
+func (it *llrbIter) next() (KV, bool) {
+	if it.top == 0 {
+		return 0, false
+	}
+	it.top--
+	h := it.stack[it.top]
+	it.descend(h.right)
+	return h.kv, true
 }
 
 func isRed(n *llrbNode) bool { return n != nil && n.red }
@@ -69,7 +163,7 @@ func (t *llrb) insert(kv KV) {
 
 func insertNode(h *llrbNode, kv KV) (*llrbNode, bool) {
 	if h == nil {
-		return &llrbNode{kv: kv, red: true}, true
+		return newNode(kv), true
 	}
 	var added bool
 	switch {
@@ -138,6 +232,10 @@ func minNode(h *llrbNode) *llrbNode {
 
 func deleteMin(h *llrbNode) *llrbNode {
 	if h.left == nil {
+		// In an LLRB a node without a left child is a leaf (a lone right
+		// child would break the left-leaning invariant), so h is dropped
+		// whole and can be recycled.
+		freeNode(h)
 		return nil
 	}
 	if !isRed(h.left) && !isRed(h.left.left) {
@@ -158,6 +256,7 @@ func deleteNode(h *llrbNode, off uint32) *llrbNode {
 			h = rotateRight(h)
 		}
 		if off == h.kv.Off() && h.right == nil {
+			freeNode(h)
 			return nil
 		}
 		if !isRed(h.right) && !isRed(h.right.left) {
@@ -198,14 +297,19 @@ func scanNode(h *llrbNode, off uint32, fn func(KV) bool) bool {
 	return scanNode(h.right, off, fn)
 }
 
-// toSlice returns all keys in offset order.
-func (t *llrb) toSlice() []KV {
-	out := make([]KV, 0, t.n)
+// toSliceInto appends all keys in offset order to dst (freeze path: dst is
+// the index's recycled snapshot scratch).
+func (t *llrb) toSliceInto(dst []KV) []KV {
 	t.scanFrom(0, func(kv KV) bool {
-		out = append(out, kv)
+		dst = append(dst, kv)
 		return true
 	})
-	return out
+	return dst
+}
+
+// toSlice returns all keys in offset order.
+func (t *llrb) toSlice() []KV {
+	return t.toSliceInto(make([]KV, 0, t.n))
 }
 
 // len returns the number of keys.

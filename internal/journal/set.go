@@ -194,6 +194,10 @@ type Set struct {
 	replayErrors    int64 // parked replay windows (chunk could not reach sink)
 	replayCorrupt   int64 // parked replay windows whose record failed CRC verification
 	deadJournals    int64
+
+	// replayQ is the replayer's per-record index-query scratch, reused
+	// across QueryInto calls; touched only under s.mu.
+	replayQ []jindex.Extent
 }
 
 // NewSet creates an empty journal set replaying into sink. Call
@@ -673,10 +677,13 @@ func (s *Set) Read(id blockstore.ChunkID, p []byte, off int64) error {
 		s.mu.Unlock()
 		return s.sink.ReadAt(id, p, off)
 	}
-	extents := ix.Query(offSec, lenSec)
+	// Per-call pooled scratch: holes outlive s.mu (they are read against the
+	// sink after unlock), so this cannot be Set-level state like replayQ.
+	rs := readScratchPool.Get().(*readScratch)
+	rs.extents = ix.QueryInto(rs.extents[:0], offSec, lenSec)
 	// Read mapped extents from their journals while holding the lock so
 	// replay cannot reclaim the space underneath us.
-	for _, e := range extents {
+	for _, e := range rs.extents {
 		j := s.journalOf(e.JOff)
 		if j == nil {
 			s.mu.Unlock()
@@ -688,17 +695,26 @@ func (s *Set) Read(id blockstore.ChunkID, p []byte, off int64) error {
 			return err
 		}
 	}
-	holes := jindex.Holes(offSec, lenSec, extents)
+	rs.holes = jindex.HolesInto(rs.holes[:0], offSec, lenSec, rs.extents)
 	s.mu.Unlock()
 
-	for _, h := range holes {
+	for _, h := range rs.holes {
 		dst := p[(int64(h.Off)*util.SectorSize)-off:][:int64(h.Len)*util.SectorSize]
 		if err := s.sink.ReadAt(id, dst, int64(h.Off)*util.SectorSize); err != nil {
 			return err
 		}
 	}
+	readScratchPool.Put(rs)
 	return nil
 }
+
+// readScratch holds one Read call's extent and hole lists; error paths skip
+// the Put and simply let the scratch fall to the collector.
+type readScratch struct {
+	extents, holes []jindex.Extent
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
 
 // DropChunk discards index state for a deleted chunk; its journal records
 // are skipped at replay.
@@ -977,7 +993,8 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, 
 			continue
 		}
 		live := false
-		for _, e := range ix.Query(offSec, lenSec) {
+		s.replayQ = ix.QueryInto(s.replayQ[:0], offSec, lenSec)
+		for _, e := range s.replayQ {
 			if e.JOff >= rec.dataJOff && e.JOff < jEnd {
 				current = append(current, e)
 				live = true
@@ -1070,7 +1087,8 @@ func (s *Set) replayChunk(id blockstore.ChunkID, recs []*pendingRecord) (int64, 
 	// keep precedence.
 	if ix2, ok := s.indexes[id]; ok {
 		for _, w := range written {
-			for _, e := range ix2.Query(w.Off, w.Len) {
+			s.replayQ = ix2.QueryInto(s.replayQ[:0], w.Off, w.Len)
+			for _, e := range s.replayQ {
 				if inRanges(e.JOff) {
 					ix2.Invalidate(e.Off, e.Len)
 				}

@@ -301,19 +301,50 @@ func (m *Message) Decode(r io.Reader) error {
 	return nil
 }
 
+// msgPool recycles Message frames between requests. A message is
+// recyclable only at a point where its holder has exclusive ownership —
+// the transport after the handler returned and the response was enqueued,
+// a dispatcher dropping a late response, or a caller that has fully
+// consumed a reply. Payload leases are settled separately (bufpool.Put
+// before Recycle); Recycle never touches the payload.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMessage leases a zeroed Message from the pool. Callers release it
+// with Recycle once no other goroutine can reach it. When pooling is
+// disabled (baseline mode) it allocates, matching pre-pool behavior.
+func GetMessage() *Message {
+	if !bufpool.Enabled() {
+		return &Message{}
+	}
+	return msgPool.Get().(*Message)
+}
+
+// Recycle returns m to the message pool. The caller must hold the only
+// reference and must have settled the payload lease already; m is zeroed
+// so stale correlation fields can never leak into the next request.
+func Recycle(m *Message) {
+	if m == nil || !bufpool.Enabled() {
+		return
+	}
+	*m = Message{}
+	msgPool.Put(m)
+}
+
 // Reply builds a response echoing m's correlation fields (including the
 // end-to-end op ID, so responses remain traceable to their operation).
+// The response is leased from the message pool; whoever consumes it last
+// (the requesting client) recycles it.
 func (m *Message) Reply(status Status) *Message {
-	return &Message{
-		ID:      m.ID,
-		Op:      m.Op,
-		Status:  status,
-		Chunk:   m.Chunk,
-		View:    m.View,
-		Version: m.Version,
-		OpID:    m.OpID,
-		Seg:     m.Seg,
-	}
+	r := GetMessage()
+	r.ID = m.ID
+	r.Op = m.Op
+	r.Status = status
+	r.Chunk = m.Chunk
+	r.View = m.View
+	r.Version = m.Version
+	r.OpID = m.OpID
+	r.Seg = m.Seg
+	return r
 }
 
 // IsMasterOp reports whether the op belongs to the master service.

@@ -57,8 +57,10 @@ func (c *Client) recvLoop() {
 			ch <- m // buffered; never blocks
 		} else {
 			// Unknown ID: a late response to a timed-out or abandoned call.
-			// The message dies here, so its payload lease dies with it.
+			// The message dies here, so its payload lease dies with it and
+			// the frame goes back to the message pool.
 			bufpool.Put(m.Payload)
+			proto.Recycle(m)
 		}
 	}
 }
@@ -168,6 +170,7 @@ func (pc *PendingCall) abandon() bool {
 	if resp, ok := <-pc.ch; ok {
 		if resp != nil {
 			bufpool.Put(resp.Payload)
+			proto.Recycle(resp)
 		}
 		return true // drained; channel open and empty again
 	}
@@ -185,14 +188,18 @@ func (pc *PendingCall) abandon() bool {
 // Like Start, Do consumes one reference to m.Payload on every path,
 // including the pre-send early returns.
 func (c *Client) Do(op *opctx.Op, m *proto.Message, cap time.Duration) (*proto.Message, error) {
+	// Capture the op code up front: once Start hands m to the server (the
+	// simulated network passes pointers), the server side may recycle it,
+	// so the error paths below must not read through m.
+	opc := m.Op
 	if err := op.Err(); err != nil {
 		bufpool.Put(m.Payload)
-		return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, err)
+		return nil, fmt.Errorf("rpc call op=%d: %w", opc, err)
 	}
 	wait, ok := op.Budget(cap)
 	if !ok {
 		bufpool.Put(m.Payload)
-		return nil, fmt.Errorf("rpc call op=%d: budget spent: %w", m.Op, util.ErrTimeout)
+		return nil, fmt.Errorf("rpc call op=%d: budget spent: %w", opc, util.ErrTimeout)
 	}
 	m.OpID = op.ID()
 	m.Budget = op.WireBudget()
@@ -220,7 +227,7 @@ func (c *Client) Do(op *opctx.Op, m *proto.Message, cap time.Duration) (*proto.M
 			timerPool.Put(timer)
 		}
 		if !respOK {
-			return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, ErrConnClosed)
+			return nil, fmt.Errorf("rpc call op=%d: %w", opc, ErrConnClosed)
 		}
 		pcPool.Put(pc)
 		return resp, nil
@@ -232,7 +239,7 @@ func (c *Client) Do(op *opctx.Op, m *proto.Message, cap time.Duration) (*proto.M
 		if pc.abandon() {
 			pcPool.Put(pc)
 		}
-		return nil, fmt.Errorf("rpc call op=%d after %v: %w", m.Op, wait, util.ErrTimeout)
+		return nil, fmt.Errorf("rpc call op=%d after %v: %w", opc, wait, util.ErrTimeout)
 	case <-op.Done():
 		st.Stop()
 		if timer != nil {
@@ -242,7 +249,7 @@ func (c *Client) Do(op *opctx.Op, m *proto.Message, cap time.Duration) (*proto.M
 		if pc.abandon() {
 			pcPool.Put(pc)
 		}
-		return nil, fmt.Errorf("rpc call op=%d: %w", m.Op, op.Err())
+		return nil, fmt.Errorf("rpc call op=%d: %w", opc, op.Err())
 	}
 }
 
@@ -453,7 +460,11 @@ func (s *Server) serveOne(conn MsgConn, m *proto.Message) {
 	// leases from bufpool; in-process payloads are foreign no-ops).
 	// A handler that extends the payload's lifetime past its return
 	// — a replication fan-out, an aliased response — must Retain.
+	// The request frame itself is recycled here too: handlers must not
+	// retain m past their return (the replication fan-out copies the
+	// header fields it needs before dispatching stragglers).
 	bufpool.Put(m.Payload)
+	proto.Recycle(m)
 }
 
 // Addr returns the listener address.
