@@ -2,7 +2,7 @@
 # the race detector (the RPC/replication paths are goroutine-heavy).
 GO ?= go
 
-.PHONY: build test race vet lint check bench-quick bench-smoke chaos-smoke scrub-smoke ec-smoke perf-smoke
+.PHONY: build test race vet lint check bench-quick bench-smoke chaos-smoke scrub-smoke ec-smoke perf-smoke failover-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping"; fi
 
-check: vet lint build test race chaos-smoke scrub-smoke ec-smoke perf-smoke bench-smoke
+check: vet lint build test race chaos-smoke scrub-smoke ec-smoke failover-smoke perf-smoke bench-smoke
 
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
@@ -40,6 +40,7 @@ bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig recovery -quick
 	$(GO) run ./cmd/ursa-bench -fig scrub -quick
 	$(GO) run ./cmd/ursa-bench -fig ec -quick
+	$(GO) run ./cmd/ursa-bench -fig failover -quick
 
 # Hot-path allocation regression gate: runs the steady-state micro
 # benchmarks (read+verify, write+stamp, pooled decode, client-directed
@@ -67,3 +68,11 @@ scrub-smoke:
 # reconstruction and the all-replicas-corrupt clean-error floor.
 ec-smoke:
 	$(GO) test ./internal/cluster -run 'TestChaosECSegmentDeath|TestECDegradedReadReconstructs|TestAllReplicasCorruptCleanError' -count=1 -v
+
+# Deterministic master-failover acceptance run: the primary master of a
+# three-master cluster is killed mid-workload under the linearizability
+# checker; a standby must promote at a higher epoch, the deposed master
+# must bounce off the chunkservers' epoch fence, and the client must finish
+# with zero failed I/Os.
+failover-smoke:
+	$(GO) test ./internal/cluster -run 'TestChaosKillMasterFailover|TestDeposedMasterFencedByChunkservers' -race -count=1 -v

@@ -34,6 +34,7 @@ func All() []Entry {
 		{"recovery", FigRecovery},
 		{"scrub", FigScrub},
 		{"ec", FigEC},
+		{"failover", FigFailover},
 		{"a1", AblJournalMedia},
 		{"a2", AblClientDirected},
 		{"a3", AblIndexLevels},

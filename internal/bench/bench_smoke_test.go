@@ -68,3 +68,16 @@ func TestFigRecoverySmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestFigFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench")
+	}
+	tab := FigFailover(quickCfg)
+	checkTable(t, tab, 8)
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "ACCEPTANCE FAIL") {
+			t.Fatalf("%s: %s", tab.ID, n)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package chunkserver
+
+import (
+	"testing"
+	"time"
+
+	"ursa/internal/blockstore"
+	"ursa/internal/clock"
+	"ursa/internal/metrics"
+	"ursa/internal/proto"
+	"ursa/internal/simdisk"
+	"ursa/internal/transport"
+)
+
+// newFencedServer builds a standalone primary-role server with a metrics
+// registry, for exercising the master-epoch fence directly through Handle.
+func newFencedServer(t *testing.T) (*Server, *metrics.Registry) {
+	t.Helper()
+	clk := clock.Realtime
+	net := transport.NewSimNet(clk, time.Microsecond)
+	reg := metrics.NewRegistry()
+	store := blockstore.New(simdisk.NewSSD(fastSSD(), clk), 0)
+	srv := New(Config{
+		Addr: "f", Role: RolePrimary, Clock: clk,
+		Dialer:  net.Dialer("f", transport.NodeConfig{}),
+		Metrics: reg,
+	}, store, nil)
+	l, err := net.Listen("f", transport.NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(l)
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func TestEpochFenceRejectsStaleMasterCommands(t *testing.T) {
+	srv, reg := newFencedServer(t)
+
+	// A fencing OpNop from the epoch-5 primary is adopted.
+	resp := srv.Handle(&proto.Message{Op: proto.OpNop, Epoch: 5})
+	if resp.Status != proto.StatusOK {
+		t.Fatalf("OpNop@5 = %s", resp.Status)
+	}
+	if got := srv.MasterEpoch(); got != 5 {
+		t.Fatalf("MasterEpoch = %d, want 5", got)
+	}
+
+	// Master-driven commands from older epochs are fenced, and the reply
+	// carries the epoch that fenced them so the deposed master learns why.
+	for _, op := range []proto.Op{proto.OpSetView, proto.OpCreateChunk, proto.OpRebuildSegment} {
+		resp = srv.Handle(&proto.Message{Op: op, Chunk: testChunk, View: 2, Epoch: 3})
+		if resp.Status != proto.StatusStaleEpoch {
+			t.Fatalf("%v@3 = %s, want stale-epoch", op, resp.Status)
+		}
+		if resp.Epoch != 5 {
+			t.Fatalf("%v@3 fencing epoch = %d, want 5", op, resp.Epoch)
+		}
+	}
+	if n := reg.Counter(MetricStaleEpochRejections).Load(); n != 3 {
+		t.Fatalf("stale rejections = %d, want 3", n)
+	}
+
+	// The fence never rolls back: the current epoch sails through, and a
+	// newer one is adopted in passing by any master-driven command.
+	resp = srv.Handle(&proto.Message{Op: proto.OpNop, Epoch: 5})
+	if resp.Status != proto.StatusOK {
+		t.Fatalf("OpNop@5 again = %s", resp.Status)
+	}
+	resp = srv.Handle(&proto.Message{Op: proto.OpDeleteChunk, Chunk: testChunk, Epoch: 7})
+	if resp.Status == proto.StatusStaleEpoch {
+		t.Fatalf("OpDeleteChunk@7 fenced unexpectedly")
+	}
+	if got := srv.MasterEpoch(); got != 7 {
+		t.Fatalf("MasterEpoch = %d, want 7", got)
+	}
+}
+
+func TestEpochFenceIgnoresDataPathAndUnfencedOps(t *testing.T) {
+	srv, reg := newFencedServer(t)
+	srv.Handle(&proto.Message{Op: proto.OpNop, Epoch: 9})
+
+	// Epoch 0 marks an unfenced sender (single-master cluster, client data
+	// path): never rejected regardless of the witnessed epoch.
+	resp := srv.Handle(&proto.Message{Op: proto.OpNop, Epoch: 0})
+	if resp.Status != proto.StatusOK {
+		t.Fatalf("OpNop@0 = %s", resp.Status)
+	}
+
+	// Data-path ops are fenced by view numbers, not master epochs — a
+	// stale epoch on them must be ignored, not rejected.
+	resp = srv.Handle(&proto.Message{Op: proto.OpGetVersion, Chunk: testChunk, Epoch: 2})
+	if resp.Status == proto.StatusStaleEpoch {
+		t.Fatalf("OpGetVersion@2 hit the fence; data path must be unfenced")
+	}
+	if n := reg.Counter(MetricStaleEpochRejections).Load(); n != 0 {
+		t.Fatalf("stale rejections = %d, want 0", n)
+	}
+	if got := srv.MasterEpoch(); got != 9 {
+		t.Fatalf("MasterEpoch = %d, want 9 (data path must not adopt)", got)
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// persistent error asks the master for the §4.2.2 view change that
 	// re-replicates it elsewhere. Empty disables reporting.
 	MasterAddr string
+	// MasterAddrs lists every master endpoint when the control plane is
+	// replicated. Failure reports rotate through the list on transport
+	// errors or StatusNotPrimary redirects. fillDefaults folds MasterAddr
+	// in, so single-master configurations need not set this.
+	MasterAddrs []string
 	// ReportCooldown throttles per-chunk failure reports: a chunk taking
 	// sustained I/O errors reports at most once per cooldown, so a storm of
 	// failing requests cannot flood the master with duplicate view changes.
@@ -83,6 +88,21 @@ func (c *Config) fillDefaults() {
 	if c.ReportCooldown <= 0 {
 		c.ReportCooldown = time.Second
 	}
+	if c.MasterAddr != "" {
+		found := false
+		for _, a := range c.MasterAddrs {
+			if a == c.MasterAddr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.MasterAddrs = append([]string{c.MasterAddr}, c.MasterAddrs...)
+		}
+	}
+	if c.MasterAddr == "" && len(c.MasterAddrs) > 0 {
+		c.MasterAddr = c.MasterAddrs[0]
+	}
 }
 
 // Metric names published by the pipelined write path.
@@ -98,6 +118,9 @@ const (
 	// verification even after re-reads — confirmed silent corruption, each
 	// occurrence also reported to the master for repair.
 	MetricChecksumMismatches = "chunk-checksum-mismatches"
+	// MetricStaleEpochRejections counts master-driven commands fenced off
+	// because they carried a deposed master's epoch.
+	MetricStaleEpochRejections = "chunk-stale-epoch-rejections"
 )
 
 // Stats is a snapshot of server activity for the efficiency benches
@@ -142,6 +165,14 @@ type Server struct {
 	// reportFailure).
 	failMu     sync.Mutex
 	lastReport map[string]time.Time
+
+	// masterEpoch is the newest master primacy epoch this server has
+	// witnessed; commands stamped with an older one are rejected
+	// (StatusStaleEpoch) — the fence that stops a deposed master.
+	masterEpoch atomic.Uint64
+	// masterIdx remembers which MasterAddrs entry last answered a failure
+	// report, so reports go straight to the acting primary.
+	masterIdx atomic.Int64
 
 	rpc *transport.Server
 }
@@ -203,7 +234,7 @@ func (s *Server) reportDeviceFailure(id blockstore.ChunkID, cause error) {
 // recovery is idempotent regardless (a second report after the view moved
 // finds the address already repaired).
 func (s *Server) reportFailure(id blockstore.ChunkID, failedAddr string) {
-	if s.cfg.MasterAddr == "" {
+	if len(s.cfg.MasterAddrs) == 0 {
 		return
 	}
 	key := id.String() + "|" + failedAddr
@@ -231,10 +262,31 @@ func (s *Server) reportFailure(id blockstore.ChunkID, failedAddr string) {
 		if s.cfg.Metrics != nil {
 			op = op.WithSink(s.cfg.Metrics)
 		}
-		_, _ = s.peers.Do(op, s.cfg.MasterAddr, &proto.Message{
-			Op:      proto.MOpReportFailure,
-			Payload: payload,
-		}, 0)
+		// Rotate through the master endpoints starting at the one that
+		// last answered: during a failover the old primary times out or
+		// redirects (StatusNotPrimary) and the report lands on a standby
+		// or the new primary on a later turn of the loop. Re-sending the
+		// same payload slice is safe — JSON buffers are foreign to
+		// bufpool, so the per-attempt Put is a no-op.
+		addrs := s.cfg.MasterAddrs
+		start := int(s.masterIdx.Load()) % len(addrs)
+		for i := 0; i < len(addrs); i++ {
+			idx := (start + i) % len(addrs)
+			resp, err := s.peers.Do(op, addrs[idx], &proto.Message{
+				Op:      proto.MOpReportFailure,
+				Payload: payload,
+			}, 0)
+			if err != nil {
+				continue
+			}
+			status := resp.Status
+			bufpool.Put(resp.Payload)
+			proto.Recycle(resp)
+			if status != proto.StatusNotPrimary {
+				s.masterIdx.Store(int64(idx))
+				return
+			}
+		}
 	}()
 }
 
@@ -325,6 +377,23 @@ func (s *Server) Handle(m *proto.Message) *proto.Message {
 		s.upMu.Unlock()
 	}()
 
+	// Epoch fence: a master-driven command stamped with an epoch older
+	// than the newest this server has witnessed comes from a deposed
+	// master — reject it before it can touch views, versions, or chunk
+	// membership. Newer epochs are adopted (the new primary's fencing
+	// OpNop broadcast lands here too); epoch 0 is unfenced, which keeps
+	// client data-path ops and single-master clusters out of the protocol.
+	if m.Epoch != 0 && masterDriven(m.Op) {
+		if cur, adopted := s.witnessEpoch(m.Epoch); !adopted {
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.Counter(MetricStaleEpochRejections).Inc()
+			}
+			r := m.Reply(proto.StatusStaleEpoch)
+			r.Epoch = cur // tell the deposed sender what fenced it
+			return r
+		}
+	}
+
 	// Rebuild the request context the message belongs to: same op ID, the
 	// sender's remaining budget re-anchored on our clock. Every wait below
 	// derives its window from this op, never from a fixed constant.
@@ -373,6 +442,38 @@ func (s *Server) Handle(m *proto.Message) *proto.Message {
 		return m.Reply(proto.StatusError)
 	}
 }
+
+// masterDriven reports whether op is a command only the master originates
+// — the set that must be epoch-fenced. Data-path ops (reads, writes,
+// replicates) are excluded: clients are fenced by view numbers, not
+// epochs. OpNop is included as the promotion broadcast vehicle.
+func masterDriven(op proto.Op) bool {
+	switch op {
+	case proto.OpNop, proto.OpCreateChunk, proto.OpDeleteChunk, proto.OpSetView,
+		proto.OpCloneChunk, proto.OpRepairFrom, proto.OpApplyRepair,
+		proto.OpRebuildSegment:
+		return true
+	}
+	return false
+}
+
+// witnessEpoch folds e into the newest-witnessed master epoch: adopted
+// reports whether e is current (>= the max seen); cur returns the fencing
+// epoch when it is not.
+func (s *Server) witnessEpoch(e uint64) (cur uint64, adopted bool) {
+	for {
+		cur = s.masterEpoch.Load()
+		if e < cur {
+			return cur, false
+		}
+		if e == cur || s.masterEpoch.CompareAndSwap(cur, e) {
+			return e, true
+		}
+	}
+}
+
+// MasterEpoch returns the newest master epoch this server has witnessed.
+func (s *Server) MasterEpoch() uint64 { return s.masterEpoch.Load() }
 
 // opBudget derives the window this server may spend waiting on op's behalf
 // (backup acks, version-slot queueing, recovery pulls). Ops carrying a

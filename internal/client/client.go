@@ -14,6 +14,7 @@ import (
 	"ursa/internal/proto"
 	"ursa/internal/transport"
 	"ursa/internal/util"
+	"ursa/internal/util/backoff"
 )
 
 // Config parameterizes a client portal.
@@ -22,6 +23,12 @@ type Config struct {
 	Name string
 	// MasterAddr locates the master service.
 	MasterAddr string
+	// MasterAddrs lists every master endpoint when the metadata service is
+	// replicated. Metadata calls rotate through the list on transport
+	// faults and follow StatusNotPrimary redirect hints, so the client
+	// finds the promoted primary after a failover. Empty means the single
+	// MasterAddr.
+	MasterAddrs []string
 	// Clock supplies time.
 	Clock clock.Clock
 	// Dialer reaches the master and chunk servers.
@@ -85,23 +92,61 @@ func (c *Config) fillDefaults() {
 	if c.Name == "" {
 		c.Name = "client"
 	}
+	if len(c.MasterAddrs) == 0 {
+		c.MasterAddrs = []string{c.MasterAddr}
+	} else if c.MasterAddr == "" {
+		c.MasterAddr = c.MasterAddrs[0]
+	}
+}
+
+// MetricFailureReportsDropped counts asynchronous failure reports dropped
+// because the bounded report queue was full — the overload shedding that
+// replaces an unbounded herd of goroutines parked on a dead master.
+const MetricFailureReportsDropped = "client-failure-reports-dropped"
+
+// reportQueueDepth bounds how many asynchronous failure reports may wait
+// behind the single reporter goroutine. During a master blackout the queue
+// fills and further reports are dropped (counted, and re-filed by the next
+// failed I/O after the cooldown) instead of parking goroutines in Do.
+const reportQueueDepth = 32
+
+// asyncReport is one queued fire-and-forget failure report.
+type asyncReport struct {
+	vd   *VDisk
+	idx  int
+	addr string
 }
 
 // Client is the portal process: it owns the master session and chunk-server
 // connections, and opens VDisks.
 type Client struct {
-	cfg   Config
-	peers *transport.Peers // chunk-server connections, shared across vdisks
+	cfg     Config
+	peers   *transport.Peers // chunk-server connections, shared across vdisks
+	masters *transport.Peers // master connections, one per endpoint
 
-	mu      sync.Mutex
-	masterC *transport.Client
-	closed  bool
+	reportCh   chan asyncReport // bounded queue behind the reporter goroutine
+	reportStop chan struct{}
+	reportWG   sync.WaitGroup
+
+	mu         sync.Mutex
+	masterHint string // one-shot redirect target from the last StatusNotPrimary
+	masterIdx  int    // rotation cursor into cfg.MasterAddrs
+	closed     bool
 }
 
 // New creates a client portal.
 func New(cfg Config) *Client {
 	cfg.fillDefaults()
-	return &Client{cfg: cfg, peers: transport.NewPeers(cfg.Dialer, cfg.Clock)}
+	c := &Client{
+		cfg:        cfg,
+		peers:      transport.NewPeers(cfg.Dialer, cfg.Clock),
+		masters:    transport.NewPeers(cfg.Dialer, cfg.Clock),
+		reportCh:   make(chan asyncReport, reportQueueDepth),
+		reportStop: make(chan struct{}),
+	}
+	c.reportWG.Add(1)
+	go c.reportLoop()
+	return c
 }
 
 // Close tears down all connections. Open VDisks become unusable.
@@ -112,12 +157,10 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
-	mc := c.masterC
-	c.masterC = nil
 	c.mu.Unlock()
-	if mc != nil {
-		mc.Close()
-	}
+	close(c.reportStop)
+	c.reportWG.Wait()
+	c.masters.CloseAll()
 	c.peers.CloseAll()
 }
 
@@ -127,30 +170,66 @@ func (c *Client) isClosed() bool {
 	return c.closed
 }
 
-// masterClient returns the cached master connection, dialing on demand.
-func (c *Client) masterClient() (*transport.Client, error) {
+// reportLoop drains the asynchronous failure-report queue, one report at a
+// time. A single goroutine serializes the client's fire-and-forget reports:
+// when the master is unreachable the reports queue (and overflow is dropped
+// at the enqueue side) instead of fanning out goroutines that all park in
+// the master call for MasterTimeout.
+func (c *Client) reportLoop() {
+	defer c.reportWG.Done()
+	for {
+		select {
+		case <-c.reportStop:
+			return
+		case r := <-c.reportCh:
+			_ = r.vd.reportFailure(nil, r.idx, r.addr)
+			r.vd.finishAsyncReport(r.idx)
+		}
+	}
+}
+
+// nextMasterAddr picks the endpoint for the next metadata attempt: a
+// redirect hint if one is pending (consumed once), else the rotation
+// cursor.
+func (c *Client) nextMasterAddr() string {
 	c.mu.Lock()
-	if c.masterC != nil {
-		mc := c.masterC
-		c.mu.Unlock()
-		return mc, nil
+	defer c.mu.Unlock()
+	if c.masterHint != "" {
+		addr := c.masterHint
+		c.masterHint = ""
+		return addr
 	}
-	c.mu.Unlock()
-	conn, err := c.cfg.Dialer.Dial(c.cfg.MasterAddr)
-	if err != nil {
-		return nil, err
-	}
-	mc := transport.NewClient(conn, c.cfg.Clock)
+	return c.cfg.MasterAddrs[c.masterIdx%len(c.cfg.MasterAddrs)]
+}
+
+// rotateMaster advances the rotation cursor past addr after a failed
+// attempt (no-op if another caller already moved on).
+func (c *Client) rotateMaster(addr string) {
 	c.mu.Lock()
-	if c.masterC != nil {
-		old := c.masterC
-		c.mu.Unlock()
-		mc.Close()
-		return old, nil
+	defer c.mu.Unlock()
+	if c.cfg.MasterAddrs[c.masterIdx%len(c.cfg.MasterAddrs)] == addr {
+		c.masterIdx++
 	}
-	c.masterC = mc
+}
+
+// markMaster pins the rotation cursor on the endpoint that just served a
+// call, so subsequent metadata ops go straight there.
+func (c *Client) markMaster(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, a := range c.cfg.MasterAddrs {
+		if a == addr {
+			c.masterIdx = i
+			return
+		}
+	}
+}
+
+// setMasterHint records a one-shot redirect target.
+func (c *Client) setMasterHint(addr string) {
+	c.mu.Lock()
+	c.masterHint = addr
 	c.mu.Unlock()
-	return mc, nil
 }
 
 // newOp starts a request context on the client's clock with the given
@@ -171,36 +250,84 @@ func (c *Client) masterCall(op proto.Op, req any, out any) (proto.Status, error)
 
 // masterCallT is masterCall with an explicit deadline budget, for callers
 // sitting on a tighter clock than MasterTimeout.
+//
+// With one configured master endpoint this is a single attempt, exactly the
+// unreplicated behavior. With several, the call hunts for the primary until
+// the budget runs out: transport faults rotate to the next endpoint,
+// StatusNotPrimary follows the standby's redirect hint (or rotates when the
+// standby doesn't know a primary yet), and attempts are spaced by the
+// shared backoff policy so a herd of callers riding out a failover doesn't
+// hammer the standbys in lockstep.
 func (c *Client) masterCallT(d time.Duration, op proto.Op, req any, out any) (proto.Status, error) {
-	mc, err := c.masterClient()
-	if err != nil {
-		return proto.StatusError, err
-	}
 	var payload []byte
 	if req != nil {
+		var err error
 		payload, err = json.Marshal(req)
 		if err != nil {
 			return proto.StatusError, err
 		}
 	}
-	resp, err := mc.Do(c.newOp(d), &proto.Message{Op: op, Payload: payload}, 0)
-	if err != nil {
-		c.mu.Lock()
-		if c.masterC == mc {
-			c.masterC = nil
+	mop := c.newOp(d)
+	policy := backoff.Policy{Base: c.cfg.CallTimeout / 50, Cap: c.cfg.CallTimeout / 5}
+	multi := len(c.cfg.MasterAddrs) > 1
+	var lastErr error
+	var deadAddr string // last endpoint that failed at the transport
+	for attempt := 0; ; attempt++ {
+		if c.isClosed() {
+			return proto.StatusError, util.ErrClosed
 		}
-		c.mu.Unlock()
-		mc.Close()
-		return proto.StatusError, err
-	}
-	if resp.Status == proto.StatusOK && out != nil && len(resp.Payload) > 0 {
-		if err := json.Unmarshal(resp.Payload, out); err != nil {
+		addr := c.nextMasterAddr()
+		// Re-sending payload across attempts is safe: JSON buffers are
+		// foreign to bufpool, so Do's per-attempt Put is a no-op.
+		resp, err := c.masters.Do(mop, addr, &proto.Message{Op: op, Payload: payload}, 0)
+		switch {
+		case err != nil:
+			lastErr = err
+			deadAddr = addr
+			c.rotateMaster(addr)
+		case resp.Status == proto.StatusNotPrimary:
+			var info master.MasterInfoResp
+			hintErr := json.Unmarshal(resp.Payload, &info)
 			bufpool.Put(resp.Payload)
-			return proto.StatusError, err
+			lastErr = fmt.Errorf("client: master %s: %w", addr, util.ErrNotPrimary)
+			// A standby that hasn't noticed the failover yet still points
+			// at the dead primary — following that hint just burns an
+			// attempt, so rotate past it instead.
+			if hintErr == nil && info.Primary != "" && info.Primary != addr && info.Primary != deadAddr {
+				c.setMasterHint(info.Primary)
+			} else {
+				c.rotateMaster(addr)
+			}
+		default:
+			status := resp.Status
+			if status == proto.StatusOK && out != nil && len(resp.Payload) > 0 {
+				if err := json.Unmarshal(resp.Payload, out); err != nil {
+					bufpool.Put(resp.Payload)
+					return proto.StatusError, err
+				}
+			}
+			bufpool.Put(resp.Payload)
+			c.markMaster(addr)
+			return status, nil
+		}
+		if !multi {
+			break
+		}
+		// Sweep the whole endpoint list back to back, then back off once
+		// per sweep: during a failover every endpoint is worth one fast
+		// look, and it's the sweeps — not the individual attempts — that
+		// would otherwise hammer the standbys in lockstep.
+		if sweep := len(c.cfg.MasterAddrs); (attempt+1)%sweep == 0 {
+			delay := policy.Delay(mop.ID(), (attempt+1)/sweep-1)
+			if rem, ok := mop.Remaining(); !ok || rem <= delay {
+				break
+			}
+			c.cfg.Clock.Sleep(delay)
+		} else if rem, ok := mop.Remaining(); !ok || rem <= 0 {
+			break
 		}
 	}
-	bufpool.Put(resp.Payload)
-	return resp.Status, nil
+	return proto.StatusError, lastErr
 }
 
 // CreateVDisk asks the master to create a virtual disk.

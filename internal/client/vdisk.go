@@ -15,6 +15,7 @@ import (
 	"ursa/internal/redundancy"
 	"ursa/internal/transport"
 	"ursa/internal/util"
+	"ursa/internal/util/backoff"
 )
 
 // chunkHandle is the client-side state of one chunk.
@@ -257,7 +258,11 @@ func (vd *VDisk) reportFailure(op *opctx.Op, idx int, failedAddr string) error {
 // One report per chunk is in flight at a time, and repeats of the same
 // (chunk, address) report within ReportCooldown are dropped — a flapping
 // replica under a write-heavy workload would otherwise spawn an unbounded
-// herd of report goroutines all asking the master for the same recovery.
+// herd of reports all asking the master for the same recovery. Surviving
+// reports go onto the client's bounded queue behind a single reporter
+// goroutine; when the queue is full (a master blackout, typically) the
+// report is dropped and counted rather than parked — the next failed I/O
+// past the cooldown re-files it.
 func (vd *VDisk) reportFailureAsync(idx int, failedAddr string) {
 	now := vd.c.cfg.Clock.Now()
 	key := reportKey{idx: idx, addr: failedAddr}
@@ -273,12 +278,22 @@ func (vd *VDisk) reportFailureAsync(idx int, failedAddr string) {
 	vd.repLast[key] = now
 	vd.repInflight[idx] = struct{}{}
 	vd.repMu.Unlock()
-	go func() {
-		_ = vd.reportFailure(nil, idx, failedAddr)
-		vd.repMu.Lock()
-		delete(vd.repInflight, idx)
-		vd.repMu.Unlock()
-	}()
+	select {
+	case vd.c.reportCh <- asyncReport{vd: vd, idx: idx, addr: failedAddr}:
+	default:
+		vd.finishAsyncReport(idx)
+		if vd.c.cfg.Metrics != nil {
+			vd.c.cfg.Metrics.Counter(MetricFailureReportsDropped).Inc()
+		}
+	}
+}
+
+// finishAsyncReport releases the per-chunk in-flight marker set by
+// reportFailureAsync (called by the reporter goroutine, or on drop).
+func (vd *VDisk) finishAsyncReport(idx int) {
+	vd.repMu.Lock()
+	delete(vd.repInflight, idx)
+	vd.repMu.Unlock()
 }
 
 // refreshMeta re-reads the chunk placement from the master (stale-view
@@ -605,16 +620,16 @@ func (vd *VDisk) reconstructPiece(op *opctx.Op, idx int, cm master.ChunkMeta,
 		idx, want, util.ErrNoQuorum)
 }
 
+// retryBackoff spaces I/O retry rounds: jitter decorrelates the retry
+// herds of fragments that failed together — after a replica dies, every
+// fragment's retry would otherwise land on the recovering view at the same
+// instant.
+var retryBackoff = backoff.Policy{Base: 500 * time.Microsecond}
+
 // backoff sleeps between retry rounds; the wait is admission queueing from
-// the op's point of view and never exceeds its remaining budget. The delay
-// is jittered (±50%, seeded by op and attempt so reruns reproduce) to
-// decorrelate the retry herds of fragments that failed together — after a
-// replica dies, every fragment's retry would otherwise land on the
-// recovering view at the same instant.
+// the op's point of view and never exceeds its remaining budget.
 func (vd *VDisk) backoff(op *opctx.Op, attempt int) {
-	base := time.Duration(attempt+1) * 500 * time.Microsecond
-	r := util.NewRand(op.ID()<<8 + uint64(attempt))
-	d := base/2 + time.Duration(r.Int63n(int64(base)))
+	d := retryBackoff.Delay(op.ID(), attempt)
 	if rem, ok := op.Remaining(); ok && rem < d {
 		d = rem
 	}

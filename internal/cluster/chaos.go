@@ -35,6 +35,17 @@ const (
 	// [Lo, Hi) range keep succeeding but return rotted payloads (bit-rot).
 	// Hi <= Lo corrupts the whole device.
 	ChaosCorruptDisk
+	// ChaosKillMaster crashes master replica Master (fabric node and
+	// process); a standby promotes itself after the primacy TTL.
+	ChaosKillMaster
+	// ChaosHealMaster restarts a killed master as a fresh standby that
+	// catches up from the current primary's log.
+	ChaosHealMaster
+	// ChaosPartition drops all traffic between every fabric node of
+	// machines Machine and MachineB until healed.
+	ChaosPartition
+	// ChaosHealPartition restores the Machine–MachineB links.
+	ChaosHealPartition
 )
 
 func (k ChaosKind) String() string {
@@ -53,6 +64,14 @@ func (k ChaosKind) String() string {
 		return "restart-server"
 	case ChaosCorruptDisk:
 		return "corrupt-disk"
+	case ChaosKillMaster:
+		return "kill-master"
+	case ChaosHealMaster:
+		return "heal-master"
+	case ChaosPartition:
+		return "partition"
+	case ChaosHealPartition:
+		return "heal-partition"
 	default:
 		return fmt.Sprintf("chaos-kind-%d", int(k))
 	}
@@ -68,7 +87,12 @@ type ChaosEvent struct {
 	Disk    int
 	HDD     bool // target the machine's HDDs instead of its SSDs
 	Server  string
-	Stall   time.Duration // ChaosStallDisk only
+	// Master indexes the master replica for ChaosKillMaster/ChaosHealMaster.
+	Master int
+	// MachineB is the second machine of a ChaosPartition/ChaosHealPartition
+	// pair.
+	MachineB int
+	Stall    time.Duration // ChaosStallDisk only
 	// ChaosCorruptDisk only: the rotting byte range (Hi <= Lo = whole
 	// device) and whether the rot persists across re-reads or strikes once.
 	Lo, Hi     int64
@@ -240,6 +264,27 @@ func fireChaos(c *core.Cluster, ev ChaosEvent) {
 		c.CrashServer(ev.Server)
 	case ChaosRestartServer:
 		c.RestartServer(ev.Server)
+	case ChaosKillMaster:
+		if ev.Master < len(c.Masters) {
+			c.KillMaster(ev.Master)
+		}
+	case ChaosHealMaster:
+		if ev.Master < len(c.Masters) {
+			_ = c.HealMaster(ev.Master)
+		}
+	case ChaosPartition, ChaosHealPartition:
+		if ev.Machine >= len(c.Machines) || ev.MachineB >= len(c.Machines) {
+			return
+		}
+		for _, sa := range c.Machines[ev.Machine].Servers {
+			for _, sb := range c.Machines[ev.MachineB].Servers {
+				if ev.Kind == ChaosPartition {
+					c.Net.Partition(sa.Addr(), sb.Addr())
+				} else {
+					c.Net.Heal(sa.Addr(), sb.Addr())
+				}
+			}
+		}
 	}
 }
 
@@ -258,9 +303,9 @@ func chaosDisk(c *core.Cluster, ev ChaosEvent) *simdisk.FaultInjector {
 	return disks[ev.Disk]
 }
 
-// HealAll clears the armed faults on every device in the cluster. Journals
-// already marked dead stay out of the striping set — their backup servers
-// keep running on the bypass path.
+// HealAll clears the armed faults on every device in the cluster and
+// restores every partitioned link. Journals already marked dead stay out of
+// the striping set — their backup servers keep running on the bypass path.
 func HealAll(c *core.Cluster) {
 	for _, m := range c.Machines {
 		for _, fi := range m.SSDFaults {
@@ -270,6 +315,7 @@ func HealAll(c *core.Cluster) {
 			fi.Heal()
 		}
 	}
+	c.Net.HealAllPartitions()
 }
 
 // RandomSchedule builds a seeded fault schedule over an ops-long run:
@@ -309,6 +355,22 @@ func RandomSchedule(c *core.Cluster, seed uint64, ops int) []ChaosEvent {
 		evs = append(evs,
 			ChaosEvent{AtOp: at(0.50), Kind: ChaosCrashServer, Server: addr},
 			ChaosEvent{AtOp: at(0.85), Kind: ChaosRestartServer, Server: addr},
+		)
+	}
+	// Cut one machine pair's links for a stretch of the run.
+	if nm >= 2 {
+		a, b := perm[0], perm[1%nm]
+		evs = append(evs,
+			ChaosEvent{AtOp: at(0.45), Kind: ChaosPartition, Machine: a, MachineB: b},
+			ChaosEvent{AtOp: at(0.65), Kind: ChaosHealPartition, Machine: a, MachineB: b},
+		)
+	}
+	// With replicated masters, kill the bootstrap primary mid-run and bring
+	// it back as a standby near the end.
+	if len(c.Masters) > 1 {
+		evs = append(evs,
+			ChaosEvent{AtOp: at(0.30), Kind: ChaosKillMaster, Master: 0},
+			ChaosEvent{AtOp: at(0.80), Kind: ChaosHealMaster, Master: 0},
 		)
 	}
 	return evs

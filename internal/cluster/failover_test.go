@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ursa/internal/chunkserver"
+	"ursa/internal/core"
+	"ursa/internal/master"
+	"ursa/internal/util"
+)
+
+// failoverCluster is the chaos cluster with a replicated metadata service:
+// three masters on a short primacy lease, so a standby promotes within test
+// time when the primary dies.
+func failoverCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	opts := chaosClusterOptions(true)
+	opts.Masters = 3
+	opts.MasterPrimacyTTL = 150 * time.Millisecond
+	c, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// waitForPrimary polls until some live master claims primacy at an epoch
+// above floor, or the deadline passes.
+func waitForPrimary(t *testing.T, c *core.Cluster, floor uint64, d time.Duration) *master.Master {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if p := c.PrimaryMaster(); p != nil && p.Epoch() > floor {
+			return p
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no master promoted past epoch %d within %v", floor, d)
+	return nil
+}
+
+// TestChaosKillMasterFailover is the failover acceptance scenario: a disk
+// dies early (forcing a master-driven view change while the bootstrap
+// primary is alive), then the primary master itself is killed mid-workload.
+// The data path must ride through the metadata blackout with zero failed
+// client I/Os, the full history must stay linearizable, and a standby must
+// take over at a higher epoch. This is the failover smoke run wired into
+// make check.
+func TestChaosKillMasterFailover(t *testing.T) {
+	c := failoverCluster(t)
+	vd := chaosVDisk(t, c, 2)
+
+	ops := 400
+	rep, err := RunChaos(c, vd, ChaosOptions{
+		Ops:       ops,
+		Seed:      21,
+		WriteFrac: 0.6,
+		Schedule: []ChaosEvent{
+			{AtOp: 50, Kind: ChaosKillDisk, Machine: 1, HDD: true, Disk: 0},
+			{AtOp: 200, Kind: ChaosKillMaster, Master: 0},
+		},
+		FinalSweep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WriteErrors != 0 || rep.ReadErrors != 0 {
+		t.Fatalf("client saw failed I/O through the master blackout: %+v", rep)
+	}
+	if rep.EventsFired != 2 {
+		t.Fatalf("fired %d/2 events", rep.EventsFired)
+	}
+
+	p := waitForPrimary(t, c, 1, 5*time.Second)
+	if p == c.Masters[0] {
+		t.Fatal("dead bootstrap master still listed as primary")
+	}
+	if got := c.Metrics().Counter(master.MetricMasterPromotions).Load(); got == 0 {
+		t.Error("promotion counter never moved")
+	}
+
+	// The promoted master must serve metadata: a fresh client (configured
+	// with every endpoint) opens a new vdisk through it.
+	cl := c.NewClient("post-failover-client")
+	defer cl.Close()
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{
+		Name: "post-failover", Size: util.ChunkSize,
+	}); err != nil {
+		t.Fatalf("create through promoted master: %v", err)
+	}
+	vd2, err := cl.Open("post-failover")
+	if err != nil {
+		t.Fatalf("open through promoted master: %v", err)
+	}
+	defer vd2.Close()
+	buf := make([]byte, util.SectorSize)
+	if err := vd2.WriteAt(buf, 0); err != nil {
+		t.Fatalf("write on post-failover vdisk: %v", err)
+	}
+}
+
+// TestDeposedMasterFencedByChunkservers proves the epoch fence: a primary
+// partitioned away from its standbys (but not from the chunkservers) keeps
+// believing it is primary; once a standby promotes at a higher epoch and
+// broadcasts it, every view change the deposed master attempts bounces off
+// StatusStaleEpoch — and the rejection deposes it on the spot.
+func TestDeposedMasterFencedByChunkservers(t *testing.T) {
+	c := failoverCluster(t)
+	cl := c.NewClient("fence-client")
+	t.Cleanup(func() { cl.Close() })
+	meta, err := cl.CreateVDisk(master.CreateVDiskReq{Name: "fence", Size: 2 * util.ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Isolate the bootstrap primary from the other masters only.
+	addrs := c.MasterAddrs()
+	c.Net.Partition(addrs[0], addrs[1])
+	c.Net.Partition(addrs[0], addrs[2])
+
+	p := waitForPrimary(t, c, 1, 5*time.Second)
+	if p == c.Masters[0] {
+		t.Fatal("partitioned master should not have bumped its own epoch")
+	}
+	if !c.Masters[0].IsPrimary() {
+		t.Fatal("old primary stepped down without ever being fenced")
+	}
+
+	// Wait for the promotion broadcast to land on the chunkservers holding
+	// the target chunk, so the fence is armed before the deposed master acts.
+	deadline := time.Now().Add(5 * time.Second)
+	armed := func() bool {
+		for _, r := range meta.Chunks[0].Replicas {
+			if c.Server(r.Addr).MasterEpoch() < p.Epoch() {
+				return false
+			}
+		}
+		return true
+	}
+	for !armed() {
+		if !time.Now().Before(deadline) {
+			t.Fatal("promotion epoch never reached the chunkservers")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	viewBefore := meta.Chunks[0].View
+	reg := c.Metrics()
+	rejBefore := reg.Counter(chunkserver.MetricStaleEpochRejections).Load()
+
+	// The deposed master tries to run a view change, naming a live backup
+	// as failed so the recovery must push clones and new views.
+	_, recErr := c.Masters[0].RecoverChunk(meta.ID, 0, meta.Chunks[0].Replicas[1].Addr)
+	if recErr == nil {
+		t.Fatal("deposed master's view change succeeded")
+	}
+	if !errors.Is(recErr, util.ErrNotPrimary) {
+		t.Fatalf("recover error = %v, want ErrNotPrimary", recErr)
+	}
+	if got := reg.Counter(chunkserver.MetricStaleEpochRejections).Load(); got == rejBefore {
+		t.Fatal("no chunkserver rejected the deposed master's commands")
+	}
+	if c.Masters[0].IsPrimary() {
+		t.Fatal("deposed master still claims primacy after StatusStaleEpoch")
+	}
+
+	// The real primary's view of the chunk is untouched.
+	snap := p.Snapshot()
+	if got := snap.VDisks[meta.ID].Chunks[0].View; got != viewBefore {
+		t.Fatalf("chunk view changed under the deposed master: %d -> %d", viewBefore, got)
+	}
+
+	// The client, told every endpoint, follows the redirect to the new
+	// primary for metadata even though its first choice is the deposed one.
+	var fetched master.VDiskMeta
+	fetched, err = cl.OpenMeta("fence")
+	if err != nil {
+		t.Fatalf("metadata through replicated masters: %v", err)
+	}
+	if fetched.ID != meta.ID {
+		t.Fatalf("fetched vdisk %d, want %d", fetched.ID, meta.ID)
+	}
+}

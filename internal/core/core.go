@@ -91,6 +91,14 @@ type Options struct {
 	// server and client feeds the same registry, so one table decomposes
 	// where an I/O's time went. nil = a fresh registry.
 	Metrics *metrics.Registry
+	// Masters is the number of master replicas (default 1, the unreplicated
+	// configuration). With more, the metadata service runs the replication
+	// protocol: the primary ships its op log to hot standbys and a standby
+	// promotes itself — bumping the fencing epoch — when the primary dies.
+	Masters int
+	// MasterPrimacyTTL is the replicated masters' primacy lease (0 = the
+	// master default). Failover blackout scales with it.
+	MasterPrimacyTTL time.Duration
 	// LeaseTTL is the vdisk lease duration.
 	LeaseTTL time.Duration
 	// WriteRateLimit is the master-imposed per-client write budget.
@@ -162,6 +170,9 @@ func (o *Options) fillDefaults() {
 	if o.Metrics == nil {
 		o.Metrics = metrics.NewRegistry()
 	}
+	if o.Masters <= 0 {
+		o.Masters = 1
+	}
 }
 
 // Machine is one storage machine: devices, servers, and a shared NIC.
@@ -205,14 +216,17 @@ type Cluster struct {
 	opts     Options
 	clk      clock.Clock
 	Net      *transport.SimNet
-	Master   *master.Master
+	Master   *master.Master // Masters[0]; the bootstrap primary
+	Masters  []*master.Master
 	Machines []*Machine
 
-	servers map[string]*chunkserver.Server
-	clients []*client.Client
+	masterAddrs []string
+	servers     map[string]*chunkserver.Server
+	clients     []*client.Client
 }
 
-// MasterAddr is the master's fabric address.
+// MasterAddr is the (first) master's fabric address; replicas are
+// "master-1", "master-2", … in promotion-priority order.
 const MasterAddr = "master"
 
 // New builds and starts a cluster.
@@ -225,23 +239,19 @@ func New(opts Options) (*Cluster, error) {
 		servers: make(map[string]*chunkserver.Server),
 	}
 
-	// Master node (unlimited NIC: it is off the data path).
-	ml, err := c.Net.Listen(MasterAddr, transport.NodeConfig{})
-	if err != nil {
-		return nil, err
+	c.masterAddrs = append(c.masterAddrs, MasterAddr)
+	for i := 1; i < opts.Masters; i++ {
+		c.masterAddrs = append(c.masterAddrs, fmt.Sprintf("%s-%d", MasterAddr, i))
 	}
-	c.Master = master.New(master.Config{
-		Addr:           MasterAddr,
-		Clock:          opts.Clock,
-		Dialer:         c.Net.Dialer(MasterAddr, transport.NodeConfig{}),
-		Replication:    opts.Replication,
-		LeaseTTL:       opts.LeaseTTL,
-		WriteRateLimit: opts.WriteRateLimit,
-		RPCTimeout:     opts.CallTimeout,
-		HybridMode:     opts.Mode == Hybrid,
-		Metrics:        opts.Metrics,
-	})
-	c.Master.Serve(ml)
+	for i := range c.masterAddrs {
+		m, err := c.newMaster(i, false)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Masters = append(c.Masters, m)
+	}
+	c.Master = c.Masters[0]
 
 	for i := 0; i < opts.Machines; i++ {
 		m, err := c.buildMachine(i)
@@ -252,6 +262,38 @@ func New(opts Options) (*Cluster, error) {
 		c.Machines = append(c.Machines, m)
 	}
 	return c, nil
+}
+
+// newMaster builds and serves the master at rank i (unlimited NIC: masters
+// are off the data path). join makes it start as a standby regardless of
+// rank — the healed-after-crash path, where resurrecting the bootstrap
+// epoch would briefly split primacy.
+func (c *Cluster) newMaster(i int, join bool) (*master.Master, error) {
+	addr := c.masterAddrs[i]
+	ml, err := c.Net.Listen(addr, transport.NodeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	var peers []string
+	if len(c.masterAddrs) > 1 {
+		peers = append([]string(nil), c.masterAddrs...)
+	}
+	m := master.New(master.Config{
+		Addr:           addr,
+		Clock:          c.opts.Clock,
+		Dialer:         c.Net.Dialer(addr, transport.NodeConfig{}),
+		Replication:    c.opts.Replication,
+		LeaseTTL:       c.opts.LeaseTTL,
+		WriteRateLimit: c.opts.WriteRateLimit,
+		RPCTimeout:     c.opts.CallTimeout,
+		HybridMode:     c.opts.Mode == Hybrid,
+		Metrics:        c.opts.Metrics,
+		Peers:          peers,
+		PrimacyTTL:     c.opts.MasterPrimacyTTL,
+		JoinStandby:    join,
+	})
+	m.Serve(ml)
+	return m, nil
 }
 
 // buildMachine assembles machine i: devices, servers per device, journal
@@ -308,6 +350,7 @@ func (c *Cluster) buildMachine(i int) (*Machine, error) {
 				MaxInflight: opts.ServerMaxInflight,
 				SerialApply: opts.SerialApply,
 				MasterAddr:  MasterAddr,
+				MasterAddrs: c.masterAddrs,
 			}, store, nil)
 			if err := c.startServer(m, srv, nodeCfg); err != nil {
 				return nil, err
@@ -353,6 +396,7 @@ func (c *Cluster) addSSDServers(m *Machine, nodeCfg transport.NodeConfig, regist
 			MaxInflight: opts.ServerMaxInflight,
 			SerialApply: opts.SerialApply,
 			MasterAddr:  MasterAddr,
+			MasterAddrs: c.masterAddrs,
 		}, store, nil)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
 			return err
@@ -418,6 +462,7 @@ func (c *Cluster) addBackupServers(m *Machine, nodeCfg transport.NodeConfig) err
 			MaxInflight:     opts.ServerMaxInflight,
 			SerialApply:     opts.SerialApply,
 			MasterAddr:      MasterAddr,
+			MasterAddrs:     c.masterAddrs,
 		}, store, jset)
 		if err := c.startServer(m, srv, nodeCfg); err != nil {
 			return err
@@ -458,6 +503,7 @@ func (c *Cluster) NewClient(name string) *client.Client {
 	cl := client.New(client.Config{
 		Name:          name,
 		MasterAddr:    MasterAddr,
+		MasterAddrs:   c.masterAddrs,
 		Clock:         c.clk,
 		Dialer:        c.Net.Dialer(name, cfg),
 		TinyThreshold: c.opts.TinyThreshold,
@@ -476,13 +522,57 @@ func (c *Cluster) CrashServer(addr string) { c.Net.Crash(addr) }
 // RestartServer brings a crashed server's node back.
 func (c *Cluster) RestartServer(addr string) { c.Net.Restart(addr) }
 
+// MasterAddrs lists the master endpoints in promotion-priority order.
+func (c *Cluster) MasterAddrs() []string { return append([]string(nil), c.masterAddrs...) }
+
+// KillMaster crashes master i: its fabric node drops and its process
+// stops. With replicas, a standby notices the silence and promotes itself
+// after roughly one primacy TTL.
+func (c *Cluster) KillMaster(i int) {
+	c.Net.Crash(c.masterAddrs[i])
+	c.Masters[i].Close()
+}
+
+// HealMaster restarts a killed master as a fresh process joining as a
+// standby: it rejoins with no state and catches up from the current
+// primary's log.
+func (c *Cluster) HealMaster(i int) error {
+	c.Net.Restart(c.masterAddrs[i])
+	m, err := c.newMaster(i, true)
+	if err != nil {
+		return err
+	}
+	c.Masters[i] = m
+	if i == 0 {
+		c.Master = m
+	}
+	return nil
+}
+
+// PrimaryMaster returns the live master currently claiming primacy (the
+// highest epoch wins a transient dual claim), or nil during a blackout.
+func (c *Cluster) PrimaryMaster() *master.Master {
+	var best *master.Master
+	for i, m := range c.Masters {
+		if m == nil || c.Net.Down(c.masterAddrs[i]) || !m.IsPrimary() {
+			continue
+		}
+		if best == nil || m.Epoch() > best.Epoch() {
+			best = m
+		}
+	}
+	return best
+}
+
 // Close shuts the whole cluster down.
 func (c *Cluster) Close() {
 	for _, cl := range c.clients {
 		cl.Close()
 	}
-	if c.Master != nil {
-		c.Master.Close()
+	for _, m := range c.Masters {
+		if m != nil {
+			m.Close()
+		}
 	}
 	for _, m := range c.Machines {
 		// Scrubbers first: they probe through the servers and must not

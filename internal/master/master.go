@@ -9,6 +9,7 @@ import (
 	"ursa/internal/metrics"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
+	"ursa/internal/util/backoff"
 )
 
 // Config parameterizes the master.
@@ -31,6 +32,19 @@ type Config struct {
 	// Metrics, when non-nil, receives recovery observability: the
 	// chunk-recoveries counter and the chunk-recovery-duration histogram.
 	Metrics *metrics.Registry
+	// Peers lists every master endpoint, including this master's own Addr,
+	// in promotion-priority order (index = rank; Peers[0] bootstraps as
+	// primary). One entry or fewer disables replication entirely: the
+	// master is always primary and stamps no epochs.
+	Peers []string
+	// PrimacyTTL is the master-primacy lease: the primary heartbeats every
+	// PrimacyTTL/4 and a standby promotes after roughly one TTL of
+	// silence (rank-staggered).
+	PrimacyTTL time.Duration
+	// JoinStandby makes this master start as a standby even at rank 0 —
+	// set when (re)joining an already-running cluster, where resurrecting
+	// the bootstrap epoch would briefly split primacy.
+	JoinStandby bool
 }
 
 func (c *Config) fillDefaults() {
@@ -45,6 +59,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RPCTimeout <= 0 {
 		c.RPCTimeout = 2 * time.Second
+	}
+	if c.PrimacyTTL <= 0 {
+		c.PrimacyTTL = 2 * time.Second
+	}
+	if len(c.Peers) == 1 {
+		c.Peers = nil // a single endpoint is the unreplicated configuration
 	}
 }
 
@@ -88,26 +108,47 @@ type Master struct {
 	recMu      sync.Mutex
 	recovering map[uint64]chan struct{}
 
+	// Replication state (guarded by mu; see replication.go). epoch 0 with
+	// primary=true is the unreplicated configuration.
+	primary     bool
+	epoch       uint64
+	primaryAddr string    // best-known primary endpoint
+	lastHeard   time.Time // last heartbeat/batch from the primary
+	log         []logEntry
+	shipKick    map[string]chan struct{}
+	closedCh    chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+
 	rpc *transport.Server
 }
 
-// New creates a master.
+// New creates a master. With cfg.Peers configured it also starts the
+// replication machinery (log shippers toward every other endpoint and the
+// promotion monitor); Close stops them.
 func New(cfg Config) *Master {
 	cfg.fillDefaults()
-	return &Master{
+	m := &Master{
 		cfg:        cfg,
 		vdisks:     make(map[uint32]*vdisk),
 		byName:     make(map[string]uint32),
 		peers:      transport.NewPeers(cfg.Dialer, cfg.Clock),
 		recovering: make(map[uint64]chan struct{}),
 	}
+	m.peers.SetRedial(backoff.Policy{Base: cfg.RPCTimeout / 40, Cap: cfg.RPCTimeout / 4}, 2)
+	if !m.replicationEnabled() {
+		m.primary = true
+	}
+	m.initReplication()
+	return m
 }
 
 // Serve starts the master's RPC service.
 func (m *Master) Serve(l transport.Listener) { m.rpc = transport.Serve(l, m.Handle) }
 
-// Close stops the RPC service.
+// Close stops the RPC service and the replication goroutines.
 func (m *Master) Close() {
+	m.stopReplication()
 	if m.rpc != nil {
 		m.rpc.Close()
 	}
@@ -118,27 +159,60 @@ func (m *Master) Close() {
 func (m *Master) AddServer(addr, machine string, ssd bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.addServerLocked(addr, machine, ssd) {
+		m.appendLocked(entryKindServer, RegisterReq{Addr: addr, Machine: machine, SSD: ssd})
+	}
+}
+
+func (m *Master) addServerLocked(addr, machine string, ssd bool) bool {
 	for _, s := range m.servers {
 		if s.addr == addr {
-			return
+			return false
 		}
 	}
 	m.servers = append(m.servers, serverInfo{addr: addr, machine: machine, ssd: ssd})
+	return true
 }
 
 // call performs one RPC to a chunk server through the shared peer pool,
 // which evicts the cached connection on transport faults so the next use
-// redials.
+// redials. Requests are stamped with the current primacy epoch (zero when
+// replication is off) and a StatusStaleEpoch rejection deposes this
+// master on the spot: some chunkserver has witnessed a newer primary.
 func (m *Master) call(addr string, req *proto.Message) (*proto.Message, error) {
-	return m.peers.Call(addr, req, m.cfg.RPCTimeout)
+	return m.callT(addr, req, m.cfg.RPCTimeout)
 }
 
 func (m *Master) callT(addr string, req *proto.Message, timeout time.Duration) (*proto.Message, error) {
-	return m.peers.Call(addr, req, timeout)
+	if m.replicationEnabled() {
+		req.Epoch = m.Epoch()
+	}
+	resp, err := m.peers.Call(addr, req, timeout)
+	if err == nil && resp.Status == proto.StatusStaleEpoch {
+		m.fencedByEpoch(resp.Epoch)
+	}
+	return resp, err
 }
 
-// Handle dispatches master RPCs.
+// Handle dispatches master RPCs. Replication control traffic
+// (MOpReplicateLog, MOpMasterInfo) is served in any role; every other op
+// is a client/chunkserver metadata op that only the primary may serve —
+// standbys answer StatusNotPrimary with a redirect hint. The handlers
+// re-check primacy under m.mu before mutating, so a deposition racing an
+// in-flight request cannot smuggle an unlogged mutation into a standby.
 func (m *Master) Handle(msg *proto.Message) *proto.Message {
+	switch msg.Op {
+	case proto.MOpReplicateLog:
+		return m.jsonReply(msg, m.handleReplicateLog(msg))
+	case proto.MOpMasterInfo:
+		return m.jsonReply(msg, m.handleMasterInfo(msg))
+	}
+	if m.replicationEnabled() && !m.IsPrimary() {
+		m.mu.Lock()
+		res := m.notPrimaryLocked()
+		m.mu.Unlock()
+		return m.jsonReply(msg, res)
+	}
 	switch msg.Op {
 	case proto.MOpCreateVDisk:
 		return m.jsonReply(msg, m.handleCreate(msg))

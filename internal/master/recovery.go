@@ -2,6 +2,7 @@ package master
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,6 +30,11 @@ func (m *Master) handleReportFailure(msg *proto.Message) jsonResult {
 	}
 	meta, err := m.RecoverChunk(req.VDisk, req.ChunkIndex, req.FailedAddr)
 	if err != nil {
+		if errors.Is(err, util.ErrNotPrimary) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.notPrimaryLocked()
+		}
 		return fail(proto.StatusError)
 	}
 	return ok(meta)
@@ -53,6 +59,13 @@ const (
 // RecoverChunk performs a view change for one chunk, replacing failedAddr
 // (may be empty for pure repair). It returns the chunk's new metadata.
 func (m *Master) RecoverChunk(vdiskID uint32, chunkIndex uint32, failedAddr string) (*ChunkMeta, error) {
+	// Only the primary may drive view changes; a deposed master starting a
+	// recovery here would race the real primary's recovery of the same
+	// chunk (its commands are also fenced per-RPC below, this just fails
+	// fast).
+	if m.replicationEnabled() && !m.IsPrimary() {
+		return nil, m.errNotPrimary(fmt.Sprintf("recover c%d.%d", vdiskID, chunkIndex))
+	}
 	// One recovery per chunk at a time. Reporters re-fire on a cooldown much
 	// shorter than a 64 MB clone, so without this a single dead disk stacks
 	// up concurrent duplicate view changes for the same chunk; latecomers
@@ -211,12 +224,28 @@ func (m *Master) recoverMirror(t0 time.Time, id blockstore.ChunkID,
 		})
 	}
 
-	newMeta := ChunkMeta{View: newView, Replicas: newReplicas}
+	newMeta, err := m.installViewChange(t0, vdiskID, chunkIndex, ChunkMeta{View: newView, Replicas: newReplicas})
+	if err != nil {
+		return nil, err
+	}
+	return newMeta, nil
+}
+
+// installViewChange records a completed recovery's new chunk metadata,
+// re-checking primacy under the lock: a master deposed mid-recovery (its
+// fan-out already bounced off StatusStaleEpoch fences) must not install —
+// or replicate — a view the new primary knows nothing about.
+func (m *Master) installViewChange(t0 time.Time, vdiskID, chunkIndex uint32, newMeta ChunkMeta) (*ChunkMeta, error) {
 	m.mu.Lock()
+	if m.replicationEnabled() && !m.primary {
+		m.mu.Unlock()
+		return nil, m.errNotPrimary(fmt.Sprintf("install view for c%d.%d", vdiskID, chunkIndex))
+	}
 	if vd, okID := m.vdisks[vdiskID]; okID && int(chunkIndex) < len(vd.meta.Chunks) {
 		vd.meta.Chunks[chunkIndex] = newMeta
 	}
 	m.viewChanges++
+	m.appendLocked(entryKindSetChunk, entrySetChunk{VDisk: vdiskID, Index: chunkIndex, Meta: newMeta})
 	m.mu.Unlock()
 	if reg := m.cfg.Metrics; reg != nil {
 		reg.Counter(MetricChunkRecoveries).Inc()
@@ -382,18 +411,11 @@ func (m *Master) recoverRS(t0 time.Time, id blockstore.ChunkID,
 		})
 	}
 
-	newMeta := ChunkMeta{View: newView, Replicas: newReplicas}
-	m.mu.Lock()
-	if vd, okID := m.vdisks[vdiskID]; okID && int(chunkIndex) < len(vd.meta.Chunks) {
-		vd.meta.Chunks[chunkIndex] = newMeta
+	newMeta, err := m.installViewChange(t0, vdiskID, chunkIndex, ChunkMeta{View: newView, Replicas: newReplicas})
+	if err != nil {
+		return nil, err
 	}
-	m.viewChanges++
-	m.mu.Unlock()
-	if reg := m.cfg.Metrics; reg != nil {
-		reg.Counter(MetricChunkRecoveries).Inc()
-		reg.ObserveLatency(MetricRecoveryDuration, m.cfg.Clock.Now().Sub(t0))
-	}
-	return &newMeta, nil
+	return newMeta, nil
 }
 
 // rsClonePrimary rebuilds a full-chunk primary by decoding N surviving

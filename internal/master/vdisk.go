@@ -70,6 +70,10 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 	}
 
 	m.mu.Lock()
+	if m.replicationEnabled() && !m.primary {
+		m.mu.Unlock()
+		return nil, m.errNotPrimary("create " + req.Name)
+	}
 	if _, exists := m.byName[req.Name]; exists {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("master: vdisk %q: %w", req.Name, util.ErrExists)
@@ -98,6 +102,10 @@ func (m *Master) CreateVDisk(req CreateVDiskReq) (*VDiskMeta, error) {
 	}
 	m.vdisks[id] = &vdisk{meta: meta}
 	m.byName[req.Name] = id
+	m.appendLocked(entryKindPutVDisk, entryPutVDisk{
+		Meta: meta.Clone(), NextID: m.nextID,
+		NextPrimary: m.nextPrimary, NextBackup: m.nextBackup,
+	})
 	m.mu.Unlock()
 
 	// Create replicas on the servers (outside the lock: RPC fan-out).
@@ -198,6 +206,9 @@ func (m *Master) handleOpen(msg *proto.Message) jsonResult {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.replicationEnabled() && !m.primary {
+		return m.notPrimaryLocked()
+	}
 	id, okName := m.byName[req.Name]
 	if !okName {
 		return fail(proto.StatusNotFound)
@@ -209,6 +220,7 @@ func (m *Master) handleOpen(msg *proto.Message) jsonResult {
 		return fail(proto.StatusLeaseHeld)
 	}
 	vd.lease = lease{holder: req.Client, expiry: now.Add(m.cfg.LeaseTTL)}
+	m.appendLocked(entryKindLease, entryLease{ID: id, Holder: vd.lease.holder, Expiry: vd.lease.expiry})
 	return ok(vd.meta.Clone())
 }
 
@@ -219,18 +231,32 @@ func (m *Master) handleRenew(msg *proto.Message) jsonResult {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.replicationEnabled() && !m.primary {
+		return m.notPrimaryLocked()
+	}
 	vd, okID := m.vdisks[req.ID]
 	if !okID {
 		return fail(proto.StatusNotFound)
 	}
 	now := m.cfg.Clock.Now()
+	// Reclaim-on-renew: lease shipping is asynchronous, so a promoted
+	// standby may have missed the newest grant. An unheld (or expired)
+	// lease goes to the first renewer — the legitimate holder's renew loop
+	// reclaims it within one renewal period, and a second client racing it
+	// still loses by the ordinary holder check.
+	if vd.lease.holder == "" || now.After(vd.lease.expiry) {
+		if vd.lease.holder != "" && vd.lease.holder != req.Client {
+			return fail(proto.StatusLeaseHeld)
+		}
+		vd.lease = lease{holder: req.Client, expiry: now.Add(m.cfg.LeaseTTL)}
+		m.appendLocked(entryKindLease, entryLease{ID: req.ID, Holder: vd.lease.holder, Expiry: vd.lease.expiry})
+		return ok(nil)
+	}
 	if vd.lease.holder != req.Client {
 		return fail(proto.StatusLeaseHeld)
 	}
-	if now.After(vd.lease.expiry) {
-		return fail(proto.StatusLeaseHeld)
-	}
 	vd.lease.expiry = now.Add(m.cfg.LeaseTTL)
+	m.appendLocked(entryKindLease, entryLease{ID: req.ID, Holder: vd.lease.holder, Expiry: vd.lease.expiry})
 	return ok(nil)
 }
 
@@ -241,12 +267,16 @@ func (m *Master) handleClose(msg *proto.Message) jsonResult {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.replicationEnabled() && !m.primary {
+		return m.notPrimaryLocked()
+	}
 	vd, okID := m.vdisks[req.ID]
 	if !okID {
 		return fail(proto.StatusNotFound)
 	}
 	if vd.lease.holder == req.Client {
 		vd.lease = lease{}
+		m.appendLocked(entryKindLease, entryLease{ID: req.ID})
 	}
 	return ok(nil)
 }
@@ -302,6 +332,7 @@ func (m *Master) deleteVDiskByID(id uint32) {
 	}
 	delete(m.vdisks, id)
 	delete(m.byName, vd.meta.Name)
+	m.appendLocked(entryKindDelete, entryDelete{ID: id})
 	chunks := vd.meta.Clone().Chunks // RPC fan-out below runs unlocked
 	m.mu.Unlock()
 	for i, cm := range chunks {

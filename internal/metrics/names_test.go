@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ursa/internal/chunkserver"
+	"ursa/internal/client"
 	"ursa/internal/journal"
 	"ursa/internal/master"
 	"ursa/internal/metrics"
@@ -16,28 +17,31 @@ import (
 // A new Metric* constant belongs here; the test then guarantees it follows
 // the kebab-case scheme and does not collide with an existing name.
 var allMetricNames = map[string]string{
-	"simdisk.MetricFaultsInjected":         simdisk.MetricFaultsInjected,
-	"simdisk.MetricCorruptionsInjected":    simdisk.MetricCorruptionsInjected,
-	"journal.MetricJournalDead":            journal.MetricJournalDead,
-	"journal.MetricBypassWrites":           journal.MetricBypassWrites,
-	"journal.MetricReplayErrors":           journal.MetricReplayErrors,
-	"journal.MetricReplayCorrupt":          journal.MetricReplayCorrupt,
-	"journal.MetricBatchRecords":           journal.MetricBatchRecords,
-	"journal.MetricFlushLatency":           journal.MetricFlushLatency,
-	"journal.MetricCommitQueue":            journal.MetricCommitQueue,
-	"journal.MetricReplayWindow":           journal.MetricReplayWindow,
-	"journal.MetricReplayWrites":           journal.MetricReplayWrites,
-	"chunkserver.MetricPendingWrites":      chunkserver.MetricPendingWrites,
-	"chunkserver.MetricDepWait":            chunkserver.MetricDepWait,
-	"chunkserver.MetricChecksumMismatches": chunkserver.MetricChecksumMismatches,
-	"master.MetricChunkRecoveries":         master.MetricChunkRecoveries,
-	"master.MetricRecoveryDuration":        master.MetricRecoveryDuration,
-	"transport.MetricConnInflight":         transport.MetricConnInflight,
-	"scrub.MetricPasses":                   scrub.MetricPasses,
-	"scrub.MetricChunksVerified":           scrub.MetricChunksVerified,
-	"scrub.MetricBytesVerified":            scrub.MetricBytesVerified,
-	"scrub.MetricCorruptionsFound":         scrub.MetricCorruptionsFound,
-	"scrub.MetricReadErrors":               scrub.MetricReadErrors,
+	"simdisk.MetricFaultsInjected":           simdisk.MetricFaultsInjected,
+	"simdisk.MetricCorruptionsInjected":      simdisk.MetricCorruptionsInjected,
+	"journal.MetricJournalDead":              journal.MetricJournalDead,
+	"journal.MetricBypassWrites":             journal.MetricBypassWrites,
+	"journal.MetricReplayErrors":             journal.MetricReplayErrors,
+	"journal.MetricReplayCorrupt":            journal.MetricReplayCorrupt,
+	"journal.MetricBatchRecords":             journal.MetricBatchRecords,
+	"journal.MetricFlushLatency":             journal.MetricFlushLatency,
+	"journal.MetricCommitQueue":              journal.MetricCommitQueue,
+	"journal.MetricReplayWindow":             journal.MetricReplayWindow,
+	"journal.MetricReplayWrites":             journal.MetricReplayWrites,
+	"chunkserver.MetricPendingWrites":        chunkserver.MetricPendingWrites,
+	"chunkserver.MetricDepWait":              chunkserver.MetricDepWait,
+	"chunkserver.MetricChecksumMismatches":   chunkserver.MetricChecksumMismatches,
+	"chunkserver.MetricStaleEpochRejections": chunkserver.MetricStaleEpochRejections,
+	"master.MetricChunkRecoveries":           master.MetricChunkRecoveries,
+	"master.MetricRecoveryDuration":          master.MetricRecoveryDuration,
+	"master.MetricMasterPromotions":          master.MetricMasterPromotions,
+	"client.MetricFailureReportsDropped":     client.MetricFailureReportsDropped,
+	"transport.MetricConnInflight":           transport.MetricConnInflight,
+	"scrub.MetricPasses":                     scrub.MetricPasses,
+	"scrub.MetricChunksVerified":             scrub.MetricChunksVerified,
+	"scrub.MetricBytesVerified":              scrub.MetricBytesVerified,
+	"scrub.MetricCorruptionsFound":           scrub.MetricCorruptionsFound,
+	"scrub.MetricReadErrors":                 scrub.MetricReadErrors,
 }
 
 func TestAllMetricConstantsAreKebabCase(t *testing.T) {

@@ -1,6 +1,6 @@
 // Package proto defines URSA's binary wire protocol. One fixed-layout
 // message type serves requests and responses alike; the hot data path
-// (read/write/replicate) costs a single 72-byte header plus the payload,
+// (read/write/replicate) costs a single 80-byte header plus the payload,
 // with no reflection or allocation beyond the payload buffer — a deliberate
 // contrast with the verbose serialization the Ceph-like baseline uses,
 // which Fig 7's CPU-efficiency comparison measures.
@@ -100,6 +100,14 @@ const (
 	MOpGetVDisk
 	MOpStats
 	MOpRegister
+	// MOpReplicateLog ships a batch of metadata log entries from the
+	// primary master to a standby (payload: ReplicateLogReq JSON). The ack
+	// returns the standby's applied sequence so the shipper can rewind.
+	MOpReplicateLog
+	// MOpMasterInfo asks a master who it thinks the primary is (payload:
+	// MasterInfoResp JSON). Served by primaries and standbys alike; clients
+	// use it to discover the cluster after StatusNotPrimary.
+	MOpMasterInfo
 )
 
 // Status codes carried in responses.
@@ -119,6 +127,14 @@ const (
 	StatusFallback // incremental repair impossible: take the full copy
 	StatusRateLimited
 	StatusCorrupt // read succeeded but the payload failed checksum verification
+	// StatusStaleEpoch rejects a master-driven command whose Epoch is older
+	// than the newest this server has witnessed: the sender was deposed and
+	// must stand down (fencing, §4.1's lease discipline applied to masters).
+	StatusStaleEpoch
+	// StatusNotPrimary rejects a client metadata op sent to a standby (or
+	// deposed) master; the JSON body carries a MasterInfo hint naming the
+	// primary the sender should redirect to.
+	StatusNotPrimary
 )
 
 func (s Status) String() string {
@@ -147,6 +163,10 @@ func (s Status) String() string {
 		return "rate-limited"
 	case StatusCorrupt:
 		return "corrupt"
+	case StatusStaleEpoch:
+		return "stale-epoch"
+	case StatusNotPrimary:
+		return "not-primary"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -174,7 +194,13 @@ type Message struct {
 	Flags uint8
 	// Seg is the RS piece index this message concerns (segment rebuilds
 	// and fetches); zero elsewhere.
-	Seg     uint16
+	Seg uint16
+	// Epoch is the master primacy epoch stamped on master-driven commands
+	// (view changes, recovery clones, version bumps). Chunkservers reject
+	// commands older than the newest epoch they have witnessed
+	// (StatusStaleEpoch), fencing a deposed master. Zero means unfenced:
+	// client data-path ops never carry an epoch.
+	Epoch   uint64
 	Payload []byte
 }
 
@@ -195,7 +221,8 @@ type Message struct {
 //	54 _        uint16 (pad)
 //	56 OpID     uint64
 //	64 Budget   int64 (nanoseconds of remaining deadline; 0 = none)
-const HeaderSize = 72
+//	72 Epoch    uint64 (master primacy epoch; 0 = unfenced)
+const HeaderSize = 80
 
 // MaxPayload bounds a frame's payload (one striped request never exceeds a
 // few MB; this guards against corrupt length fields).
@@ -218,6 +245,7 @@ func (m *Message) EncodeHeader(buf []byte) {
 	binary.LittleEndian.PutUint16(buf[54:], 0)
 	binary.LittleEndian.PutUint64(buf[56:], m.OpID)
 	binary.LittleEndian.PutUint64(buf[64:], uint64(m.Budget))
+	binary.LittleEndian.PutUint64(buf[72:], m.Epoch)
 }
 
 // DecodeHeader parses a header into m, returning the payload length the
@@ -242,6 +270,7 @@ func (m *Message) DecodeHeader(buf []byte) (payloadLen int, err error) {
 	m.Seg = binary.LittleEndian.Uint16(buf[52:])
 	m.OpID = binary.LittleEndian.Uint64(buf[56:])
 	m.Budget = time.Duration(binary.LittleEndian.Uint64(buf[64:]))
+	m.Epoch = binary.LittleEndian.Uint64(buf[72:])
 	return int(n), nil
 }
 
@@ -344,6 +373,7 @@ func (m *Message) Reply(status Status) *Message {
 	r.Version = m.Version
 	r.OpID = m.OpID
 	r.Seg = m.Seg
+	r.Epoch = m.Epoch
 	return r
 }
 

@@ -23,6 +23,7 @@ func TestMessageRoundTrip(t *testing.T) {
 		Budget:  250 * time.Millisecond,
 		Flags:   FlagXorApply | FlagVersionBump,
 		Seg:     5,
+		Epoch:   3,
 		Payload: []byte("hello block storage"),
 	}
 	var buf bytes.Buffer
@@ -40,7 +41,7 @@ func TestMessageRoundTrip(t *testing.T) {
 		got.Chunk != m.Chunk || got.Off != m.Off || got.Length != m.Length ||
 		got.View != m.View || got.Version != m.Version ||
 		got.OpID != m.OpID || got.Budget != m.Budget ||
-		got.Flags != m.Flags || got.Seg != m.Seg ||
+		got.Flags != m.Flags || got.Seg != m.Seg || got.Epoch != m.Epoch ||
 		!bytes.Equal(got.Payload, m.Payload) {
 		t.Errorf("round trip mismatch: %+v != %+v", got, m)
 	}
@@ -64,7 +65,7 @@ func TestMessageEmptyPayload(t *testing.T) {
 func TestMessagePropertyRoundTrip(t *testing.T) {
 	f := func(id uint64, op, status uint8, chunk uint64, off int64,
 		length uint32, view, version, opID uint64, budget int64,
-		flags uint8, seg uint16, payload []byte) bool {
+		flags uint8, seg uint16, epoch uint64, payload []byte) bool {
 		if len(payload) > 1024 {
 			payload = payload[:1024]
 		}
@@ -73,7 +74,7 @@ func TestMessagePropertyRoundTrip(t *testing.T) {
 			Chunk: blockstore.ChunkID(chunk), Off: off, Length: length,
 			View: view, Version: version,
 			OpID: opID, Budget: time.Duration(budget),
-			Flags: flags, Seg: seg, Payload: payload,
+			Flags: flags, Seg: seg, Epoch: epoch, Payload: payload,
 		}
 		var buf bytes.Buffer
 		if err := m.Encode(&buf); err != nil {
@@ -88,7 +89,8 @@ func TestMessagePropertyRoundTrip(t *testing.T) {
 			got.Length == m.Length && got.View == m.View &&
 			got.Version == m.Version && got.OpID == m.OpID &&
 			got.Budget == m.Budget && got.Flags == m.Flags &&
-			got.Seg == m.Seg && bytes.Equal(got.Payload, m.Payload)
+			got.Seg == m.Seg && got.Epoch == m.Epoch &&
+			bytes.Equal(got.Payload, m.Payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -108,16 +110,17 @@ func TestDecodeRejectsHugePayload(t *testing.T) {
 }
 
 func TestReplyEchoesCorrelation(t *testing.T) {
-	m := &Message{ID: 9, Op: OpWrite, Chunk: 5, View: 2, Version: 3, OpID: 17}
+	m := &Message{ID: 9, Op: OpWrite, Chunk: 5, View: 2, Version: 3, OpID: 17, Epoch: 4}
 	r := m.Reply(StatusStaleView)
 	if r.ID != 9 || r.Op != OpWrite || r.Status != StatusStaleView ||
-		r.Chunk != 5 || r.View != 2 || r.Version != 3 || r.OpID != 17 {
+		r.Chunk != 5 || r.View != 2 || r.Version != 3 || r.OpID != 17 ||
+		r.Epoch != 4 {
 		t.Errorf("Reply = %+v", r)
 	}
 }
 
 func TestStatusStrings(t *testing.T) {
-	for s := StatusOK; s <= StatusRateLimited; s++ {
+	for s := StatusOK; s <= StatusNotPrimary; s++ {
 		if s.String() == "" {
 			t.Errorf("Status %d has empty string", s)
 		}

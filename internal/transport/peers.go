@@ -11,6 +11,7 @@ import (
 	"ursa/internal/opctx"
 	"ursa/internal/proto"
 	"ursa/internal/util"
+	"ursa/internal/util/backoff"
 )
 
 // Peers is a cached pool of RPC clients keyed by address, extracted from
@@ -23,6 +24,11 @@ import (
 type Peers struct {
 	dial Dialer
 	clk  clock.Clock
+
+	// Dial-retry policy (SetRedial). Zero tries — the default — fails a
+	// call on the first dial error, preserving fast data-path failover.
+	redial      backoff.Policy
+	redialTries int
 
 	mu sync.Mutex
 	m  map[string]*Client
@@ -76,12 +82,29 @@ func evictable(err error) bool {
 	return !errors.Is(err, util.ErrTimeout) && !errors.Is(err, context.Canceled)
 }
 
+// SetRedial configures dial-retry: a failed dial is retried up to tries
+// more times with the policy's jittered delays (seeded by the op ID),
+// never past the op's remaining budget. Callers with slow-changing targets
+// (the master redialing a restarting chunkserver) opt in; the default is
+// no retries. Set before the pool is shared between goroutines.
+func (p *Peers) SetRedial(policy backoff.Policy, tries int) {
+	p.redial, p.redialTries = policy, tries
+}
+
 // Do sends m to addr on behalf of op, bounded by the op's budget and cap,
 // evicting the cached connection on transport faults. Do consumes one
 // reference to m.Payload on every path (a failed dial releases it here;
 // everything later goes through Client.Do, which has the same contract).
 func (p *Peers) Do(op *opctx.Op, addr string, m *proto.Message, cap time.Duration) (*proto.Message, error) {
 	c, err := p.Get(addr)
+	for attempt := 0; err != nil && attempt < p.redialTries; attempt++ {
+		d := p.redial.Delay(op.ID(), attempt)
+		if rem, hasRem := op.Remaining(); hasRem && rem <= d {
+			break // no budget left for another dial
+		}
+		p.clk.Sleep(d)
+		c, err = p.Get(addr)
+	}
 	if err != nil {
 		bufpool.Put(m.Payload)
 		return nil, err

@@ -132,6 +132,14 @@ func (n *SimNet) Heal(a, b string) {
 	n.mu.Unlock()
 }
 
+// HealAllPartitions restores every cut link (the chaos harness's
+// end-of-run sweep).
+func (n *SimNet) HealAllPartitions() {
+	n.mu.Lock()
+	n.cut = make(map[[2]string]bool)
+	n.mu.Unlock()
+}
+
 // partitioned reports whether traffic a→b is currently dropped.
 func (n *SimNet) partitioned(a, b string) bool {
 	n.mu.Lock()

@@ -1,0 +1,40 @@
+// Package backoff provides the one retry-delay policy shared by every
+// retry loop in the tree: a linear ladder with a cap and seeded ±50%
+// jitter. Jitter decorrelates retry herds (fragments that failed together
+// would otherwise all land on a recovering replica at the same instant)
+// while staying deterministic per (seed, attempt), so seeded chaos runs and
+// benchmarks reproduce exactly.
+package backoff
+
+import (
+	"time"
+
+	"ursa/internal/util"
+)
+
+// Policy is a capped linear-backoff ladder. The nominal delay for attempt
+// n (0-based) is (n+1)×Base, bounded by Cap, then jittered to the range
+// [nominal/2, 1.5×nominal) — the cap bounds the nominal value rather than
+// the jittered result so retries stay decorrelated even at the cap.
+type Policy struct {
+	Base time.Duration // first-attempt nominal delay; each attempt adds another Base
+	Cap  time.Duration // upper bound on the nominal delay; 0 = uncapped
+}
+
+// Delay returns the jittered delay for attempt, deterministic in
+// (seed, attempt). Callers pass their op ID (or any stable identity) as
+// the seed so concurrent retriers spread out but reruns reproduce.
+func (p Policy) Delay(seed uint64, attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	base := time.Duration(attempt+1) * p.Base
+	if p.Cap > 0 && base > p.Cap {
+		base = p.Cap
+	}
+	if base <= 0 {
+		return 0
+	}
+	r := util.NewRand(seed<<8 + uint64(attempt))
+	return base/2 + time.Duration(r.Int63n(int64(base)))
+}

@@ -1,0 +1,55 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayRangeAndGrowth(t *testing.T) {
+	p := Policy{Base: 500 * time.Microsecond}
+	for attempt := 0; attempt < 8; attempt++ {
+		base := time.Duration(attempt+1) * p.Base
+		for seed := uint64(0); seed < 64; seed++ {
+			d := p.Delay(seed, attempt)
+			if d < base/2 || d >= base+base/2 {
+				t.Fatalf("attempt %d seed %d: delay %v outside [%v, %v)",
+					attempt, seed, d, base/2, base+base/2)
+			}
+		}
+	}
+}
+
+func TestDelayDeterministic(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: 20 * time.Millisecond}
+	for attempt := 0; attempt < 4; attempt++ {
+		if a, b := p.Delay(99, attempt), p.Delay(99, attempt); a != b {
+			t.Fatalf("attempt %d: %v != %v", attempt, a, b)
+		}
+	}
+	if p.Delay(1, 2) == p.Delay(2, 2) {
+		t.Error("different seeds produced identical delays (suspicious jitter)")
+	}
+}
+
+func TestDelayCap(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: 3 * time.Millisecond}
+	for attempt := 0; attempt < 32; attempt++ {
+		d := p.Delay(7, attempt)
+		if d >= p.Cap+p.Cap/2 {
+			t.Fatalf("attempt %d: delay %v exceeds jittered cap %v", attempt, d, p.Cap+p.Cap/2)
+		}
+		if attempt >= 3 && d < p.Cap/2 {
+			t.Fatalf("attempt %d: capped delay %v below cap/2", attempt, d)
+		}
+	}
+}
+
+func TestDelayZeroPolicy(t *testing.T) {
+	var p Policy
+	if d := p.Delay(1, 5); d != 0 {
+		t.Errorf("zero policy delay = %v", d)
+	}
+	if d := (Policy{Base: time.Millisecond}).Delay(3, -2); d == 0 {
+		t.Error("negative attempt should clamp to 0, not skip the delay")
+	}
+}

@@ -40,4 +40,10 @@ var (
 	// ErrCorrupt reports data that failed integrity verification: a read
 	// succeeded but the payload does not match its recorded checksum.
 	ErrCorrupt = errors.New("ursa: data corruption detected")
+	// ErrNotPrimary reports a metadata op sent to a master that is not the
+	// current primary (standby or deposed); callers redirect.
+	ErrNotPrimary = errors.New("ursa: not the primary master")
+	// ErrStaleEpoch reports a master-driven command fenced off by a
+	// chunkserver because it carried a deposed master's epoch.
+	ErrStaleEpoch = errors.New("ursa: stale master epoch")
 )
