@@ -2,7 +2,7 @@
 # the race detector (the RPC/replication paths are goroutine-heavy).
 GO ?= go
 
-.PHONY: build test race vet lint check bench-quick bench-smoke chaos-smoke scrub-smoke ec-smoke perf-smoke failover-smoke
+.PHONY: build test race vet lint check bench-quick bench-smoke chaos-smoke scrub-smoke ec-smoke perf-smoke failover-smoke cold-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping"; fi
 
-check: vet lint build test race chaos-smoke scrub-smoke ec-smoke failover-smoke perf-smoke bench-smoke
+check: vet lint build test race chaos-smoke scrub-smoke ec-smoke failover-smoke cold-smoke perf-smoke bench-smoke
 
 bench-quick:
 	$(GO) run ./cmd/ursa-bench -all -quick
@@ -41,6 +41,7 @@ bench-smoke: vet
 	$(GO) run ./cmd/ursa-bench -fig scrub -quick
 	$(GO) run ./cmd/ursa-bench -fig ec -quick
 	$(GO) run ./cmd/ursa-bench -fig failover -quick
+	$(GO) run ./cmd/ursa-bench -fig coldtier -quick
 
 # Hot-path allocation regression gate: runs the steady-state micro
 # benchmarks (read+verify, write+stamp, pooled decode, client-directed
@@ -76,3 +77,10 @@ ec-smoke:
 # with zero failed I/Os.
 failover-smoke:
 	$(GO) test ./internal/cluster -run 'TestChaosKillMasterFailover|TestDeposedMasterFencedByChunkservers' -race -count=1 -v
+
+# Deterministic cold-tier acceptance run: thin clones from a golden-image
+# snapshot read back byte-identical under racing source writes and object-
+# store stall/rot/partition chaos, and extent GC fully drains the store
+# once the clone materializes and the snapshot is deleted.
+cold-smoke:
+	$(GO) test ./internal/cluster -run 'TestSnapshotCloneColdReads|TestSnapshotImmutableUnderRacingWrites|TestChaosColdReadsSurviveObjstoreStall|TestColdGCReclaimsAfterMaterialization' -race -count=1 -v

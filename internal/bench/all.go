@@ -35,6 +35,7 @@ func All() []Entry {
 		{"scrub", FigScrub},
 		{"ec", FigEC},
 		{"failover", FigFailover},
+		{"coldtier", FigColdtier},
 		{"a1", AblJournalMedia},
 		{"a2", AblClientDirected},
 		{"a3", AblIndexLevels},

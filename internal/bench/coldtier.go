@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"ursa/internal/chunkserver"
+	"ursa/internal/client"
+	"ursa/internal/clock"
+	"ursa/internal/core"
+	"ursa/internal/master"
+	"ursa/internal/objstore"
+	"ursa/internal/simdisk"
+	"ursa/internal/util"
+)
+
+// coldtierBenchJSON is FigColdtier's machine-readable artifact.
+const coldtierBenchJSON = "BENCH_coldtier.json"
+
+type coldtierBenchDoc struct {
+	Bench string `json:"bench"`
+	Quick bool   `json:"quick"`
+
+	// Thin clone vs full data copy of the golden image.
+	ImageBytes   int64   `json:"image_bytes"`
+	DataBytes    int64   `json:"data_bytes"`
+	FullCopyMs   float64 `json:"full_copy_ms"`
+	ThinCloneMs  float64 `json:"thin_clone_ms"`
+	Speedup      float64 `json:"clone_speedup"`
+	SpeedupFloor float64 `json:"clone_speedup_floor"`
+
+	// Demand-fetch read latency, cold (first touch) vs warm (materialized).
+	ColdP50Ms   float64 `json:"cold_read_p50_ms"`
+	ColdP99Ms   float64 `json:"cold_read_p99_ms"`
+	WarmP50Ms   float64 `json:"warm_read_p50_ms"`
+	WarmP99Ms   float64 `json:"warm_read_p99_ms"`
+	ColdFetches int64   `json:"cold_fetches"`
+	WarmHits    int64   `json:"cold_fetch_hit_warm"`
+
+	// Snapshot churn: overwrite + snapshot + delete-previous rounds, then
+	// one GC pass over the store.
+	ChurnRounds     int     `json:"churn_rounds"`
+	ChurnUsedBytes  int64   `json:"churn_used_bytes"`
+	ChurnDeadBytes  int64   `json:"churn_dead_bytes"`
+	ReclaimedBytes  int64   `json:"gc_reclaimed_bytes"`
+	ReclaimFraction float64 `json:"gc_reclaim_fraction"`
+	ReclaimFloor    float64 `json:"gc_reclaim_floor"`
+	GCSegments      int64   `json:"gc_segments_reclaimed"`
+
+	// Cold reads under object-store stall + transient GET rot.
+	ChaosReads      int   `json:"chaos_reads"`
+	ChaosCorrupt    int   `json:"chaos_corrupt_payloads"`
+	ChaosReadErrors int   `json:"chaos_read_errors"`
+	ObjGets         int64 `json:"objstore_gets"`
+}
+
+// coldtierObjModel is the bench's object-store shape: a few milliseconds
+// to first byte and a wide pipe, so cold fetches are visibly slower than
+// local SSD reads without dominating the run.
+func coldtierObjModel() objstore.Model {
+	return objstore.Model{
+		PutLatency:    4 * time.Millisecond,
+		GetLatency:    4 * time.Millisecond,
+		DeleteLatency: time.Millisecond,
+		Bandwidth:     2e9,
+		Parallelism:   64,
+	}
+}
+
+// FigColdtier measures the cold tier end to end: provisioning a thin clone
+// from a golden-image snapshot vs copying the image in full, cold
+// (demand-fetch) vs warm read latency on the clone, GC reclaim under
+// snapshot churn, and cold-read integrity while the object store stalls
+// and rots GET payloads. Results go to BENCH_coldtier.json.
+func FigColdtier(cfg Config) Table {
+	t := Table{
+		ID:     "Fig C",
+		Title:  "Cold tier: thin clones, demand-fetch latency, GC reclaim, stall chaos",
+		Header: []string{"metric", "value"},
+	}
+	// Fast device models (not the ×10 slow-motion figures): this bench
+	// gauges the cold tier's protocol costs and its ratios against a
+	// local-disk baseline, not paper-scale absolute IOPS.
+	c, err := core.New(core.Options{
+		Machines:       4,
+		SSDsPerMachine: 1,
+		HDDsPerMachine: 2,
+		Mode:           core.Hybrid,
+		Clock:          clock.Realtime,
+		SSDModel: simdisk.SSDModel{
+			Capacity: 8 * util.GiB, Parallelism: 32,
+			ReadLatency: 20 * time.Microsecond, WriteLatency: 40 * time.Microsecond,
+			ReadBandwidth: 3e9, WriteBandwidth: 2e9,
+		},
+		HDDModel: simdisk.HDDModel{
+			Capacity: 16 * util.GiB, SeekMax: 2 * time.Millisecond,
+			SeekSettle: 100 * time.Microsecond, RPM: 72000,
+			Bandwidth: 800e6, TrackSkip: 512 * util.KiB,
+		},
+		HDDJournal:    true,
+		NetLatency:    50 * time.Microsecond,
+		ReplTimeout:   2 * time.Second,
+		CallTimeout:   10 * time.Second,
+		ObjstoreModel: func() *objstore.Model { m := coldtierObjModel(); return &m }(),
+	})
+	if err != nil {
+		t.Notes = append(t.Notes, "build failed: "+err.Error())
+		return t
+	}
+	defer c.Close()
+	cl := c.NewClient("cold-bench")
+	defer cl.Close()
+	reg := c.Metrics()
+
+	nChunks := 16 // 1 GiB golden image
+	if cfg.Quick {
+		nChunks = 4
+	}
+	imageBytes := int64(nChunks) * util.ChunkSize
+	dataBytes := imageBytes / 4 // written region; the rest is thin zeros
+	doc := coldtierBenchDoc{
+		Bench: "coldtier", Quick: cfg.Quick,
+		ImageBytes: imageBytes, DataBytes: dataBytes,
+		SpeedupFloor: 100, ReclaimFloor: 0.8,
+	}
+
+	fail := func(what string, err error) Table {
+		t.Notes = append(t.Notes, what+": "+err.Error())
+		return t
+	}
+
+	// --- Golden image -----------------------------------------------------
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{Name: "golden", Size: imageBytes}); err != nil {
+		return fail("create golden", err)
+	}
+	src, err := cl.Open("golden")
+	if err != nil {
+		return fail("open golden", err)
+	}
+	defer src.Close()
+	golden := make([]byte, dataBytes)
+	util.NewRand(cfg.Seed + 1).Fill(golden)
+	for off := int64(0); off < dataBytes; off += util.MiB {
+		if err := src.WriteAt(golden[off:off+util.MiB], off); err != nil {
+			return fail("fill golden", err)
+		}
+	}
+	if err := cl.SnapshotVDisk("golden", "gold-snap"); err != nil {
+		return fail("snapshot", err)
+	}
+
+	// --- Leg 1: thin clone vs full data copy ------------------------------
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{Name: "fullcopy", Size: imageBytes}); err != nil {
+		return fail("create copy target", err)
+	}
+	dst, err := cl.Open("fullcopy")
+	if err != nil {
+		return fail("open copy target", err)
+	}
+	t0 := time.Now()
+	err = client.Snapshot(src, dst)
+	doc.FullCopyMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	dst.Close()
+	if err != nil {
+		return fail("full copy", err)
+	}
+
+	t0 = time.Now()
+	if _, err := cl.CloneFromSnapshot(master.CloneReq{Snapshot: "gold-snap", Name: "thin"}); err != nil {
+		return fail("thin clone", err)
+	}
+	doc.ThinCloneMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	if doc.ThinCloneMs > 0 {
+		doc.Speedup = doc.FullCopyMs / doc.ThinCloneMs
+	}
+
+	// --- Leg 2: cold vs warm reads on the clone ---------------------------
+	thin, err := cl.Open("thin")
+	if err != nil {
+		return fail("open thin clone", err)
+	}
+	defer thin.Close()
+	readPass := func(vd client.Device) ([]time.Duration, error) {
+		var lats []time.Duration
+		buf := make([]byte, 64*util.KiB)
+		r := util.NewRand(cfg.Seed + 2)
+		for i := 0; i < cfg.ops(512); i++ {
+			off := util.AlignDown(r.Int63n(dataBytes-int64(len(buf))), util.SectorSize)
+			s := time.Now()
+			if err := vd.ReadAt(buf, off); err != nil {
+				return nil, err
+			}
+			lats = append(lats, time.Since(s))
+		}
+		return lats, nil
+	}
+	cold, err := readPass(thin)
+	if err != nil {
+		return fail("cold read pass", err)
+	}
+	warm, err := readPass(thin)
+	if err != nil {
+		return fail("warm read pass", err)
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	doc.ColdP50Ms = ms(util.ExactQuantile(cold, 0.50))
+	doc.ColdP99Ms = ms(util.ExactQuantile(cold, 0.99))
+	doc.WarmP50Ms = ms(util.ExactQuantile(warm, 0.50))
+	doc.WarmP99Ms = ms(util.ExactQuantile(warm, 0.99))
+	doc.ColdFetches = reg.Counter(chunkserver.MetricColdFetches).Load()
+
+	// Warm tier: a cached clone absorbs repeat reads of cold ranges.
+	if _, err := cl.CloneFromSnapshot(master.CloneReq{Snapshot: "gold-snap", Name: "cached"}); err != nil {
+		return fail("cached clone", err)
+	}
+	cvd, err := cl.Open("cached")
+	if err != nil {
+		return fail("open cached clone", err)
+	}
+	cached := client.WithCache(cvd, dataBytes)
+	buf := make([]byte, 64*util.KiB)
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < 8*util.MiB; off += int64(len(buf)) {
+			if err := cached.ReadAt(buf, off); err != nil {
+				cvd.Close()
+				return fail("cached read", err)
+			}
+		}
+	}
+	cvd.Close()
+	doc.WarmHits = reg.Counter(client.MetricColdWarmHits).Load()
+
+	// --- Leg 3: snapshot churn + GC reclaim -------------------------------
+	if _, err := cl.CreateVDisk(master.CreateVDiskReq{Name: "churn", Size: util.ChunkSize}); err != nil {
+		return fail("create churn vdisk", err)
+	}
+	churn, err := cl.Open("churn")
+	if err != nil {
+		return fail("open churn vdisk", err)
+	}
+	defer churn.Close()
+	rounds := 5
+	if cfg.Quick {
+		rounds = 3
+	}
+	churnData := make([]byte, 8*util.MiB)
+	for i := 0; i < rounds; i++ {
+		util.NewRand(cfg.Seed + 10 + uint64(i)).Fill(churnData)
+		for off := int64(0); off < int64(len(churnData)); off += util.MiB {
+			if err := churn.WriteAt(churnData[off:off+util.MiB], off); err != nil {
+				return fail("churn write", err)
+			}
+		}
+		name := fmt.Sprintf("churn-%d", i)
+		if err := cl.SnapshotVDisk("churn", name); err != nil {
+			return fail("churn snapshot", err)
+		}
+		if i > 0 {
+			if err := cl.DeleteSnapshot(fmt.Sprintf("churn-%d", i-1)); err != nil {
+				return fail("churn delete", err)
+			}
+		}
+	}
+	doc.ChurnRounds = rounds
+	used0 := c.Objstore.UsedBytes()
+	pm := c.PrimaryMaster()
+	if pm == nil {
+		t.Notes = append(t.Notes, "no primary master for gc")
+		return t
+	}
+	if _, _, err := pm.RunColdGC(); err != nil {
+		return fail("gc pass", err)
+	}
+	used1 := c.Objstore.UsedBytes()
+	doc.ChurnUsedBytes = used0
+	doc.ReclaimedBytes = used0 - used1
+	// Dead bytes = everything the deleted churn snapshots flushed: rounds-1
+	// full overwrites of the same 8 MiB region.
+	doc.ChurnDeadBytes = int64(rounds-1) * int64(len(churnData))
+	if doc.ChurnDeadBytes > 0 {
+		doc.ReclaimFraction = float64(doc.ReclaimedBytes) / float64(doc.ChurnDeadBytes)
+	}
+	doc.GCSegments = reg.Counter(master.MetricGCSegmentsReclaimed).Load()
+
+	// --- Leg 4: cold reads under objstore stall + GET rot -----------------
+	if _, err := cl.CloneFromSnapshot(master.CloneReq{Snapshot: "gold-snap", Name: "chaos"}); err != nil {
+		return fail("chaos clone", err)
+	}
+	chaos, err := cl.Open("chaos")
+	if err != nil {
+		return fail("open chaos clone", err)
+	}
+	defer chaos.Close()
+	c.Objstore.Stall(2 * time.Millisecond)
+	c.Objstore.CorruptReads(32)
+	r := util.NewRand(cfg.Seed + 3)
+	probe := make([]byte, 64*util.KiB)
+	for i := 0; i < cfg.ops(256); i++ {
+		off := util.AlignDown(r.Int63n(dataBytes-int64(len(probe))), util.SectorSize)
+		doc.ChaosReads++
+		if err := chaos.ReadAt(probe, off); err != nil {
+			doc.ChaosReadErrors++
+			continue
+		}
+		if !bytes.Equal(probe, golden[off:off+int64(len(probe))]) {
+			doc.ChaosCorrupt++
+		}
+	}
+	c.Objstore.Heal()
+	doc.ObjGets = reg.Counter(objstore.MetricObjGets).Load()
+
+	// --- Report -----------------------------------------------------------
+	t.Rows = append(t.Rows,
+		[]string{"golden image", util.FormatBytes(doc.ImageBytes) + " (" + util.FormatBytes(doc.DataBytes) + " data)"},
+		[]string{"full data copy", f0(doc.FullCopyMs) + " ms"},
+		[]string{"thin clone", f2(doc.ThinCloneMs) + " ms"},
+		[]string{"clone speedup", f0(doc.Speedup) + "x (floor " + f0(doc.SpeedupFloor) + "x)"},
+		[]string{"cold read p50/p99", f2(doc.ColdP50Ms) + " / " + f2(doc.ColdP99Ms) + " ms"},
+		[]string{"warm read p50/p99", f2(doc.WarmP50Ms) + " / " + f2(doc.WarmP99Ms) + " ms"},
+		[]string{"demand fetches", f0(float64(doc.ColdFetches))},
+		[]string{"warm-tier hits on cold ranges", f0(float64(doc.WarmHits))},
+		[]string{"churn rounds", f0(float64(doc.ChurnRounds))},
+		[]string{"gc reclaimed", util.FormatBytes(doc.ReclaimedBytes) + " of " + util.FormatBytes(doc.ChurnDeadBytes) + " dead"},
+		[]string{"gc reclaim fraction", f2(doc.ReclaimFraction) + " (floor " + f2(doc.ReclaimFloor) + ")"},
+		[]string{"chaos reads", f0(float64(doc.ChaosReads))},
+		[]string{"chaos corrupt payloads", f0(float64(doc.ChaosCorrupt))},
+		[]string{"chaos read errors", f0(float64(doc.ChaosReadErrors))},
+	)
+	if doc.Speedup < doc.SpeedupFloor {
+		t.Notes = append(t.Notes, "ACCEPTANCE FAIL: thin clone under "+f0(doc.SpeedupFloor)+"x faster than full copy")
+	}
+	if doc.ReclaimFraction < doc.ReclaimFloor {
+		t.Notes = append(t.Notes, "ACCEPTANCE FAIL: gc reclaimed under "+f2(doc.ReclaimFloor)+" of dead extent bytes")
+	}
+	if doc.ChaosCorrupt > 0 {
+		t.Notes = append(t.Notes, "ACCEPTANCE FAIL: corrupt payloads served under objstore chaos")
+	}
+	if doc.ColdFetches == 0 {
+		t.Notes = append(t.Notes, "ACCEPTANCE FAIL: clone reads never demand-fetched")
+	}
+	t.Notes = append(t.Notes,
+		"clone = O(metadata) extent-table copy; bytes materialize on demand, CoW on first write;",
+		"churn dead bytes = the deleted snapshots' overwritten flushes; GC deletes dead segments",
+		"and compacts mostly-dead ones; chaos leg arms a stall plus 32 rotted GETs — the",
+		"per-extent CRCs force refetches, so corrupt payloads must be zero.")
+
+	if buf, err := json.MarshalIndent(&doc, "", "  "); err == nil {
+		if werr := os.WriteFile(artifactPath(cfg, coldtierBenchJSON), append(buf, '\n'), 0o644); werr != nil {
+			t.Notes = append(t.Notes, "write "+coldtierBenchJSON+": "+werr.Error())
+		}
+	}
+	return t
+}

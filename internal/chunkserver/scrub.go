@@ -41,8 +41,31 @@ func (s *Server) ScrubBusy() bool {
 // returned wrapping util.ErrCorrupt; a chunk deleted mid-scrub returns
 // util.ErrNotFound and is nothing to repair.
 func (s *Server) ScrubRange(id blockstore.ChunkID, off int64, n int) error {
-	if s.chunk(id) == nil {
+	cs := s.chunk(id)
+	if cs == nil {
 		return fmt.Errorf("chunkserver %s: scrub %v: %w", s.cfg.Addr, id, util.ErrNotFound)
+	}
+	// Object-backed ranges of a cloned chunk have no local bytes to verify;
+	// skipping them is reported (counted), not silent — the segments' own
+	// per-extent CRCs cover them until demand fetch materializes the range.
+	// The scrub must not fetch: it would churn the cold tier for data nobody
+	// has asked for.
+	if cold := cs.cold; cold != nil && !cold.done.Load() {
+		cold.mu.Lock()
+		skip := false
+		for _, r := range cold.refs {
+			if r.Overlaps(off, int64(n)) {
+				skip = true
+				break
+			}
+		}
+		cold.mu.Unlock()
+		if skip {
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.Counter(MetricColdScrubSkips).Inc()
+			}
+			return nil
+		}
 	}
 	buf := make([]byte, n)
 	err := s.readVerified(nil, id, buf, off)

@@ -12,6 +12,7 @@ import (
 	"ursa/internal/blockstore"
 	"ursa/internal/bufpool"
 	"ursa/internal/clock"
+	"ursa/internal/coldtier"
 	"ursa/internal/journal"
 	"ursa/internal/metrics"
 	"ursa/internal/opctx"
@@ -424,7 +425,9 @@ func (s *Server) Handle(m *proto.Message) *proto.Message {
 	case proto.OpApplyRepair:
 		return s.handleApplyRepair(m)
 	case proto.OpFetchChunk:
-		return s.handleFetchChunk(m)
+		return s.handleFetchChunk(op, m)
+	case proto.OpFlushChunks:
+		return s.handleFlushChunks(op, m)
 	case proto.OpSetView:
 		return s.handleSetView(m)
 	case proto.OpCloneChunk:
@@ -451,7 +454,7 @@ func masterDriven(op proto.Op) bool {
 	switch op {
 	case proto.OpNop, proto.OpCreateChunk, proto.OpDeleteChunk, proto.OpSetView,
 		proto.OpCloneChunk, proto.OpRepairFrom, proto.OpApplyRepair,
-		proto.OpRebuildSegment:
+		proto.OpRebuildSegment, proto.OpFlushChunks:
 		return true
 	}
 	return false
@@ -510,6 +513,10 @@ type CreateChunkReq struct {
 	Holder bool `json:"holder,omitempty"`
 	// Seg is the segment index this holder stores (valid when Holder).
 	Seg int `json:"seg,omitempty"`
+	// Cold lists the object-backed extents of a cloned chunk; the replica
+	// demand-fetches them from the object store at ObjAddr on first access.
+	Cold    []coldtier.ExtentRef `json:"cold,omitempty"`
+	ObjAddr string               `json:"objAddr,omitempty"`
 }
 
 // newChunkStateFrom builds the per-chunk state a CreateChunkReq describes.
@@ -525,6 +532,12 @@ func (s *Server) newChunkStateFrom(req CreateChunkReq) (*chunkState, error) {
 	cs.strat = strat
 	cs.holder = req.Holder
 	cs.seg = req.Seg
+	if len(req.Cold) > 0 {
+		cs.cold = &coldState{
+			objAddr: req.ObjAddr,
+			refs:    append([]coldtier.ExtentRef(nil), req.Cold...),
+		}
+	}
 	return cs, nil
 }
 
@@ -632,6 +645,9 @@ func (s *Server) handleRead(op *opctx.Op, m *proto.Message) *proto.Message {
 		return m.Reply(proto.StatusNotFound)
 	}
 	if err := validRangeIn(m.Off, int(m.Length), cs.span()); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	if err := s.ensureCold(op, cs, m.Chunk, m.Off, int(m.Length)); err != nil {
 		return m.Reply(proto.StatusError)
 	}
 	cs.mu.Lock()
@@ -918,6 +934,12 @@ func (s *Server) handleWrite(op *opctx.Op, m *proto.Message, forward bool) *prot
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
 	}
+	// Copy-on-write materialization: the extents this write lands on must be
+	// local before the write is admitted, or a later demand fetch of the
+	// same extent would overwrite newer bytes with the snapshot's.
+	if err := s.ensureCold(op, cs, m.Chunk, m.Off, len(m.Payload)); err != nil {
+		return m.Reply(proto.StatusError)
+	}
 	cs.mu.Lock()
 	pw, deps, skipLocal, resp := s.admitWriteLocked(cs, op, m)
 	if resp != nil {
@@ -1141,6 +1163,11 @@ func (s *Server) handleReplicate(op *opctx.Op, m *proto.Message) *proto.Message 
 		if err := validRangeIn(m.Off, len(m.Payload), cs.span()); err != nil {
 			return m.Reply(proto.StatusError)
 		}
+		// Same copy-on-write rule as the primary path: the covered extents
+		// must be local before this backup applies newer bytes over them.
+		if err := s.ensureCold(op, cs, m.Chunk, m.Off, len(m.Payload)); err != nil {
+			return m.Reply(proto.StatusError)
+		}
 	}
 	cs.mu.Lock()
 	pw, deps, skipLocal, resp := s.admitWriteLocked(cs, op, m)
@@ -1317,12 +1344,18 @@ func (s *Server) handleApplyRepair(m *proto.Message) *proto.Message {
 // handleFetchChunk serves raw chunk data for recovery transfers. Backups
 // resolve journal extents so the fetched data reflects all appended writes
 // (§6.2's recovery "from both backup HDDs and SSD journals").
-func (s *Server) handleFetchChunk(m *proto.Message) *proto.Message {
+func (s *Server) handleFetchChunk(op *opctx.Op, m *proto.Message) *proto.Message {
 	cs := s.chunk(m.Chunk)
 	if cs == nil {
 		return m.Reply(proto.StatusNotFound)
 	}
 	if err := validRangeIn(m.Off, int(m.Length), cs.span()); err != nil {
+		return m.Reply(proto.StatusError)
+	}
+	// Recovery transfers must carry real bytes: a replacement replica is
+	// created without cold refs, so the fetched range is materialized here
+	// first and the clone leaves the source fully backed.
+	if err := s.ensureCold(op, cs, m.Chunk, m.Off, int(m.Length)); err != nil {
 		return m.Reply(proto.StatusError)
 	}
 	buf := bufpool.Get(int(m.Length))

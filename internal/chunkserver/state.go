@@ -97,6 +97,11 @@ type chunkState struct {
 	// deltas (the pre-write data is gone), so it resends the cached plan.
 	shipments map[uint64][]redundancy.Shipment
 
+	// cold tracks a cloned chunk's not-yet-fetched object-backed extents
+	// (nil for ordinary chunks). Set once at creation; the pointer is
+	// immutable after, and the state has its own lock (see cold.go).
+	cold *coldState
+
 	deleted bool
 }
 

@@ -22,6 +22,11 @@ type cachedDevice struct {
 	blocks   map[int64][]byte
 	lru      []int64 // least-recent first
 
+	// cold is the wrapped device's cold-tier view when it has one (a
+	// VDisk cloned from a snapshot): hits over still-cold ranges are the
+	// warm tier doing its job and leave a breadcrumb metric.
+	cold coldAware
+
 	hits, misses int64
 }
 
@@ -31,10 +36,12 @@ func WithCache(dev Device, capacityBytes int64) Device {
 	if capBlocks < 1 {
 		capBlocks = 1
 	}
+	ca, _ := dev.(coldAware)
 	return &cachedDevice{
 		Device:   dev,
 		capacity: capBlocks,
 		blocks:   make(map[int64][]byte),
+		cold:     ca,
 	}
 }
 
@@ -77,6 +84,9 @@ func (cd *cachedDevice) block(idx int64) ([]byte, error) {
 		cd.hits++
 		cd.touchLocked(idx)
 		cd.mu.Unlock()
+		if cd.cold != nil && cd.cold.IsCold(idx*cacheBlock) {
+			cd.cold.noteWarmHit()
+		}
 		return b, nil
 	}
 	cd.misses++

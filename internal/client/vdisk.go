@@ -65,6 +65,9 @@ type VDisk struct {
 	// tinyWritesC mirrors tinyWrites into the shared metrics registry
 	// ("client-tiny-writes"); nil when the client has no registry.
 	tinyWritesC *metrics.Counter
+	// coldWarmHits counts cache hits over object-backed ranges
+	// ("cold-fetch-hit-warm"); nil when the client has no registry.
+	coldWarmHits *metrics.Counter
 }
 
 // reportKey identifies one (chunk, failed address) straggler report for
@@ -91,6 +94,7 @@ func newVDisk(c *Client, meta master.VDiskMeta) *VDisk {
 	}
 	if c.cfg.Metrics != nil {
 		vd.tinyWritesC = c.cfg.Metrics.Counter("client-tiny-writes")
+		vd.coldWarmHits = c.cfg.Metrics.Counter(MetricColdWarmHits)
 	}
 	vd.leaseOK.Store(true)
 	return vd

@@ -46,6 +46,21 @@ const (
 	ChaosPartition
 	// ChaosHealPartition restores the Machine–MachineB links.
 	ChaosHealPartition
+	// ChaosObjstoreStall arms a fixed extra delay on every object-store
+	// request (a limping cold tier).
+	ChaosObjstoreStall
+	// ChaosObjstoreFault makes object-store PUTs and GETs fail until healed.
+	ChaosObjstoreFault
+	// ChaosObjstoreCorrupt flips the payload of the next Count GETs:
+	// transient transfer rot the per-extent CRCs must catch and retry.
+	ChaosObjstoreCorrupt
+	// ChaosObjstoreHeal clears every armed object-store fault.
+	ChaosObjstoreHeal
+	// ChaosObjstorePartition cuts machine Machine's links to the object
+	// store node (demand fetches from that machine black-hole).
+	ChaosObjstorePartition
+	// ChaosObjstoreHealPartition restores them.
+	ChaosObjstoreHealPartition
 )
 
 func (k ChaosKind) String() string {
@@ -72,6 +87,18 @@ func (k ChaosKind) String() string {
 		return "partition"
 	case ChaosHealPartition:
 		return "heal-partition"
+	case ChaosObjstoreStall:
+		return "objstore-stall"
+	case ChaosObjstoreFault:
+		return "objstore-fault"
+	case ChaosObjstoreCorrupt:
+		return "objstore-corrupt"
+	case ChaosObjstoreHeal:
+		return "objstore-heal"
+	case ChaosObjstorePartition:
+		return "objstore-partition"
+	case ChaosObjstoreHealPartition:
+		return "objstore-heal-partition"
 	default:
 		return fmt.Sprintf("chaos-kind-%d", int(k))
 	}
@@ -92,11 +119,13 @@ type ChaosEvent struct {
 	// MachineB is the second machine of a ChaosPartition/ChaosHealPartition
 	// pair.
 	MachineB int
-	Stall    time.Duration // ChaosStallDisk only
+	Stall    time.Duration // ChaosStallDisk and ChaosObjstoreStall
 	// ChaosCorruptDisk only: the rotting byte range (Hi <= Lo = whole
 	// device) and whether the rot persists across re-reads or strikes once.
 	Lo, Hi     int64
 	Persistent bool
+	// Count is how many GETs ChaosObjstoreCorrupt rots (0 = 1).
+	Count int
 }
 
 // ChaosOptions parameterizes a chaos run.
@@ -285,6 +314,30 @@ func fireChaos(c *core.Cluster, ev ChaosEvent) {
 				}
 			}
 		}
+	case ChaosObjstoreStall:
+		c.Objstore.Stall(ev.Stall)
+	case ChaosObjstoreFault:
+		c.Objstore.FailPuts()
+		c.Objstore.FailGets()
+	case ChaosObjstoreCorrupt:
+		n := ev.Count
+		if n <= 0 {
+			n = 1
+		}
+		c.Objstore.CorruptReads(n)
+	case ChaosObjstoreHeal:
+		c.Objstore.Heal()
+	case ChaosObjstorePartition, ChaosObjstoreHealPartition:
+		if ev.Machine >= len(c.Machines) {
+			return
+		}
+		for _, s := range c.Machines[ev.Machine].Servers {
+			if ev.Kind == ChaosObjstorePartition {
+				c.Net.Partition(s.Addr(), core.ObjstoreAddr)
+			} else {
+				c.Net.Heal(s.Addr(), core.ObjstoreAddr)
+			}
+		}
 	}
 }
 
@@ -314,6 +367,9 @@ func HealAll(c *core.Cluster) {
 		for _, fi := range m.HDDFaults {
 			fi.Heal()
 		}
+	}
+	if c.Objstore != nil {
+		c.Objstore.Heal()
 	}
 	c.Net.HealAllPartitions()
 }
@@ -363,6 +419,16 @@ func RandomSchedule(c *core.Cluster, seed uint64, ops int) []ChaosEvent {
 		evs = append(evs,
 			ChaosEvent{AtOp: at(0.45), Kind: ChaosPartition, Machine: a, MachineB: b},
 			ChaosEvent{AtOp: at(0.65), Kind: ChaosHealPartition, Machine: a, MachineB: b},
+		)
+	}
+	// The object store misbehaves for a stretch: stalled requests, then a
+	// transient read-rot burst. Harmless without cold data; cold reads must
+	// ride it out on the CRC-verify-and-retry fetch path.
+	if c.Objstore != nil {
+		evs = append(evs,
+			ChaosEvent{AtOp: at(0.35), Kind: ChaosObjstoreStall, Stall: 500 * time.Microsecond},
+			ChaosEvent{AtOp: at(0.55), Kind: ChaosObjstoreCorrupt, Count: 4},
+			ChaosEvent{AtOp: at(0.75), Kind: ChaosObjstoreHeal},
 		)
 	}
 	// With replicated masters, kill the bootstrap primary mid-run and bring

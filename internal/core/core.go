@@ -17,6 +17,7 @@ import (
 	"ursa/internal/journal"
 	"ursa/internal/master"
 	"ursa/internal/metrics"
+	"ursa/internal/objstore"
 	"ursa/internal/scrub"
 	"ursa/internal/simdisk"
 	"ursa/internal/transport"
@@ -125,6 +126,14 @@ type Options struct {
 	// copying baseline the ceiling bench measures the zero-copy path
 	// against.
 	JournalCoalesce bool
+	// ObjstoreModel overrides the simulated object store's latency and
+	// bandwidth model (nil = objstore.DefaultModel; point at
+	// objstore.TestModel() for the near-free protocol-test shape).
+	ObjstoreModel *objstore.Model
+	// ColdGCInterval starts the master's background cold-tier GC loop on
+	// that cadence (0 = no loop; tests and benches call RunColdGC
+	// directly).
+	ColdGCInterval time.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -219,15 +228,22 @@ type Cluster struct {
 	Master   *master.Master // Masters[0]; the bootstrap primary
 	Masters  []*master.Master
 	Machines []*Machine
+	// Objstore is the cluster's simulated object store — the cold tier's
+	// backing service, on its own fabric node so chaos can partition it.
+	Objstore *objstore.Store
 
 	masterAddrs []string
 	servers     map[string]*chunkserver.Server
 	clients     []*client.Client
+	objRPC      *transport.Server
 }
 
 // MasterAddr is the (first) master's fabric address; replicas are
 // "master-1", "master-2", … in promotion-priority order.
 const MasterAddr = "master"
+
+// ObjstoreAddr is the simulated object store's fabric address.
+const ObjstoreAddr = "objstore"
 
 // New builds and starts a cluster.
 func New(opts Options) (*Cluster, error) {
@@ -238,6 +254,21 @@ func New(opts Options) (*Cluster, error) {
 		Net:     transport.NewSimNet(opts.Clock, opts.NetLatency),
 		servers: make(map[string]*chunkserver.Server),
 	}
+
+	// The object store comes up first: every master's config points at it
+	// (snapshot flush targets, GC). Unlimited NIC — the latency/bandwidth
+	// model inside the store is the service's own contention model.
+	model := objstore.DefaultModel()
+	if opts.ObjstoreModel != nil {
+		model = *opts.ObjstoreModel
+	}
+	c.Objstore = objstore.New(opts.Clock, model)
+	c.Objstore.SetMetrics(opts.Metrics)
+	ol, err := c.Net.Listen(ObjstoreAddr, transport.NodeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	c.objRPC = transport.Serve(ol, c.Objstore.Handler)
 
 	c.masterAddrs = append(c.masterAddrs, MasterAddr)
 	for i := 1; i < opts.Masters; i++ {
@@ -291,6 +322,8 @@ func (c *Cluster) newMaster(i int, join bool) (*master.Master, error) {
 		Peers:          peers,
 		PrimacyTTL:     c.opts.MasterPrimacyTTL,
 		JoinStandby:    join,
+		ObjstoreAddr:   ObjstoreAddr,
+		GCInterval:     c.opts.ColdGCInterval,
 	})
 	m.Serve(ml)
 	return m, nil
@@ -573,6 +606,9 @@ func (c *Cluster) Close() {
 		if m != nil {
 			m.Close()
 		}
+	}
+	if c.objRPC != nil {
+		c.objRPC.Close()
 	}
 	for _, m := range c.Machines {
 		// Scrubbers first: they probe through the servers and must not

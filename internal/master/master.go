@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ursa/internal/clock"
+	"ursa/internal/coldtier"
 	"ursa/internal/metrics"
 	"ursa/internal/proto"
 	"ursa/internal/transport"
@@ -45,6 +46,15 @@ type Config struct {
 	// set when (re)joining an already-running cluster, where resurrecting
 	// the bootstrap epoch would briefly split primacy.
 	JoinStandby bool
+	// ObjstoreAddr is the cold tier's object store endpoint; "" disables
+	// snapshots, clones, and GC.
+	ObjstoreAddr string
+	// GCInterval paces the background cold-tier GC loop (0 disables the
+	// loop; RunColdGC remains callable directly).
+	GCInterval time.Duration
+	// GCLiveFraction is the live-bytes threshold below which GC rewrites a
+	// segment's surviving extents and reclaims it (default 0.5).
+	GCLiveFraction float64
 }
 
 func (c *Config) fillDefaults() {
@@ -65,6 +75,9 @@ func (c *Config) fillDefaults() {
 	}
 	if len(c.Peers) == 1 {
 		c.Peers = nil // a single endpoint is the unreplicated configuration
+	}
+	if c.GCLiveFraction <= 0 {
+		c.GCLiveFraction = 0.5
 	}
 }
 
@@ -100,6 +113,16 @@ type Master struct {
 	nextBackup  int
 	viewChanges int
 
+	// Cold-tier state (guarded by mu). nextSeg is the replicated segment-ID
+	// watermark; inflightFlushes counts snapshot flushes between their
+	// segment-range allocation and metadata record, during which GC must not
+	// judge fresh segments dead. coldReports is primary-local soft state:
+	// which replicas of a cloned chunk have reported full materialization.
+	snapshots       map[string]*SnapshotMeta
+	nextSeg         uint64
+	inflightFlushes int
+	coldReports     map[uint64]map[string]bool
+
 	peers *transport.Peers
 
 	// recMu guards recovering: one in-flight view change per chunk.
@@ -120,6 +143,15 @@ type Master struct {
 	closeOnce   sync.Once
 	wg          sync.WaitGroup
 
+	// Cold-tier GC machinery (see coldgc.go). gcMu serializes passes;
+	// gcCh/gcWg/gcOnce run the interval loop independently of the
+	// replication lifecycle.
+	coldCl *coldtier.Client
+	gcMu   sync.Mutex
+	gcCh   chan struct{}
+	gcOnce sync.Once
+	gcWg   sync.WaitGroup
+
 	rpc *transport.Server
 }
 
@@ -129,25 +161,40 @@ type Master struct {
 func New(cfg Config) *Master {
 	cfg.fillDefaults()
 	m := &Master{
-		cfg:        cfg,
-		vdisks:     make(map[uint32]*vdisk),
-		byName:     make(map[string]uint32),
-		peers:      transport.NewPeers(cfg.Dialer, cfg.Clock),
-		recovering: make(map[uint64]chan struct{}),
+		cfg:         cfg,
+		vdisks:      make(map[uint32]*vdisk),
+		byName:      make(map[string]uint32),
+		peers:       transport.NewPeers(cfg.Dialer, cfg.Clock),
+		recovering:  make(map[uint64]chan struct{}),
+		snapshots:   make(map[string]*SnapshotMeta),
+		nextSeg:     1,
+		coldReports: make(map[uint64]map[string]bool),
 	}
 	m.peers.SetRedial(backoff.Policy{Base: cfg.RPCTimeout / 40, Cap: cfg.RPCTimeout / 4}, 2)
 	if !m.replicationEnabled() {
 		m.primary = true
 	}
 	m.initReplication()
+	if cfg.ObjstoreAddr != "" {
+		m.coldCl = coldtier.NewClient(m.peers, cfg.ObjstoreAddr)
+		if cfg.GCInterval > 0 {
+			m.gcCh = make(chan struct{})
+			m.gcWg.Add(1)
+			go m.gcLoop()
+		}
+	}
 	return m
 }
 
 // Serve starts the master's RPC service.
 func (m *Master) Serve(l transport.Listener) { m.rpc = transport.Serve(l, m.Handle) }
 
-// Close stops the RPC service and the replication goroutines.
+// Close stops the RPC service and the replication and GC goroutines.
 func (m *Master) Close() {
+	if m.gcCh != nil {
+		m.gcOnce.Do(func() { close(m.gcCh) })
+		m.gcWg.Wait()
+	}
 	m.stopReplication()
 	if m.rpc != nil {
 		m.rpc.Close()
@@ -232,6 +279,16 @@ func (m *Master) Handle(msg *proto.Message) *proto.Message {
 		return m.jsonReply(msg, m.handleStats(msg))
 	case proto.MOpRegister:
 		return m.jsonReply(msg, m.handleRegister(msg))
+	case proto.MOpSnapshot:
+		return m.jsonReply(msg, m.handleSnapshot(msg))
+	case proto.MOpCloneFromSnapshot:
+		return m.jsonReply(msg, m.handleClone(msg))
+	case proto.MOpDeleteSnapshot:
+		return m.jsonReply(msg, m.handleDeleteSnapshot(msg))
+	case proto.MOpChunkMaterialized:
+		return m.jsonReply(msg, m.handleMaterialized(msg))
+	case proto.MOpGetColdRefs:
+		return m.jsonReply(msg, m.handleGetColdRefs(msg))
 	default:
 		return msg.Reply(proto.StatusError)
 	}

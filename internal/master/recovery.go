@@ -224,7 +224,7 @@ func (m *Master) recoverMirror(t0 time.Time, id blockstore.ChunkID,
 		})
 	}
 
-	newMeta, err := m.installViewChange(t0, vdiskID, chunkIndex, ChunkMeta{View: newView, Replicas: newReplicas})
+	newMeta, err := m.installViewChange(t0, vdiskID, chunkIndex, ChunkMeta{View: newView, Replicas: newReplicas, Cold: cm.Cold})
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +411,7 @@ func (m *Master) recoverRS(t0 time.Time, id blockstore.ChunkID,
 		})
 	}
 
-	newMeta, err := m.installViewChange(t0, vdiskID, chunkIndex, ChunkMeta{View: newView, Replicas: newReplicas})
+	newMeta, err := m.installViewChange(t0, vdiskID, chunkIndex, ChunkMeta{View: newView, Replicas: newReplicas, Cold: cm.Cold})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ursa/internal/bufpool"
+	"ursa/internal/coldtier"
 	"ursa/internal/proto"
 	"ursa/internal/util"
 )
@@ -28,11 +29,16 @@ import (
 
 // Log entry kinds.
 const (
-	entryKindPutVDisk = "put-vdisk"
-	entryKindDelete   = "delete-vdisk"
-	entryKindLease    = "lease"
-	entryKindServer   = "add-server"
-	entryKindSetChunk = "set-chunk"
+	entryKindPutVDisk       = "put-vdisk"
+	entryKindDelete         = "delete-vdisk"
+	entryKindLease          = "lease"
+	entryKindServer         = "add-server"
+	entryKindSetChunk       = "set-chunk"
+	entryKindAllocSegs      = "alloc-segs"
+	entryKindPutSnapshot    = "put-snapshot"
+	entryKindDeleteSnapshot = "delete-snapshot"
+	entryKindSetCold        = "set-cold"
+	entryKindSegRemap       = "seg-remap"
 )
 
 // MetricMasterPromotions counts standby-to-primary promotions.
@@ -69,6 +75,48 @@ type entrySetChunk struct {
 	VDisk uint32    `json:"vdisk"`
 	Index uint32    `json:"index"`
 	Meta  ChunkMeta `json:"meta"`
+}
+
+// entryAllocSegs advances the segment-ID watermark. Replicated before any
+// flush or GC rewrite touches the object store, so a promoted standby never
+// re-issues an ID that may already hold data (segments are write-once).
+type entryAllocSegs struct {
+	NextSeg uint64 `json:"nextSeg"`
+}
+
+type entryPutSnapshot struct {
+	Meta   SnapshotMeta `json:"meta"`
+	NextID uint32       `json:"nextID"`
+}
+
+type entryDeleteSnapshot struct {
+	Name string `json:"name"`
+}
+
+// entrySetCold replaces one chunk's cold extent table (nil = fully
+// materialized, demand-fetch metadata dropped).
+type entrySetCold struct {
+	VDisk uint32               `json:"vdisk"`
+	Index uint32               `json:"index"`
+	Refs  []coldtier.ExtentRef `json:"refs,omitempty"`
+}
+
+// segMove records one extent's relocation by the GC rewriter: bytes that
+// lived at (Seg, SegOff) now live at (NewSeg, NewSegOff). Length and CRC are
+// unchanged — GC moves extents verbatim.
+type segMove struct {
+	Seg       uint64 `json:"seg"`
+	SegOff    int64  `json:"segOff"`
+	NewSeg    uint64 `json:"newSeg"`
+	NewSegOff int64  `json:"newSegOff"`
+}
+
+// entrySegRemap rewrites every snapshot extent and chunk cold ref matching a
+// move's old location. Applied atomically under the lock before the old
+// segment is deleted, so no replicated metadata ever points at a gone
+// segment.
+type entrySegRemap struct {
+	Moves []segMove `json:"moves"`
 }
 
 // ReplicateLogReq is the payload of MOpReplicateLog: a batch of entries
@@ -244,6 +292,73 @@ func (m *Master) applyEntryLocked(e logEntry) {
 			vd.meta.Chunks[p.Index] = p.Meta
 		}
 		m.viewChanges++
+	case entryKindAllocSegs:
+		var p entryAllocSegs
+		if json.Unmarshal(e.Data, &p) != nil {
+			return
+		}
+		if p.NextSeg > m.nextSeg {
+			m.nextSeg = p.NextSeg
+		}
+	case entryKindPutSnapshot:
+		var p entryPutSnapshot
+		if json.Unmarshal(e.Data, &p) != nil {
+			return
+		}
+		meta := p.Meta.Clone()
+		m.snapshots[meta.Name] = &meta
+		m.nextID = p.NextID
+	case entryKindDeleteSnapshot:
+		var p entryDeleteSnapshot
+		if json.Unmarshal(e.Data, &p) != nil {
+			return
+		}
+		delete(m.snapshots, p.Name)
+	case entryKindSetCold:
+		var p entrySetCold
+		if json.Unmarshal(e.Data, &p) != nil {
+			return
+		}
+		if vd, okID := m.vdisks[p.VDisk]; okID && int(p.Index) < len(vd.meta.Chunks) {
+			vd.meta.Chunks[p.Index].Cold = p.Refs
+		}
+	case entryKindSegRemap:
+		var p entrySegRemap
+		if json.Unmarshal(e.Data, &p) != nil {
+			return
+		}
+		m.applySegRemapLocked(p.Moves)
+	}
+}
+
+// applySegRemapLocked rewrites every cold reference — snapshot extent tables
+// and live chunks' demand-fetch refs — matching a GC move (m.mu held).
+func (m *Master) applySegRemapLocked(moves []segMove) {
+	type loc struct {
+		seg uint64
+		off int64
+	}
+	remap := make(map[loc]segMove, len(moves))
+	for _, mv := range moves {
+		remap[loc{mv.Seg, mv.SegOff}] = mv
+	}
+	fix := func(refs []coldtier.ExtentRef) {
+		for i := range refs {
+			if mv, hit := remap[loc{refs[i].Seg, refs[i].SegOff}]; hit {
+				refs[i].Seg = mv.NewSeg
+				refs[i].SegOff = mv.NewSegOff
+			}
+		}
+	}
+	for _, snap := range m.snapshots {
+		for _, refs := range snap.Chunks {
+			fix(refs)
+		}
+	}
+	for _, vd := range m.vdisks {
+		for i := range vd.meta.Chunks {
+			fix(vd.meta.Chunks[i].Cold)
+		}
 	}
 }
 
@@ -258,6 +373,9 @@ func (m *Master) resetStateLocked() {
 	m.nextID, m.nextPrimary, m.nextBackup = 0, 0, 0
 	m.viewChanges = 0
 	m.log = nil
+	m.snapshots = make(map[string]*SnapshotMeta)
+	m.nextSeg = 1
+	m.coldReports = make(map[uint64]map[string]bool)
 }
 
 // adoptEpochLocked accepts a remote primary's newer epoch: step down if
@@ -566,9 +684,11 @@ type StateSnapshot struct {
 	Servers     []RegisterReq
 	VDisks      map[uint32]VDiskMeta
 	Leases      map[uint32]LeaseInfo
+	Snapshots   map[string]SnapshotMeta
 	NextID      uint32
 	NextPrimary int
 	NextBackup  int
+	NextSeg     uint64
 	ViewChanges int
 	LogSeq      uint64
 }
@@ -580,11 +700,16 @@ func (m *Master) Snapshot() StateSnapshot {
 	s := StateSnapshot{
 		VDisks:      make(map[uint32]VDiskMeta, len(m.vdisks)),
 		Leases:      make(map[uint32]LeaseInfo, len(m.vdisks)),
+		Snapshots:   make(map[string]SnapshotMeta, len(m.snapshots)),
 		NextID:      m.nextID,
 		NextPrimary: m.nextPrimary,
 		NextBackup:  m.nextBackup,
+		NextSeg:     m.nextSeg,
 		ViewChanges: m.viewChanges,
 		LogSeq:      uint64(len(m.log)),
+	}
+	for name, snap := range m.snapshots {
+		s.Snapshots[name] = snap.Clone()
 	}
 	for _, sv := range m.servers {
 		s.Servers = append(s.Servers, RegisterReq{Addr: sv.addr, Machine: sv.machine, SSD: sv.ssd})

@@ -7,6 +7,7 @@ package master
 import (
 	"time"
 
+	"ursa/internal/coldtier"
 	"ursa/internal/redundancy"
 )
 
@@ -22,6 +23,11 @@ type ReplicaInfo struct {
 type ChunkMeta struct {
 	View     uint64        `json:"view"`
 	Replicas []ReplicaInfo `json:"replicas"`
+	// Cold lists the object-backed extents of a cloned chunk that have not
+	// been materialized locally yet. Replicas demand-fetch these on first
+	// access; once a replica holds every extent the master clears the list
+	// (MOpChunkMaterialized). Nil for ordinary (fully local) chunks.
+	Cold []coldtier.ExtentRef `json:"cold,omitempty"`
 }
 
 // VDiskMeta is everything a client needs to operate a virtual disk.
@@ -58,6 +64,9 @@ func (v VDiskMeta) Clone() VDiskMeta {
 	for i, cm := range v.Chunks {
 		out.Chunks[i] = cm
 		out.Chunks[i].Replicas = append([]ReplicaInfo(nil), cm.Replicas...)
+		if cm.Cold != nil {
+			out.Chunks[i].Cold = append([]coldtier.ExtentRef(nil), cm.Cold...)
+		}
 	}
 	return out
 }
@@ -119,4 +128,73 @@ type StatsResp struct {
 	Servers     int `json:"servers"`
 	VDisks      int `json:"vdisks"`
 	ViewChanges int `json:"viewChanges"`
+}
+
+// SnapshotMeta is one vdisk snapshot: an immutable, object-backed image.
+// Chunks[i] lists chunk i's cold extents (nil slices mean all-zero chunks —
+// zero extents are never stored). Snapshots are crash-consistent per chunk,
+// not point-in-time across the vdisk: writes racing the flush land in either
+// the snapshot or the live disk per chunk, but the snapshot never changes
+// once recorded.
+type SnapshotMeta struct {
+	ID   uint32 `json:"id"`
+	Name string `json:"name"`
+	// Source geometry, inherited by clones.
+	Size        int64 `json:"size"`
+	StripeGroup int   `json:"stripeGroup"`
+	StripeUnit  int64 `json:"stripeUnit"`
+	// Chunks holds per-chunk extent tables, indexed by chunk number.
+	Chunks [][]coldtier.ExtentRef `json:"chunks"`
+}
+
+// Clone deep-copies the snapshot metadata.
+func (s SnapshotMeta) Clone() SnapshotMeta {
+	out := s
+	out.Chunks = make([][]coldtier.ExtentRef, len(s.Chunks))
+	for i, refs := range s.Chunks {
+		if refs != nil {
+			out.Chunks[i] = append([]coldtier.ExtentRef(nil), refs...)
+		}
+	}
+	return out
+}
+
+// SnapshotReq is the payload of MOpSnapshot (VDisk = source vdisk name) and
+// MOpDeleteSnapshot (VDisk ignored).
+type SnapshotReq struct {
+	VDisk string `json:"vdisk,omitempty"`
+	Name  string `json:"name"`
+}
+
+// CloneReq is the payload of MOpCloneFromSnapshot: provision vdisk Name as a
+// thin clone of snapshot Snapshot. The clone is metadata-only — chunks are
+// created empty with extent-map references into the object store and
+// materialize on demand.
+type CloneReq struct {
+	Snapshot string `json:"snapshot"`
+	Name     string `json:"name"`
+	// Replication overrides the cluster default (3) when non-zero.
+	Replication int `json:"replication,omitempty"`
+}
+
+// MaterializedReq is the payload of MOpChunkMaterialized: the replica at
+// Addr reports it holds every cold extent of the chunk locally. Once every
+// replica has reported, the master drops the chunk's demand-fetch metadata
+// (freeing the referenced segments for GC).
+type MaterializedReq struct {
+	VDisk      uint32 `json:"vdisk"`
+	ChunkIndex uint32 `json:"chunkIndex"`
+	Addr       string `json:"addr"`
+}
+
+// ColdRefsReq is the payload of MOpGetColdRefs: a replica's cold refs went
+// stale (GC rewrote a segment under it) and it needs the current table.
+type ColdRefsReq struct {
+	VDisk      uint32 `json:"vdisk"`
+	ChunkIndex uint32 `json:"chunkIndex"`
+}
+
+// ColdRefsResp answers MOpGetColdRefs.
+type ColdRefsResp struct {
+	Refs []coldtier.ExtentRef `json:"refs,omitempty"`
 }

@@ -180,6 +180,12 @@ func (m *Master) createChunkReplicas(id blockstore.ChunkID, cm ChunkMeta, spec r
 			req.Holder = true
 			req.Seg = i - 1
 		}
+		// A cloned chunk starts object-backed: every replica gets the extent
+		// table and demand-fetches on first access.
+		if len(cm.Cold) > 0 {
+			req.Cold = cm.Cold
+			req.ObjAddr = m.cfg.ObjstoreAddr
+		}
 		payload, err := json.Marshal(req)
 		if err != nil {
 			return err

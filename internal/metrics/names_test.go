@@ -8,6 +8,7 @@ import (
 	"ursa/internal/journal"
 	"ursa/internal/master"
 	"ursa/internal/metrics"
+	"ursa/internal/objstore"
 	"ursa/internal/scrub"
 	"ursa/internal/simdisk"
 	"ursa/internal/transport"
@@ -32,10 +33,19 @@ var allMetricNames = map[string]string{
 	"chunkserver.MetricDepWait":              chunkserver.MetricDepWait,
 	"chunkserver.MetricChecksumMismatches":   chunkserver.MetricChecksumMismatches,
 	"chunkserver.MetricStaleEpochRejections": chunkserver.MetricStaleEpochRejections,
+	"chunkserver.MetricColdFetches":          chunkserver.MetricColdFetches,
+	"chunkserver.MetricColdScrubSkips":       chunkserver.MetricColdScrubSkips,
 	"master.MetricChunkRecoveries":           master.MetricChunkRecoveries,
 	"master.MetricRecoveryDuration":          master.MetricRecoveryDuration,
 	"master.MetricMasterPromotions":          master.MetricMasterPromotions,
+	"master.MetricGCSegmentsReclaimed":       master.MetricGCSegmentsReclaimed,
+	"master.MetricGCBytesRewritten":          master.MetricGCBytesRewritten,
 	"client.MetricFailureReportsDropped":     client.MetricFailureReportsDropped,
+	"client.MetricColdWarmHits":              client.MetricColdWarmHits,
+	"objstore.MetricObjPuts":                 objstore.MetricObjPuts,
+	"objstore.MetricObjGets":                 objstore.MetricObjGets,
+	"objstore.MetricObjDeletes":              objstore.MetricObjDeletes,
+	"objstore.MetricObjFaultsInjected":       objstore.MetricObjFaultsInjected,
 	"transport.MetricConnInflight":           transport.MetricConnInflight,
 	"scrub.MetricPasses":                     scrub.MetricPasses,
 	"scrub.MetricChunksVerified":             scrub.MetricChunksVerified,

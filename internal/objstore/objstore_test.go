@@ -1,0 +1,156 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ursa/internal/clock"
+	"ursa/internal/util"
+)
+
+func TestPutGetDeleteList(t *testing.T) {
+	s := New(clock.Realtime, TestModel())
+	data := []byte("segment-zero-contents")
+	if err := s.Put(7, data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := s.Put(7, data); !errors.Is(err, util.ErrExists) {
+		t.Fatalf("re-put: got %v, want ErrExists", err)
+	}
+	if err := s.Put(9, []byte("nine")); err != nil {
+		t.Fatalf("put 9: %v", err)
+	}
+
+	buf := make([]byte, len(data))
+	if err := s.Get(7, 0, buf); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("get: got %q, want %q", buf, data)
+	}
+	// Range read.
+	part := make([]byte, 5)
+	if err := s.Get(7, 8, part); err != nil {
+		t.Fatalf("range get: %v", err)
+	}
+	if !bytes.Equal(part, data[8:13]) {
+		t.Fatalf("range get: got %q, want %q", part, data[8:13])
+	}
+	// Beyond-end range fails cleanly.
+	if err := s.Get(7, int64(len(data))-2, part); !errors.Is(err, util.ErrOutOfRange) {
+		t.Fatalf("oob get: got %v, want ErrOutOfRange", err)
+	}
+
+	if got := s.List(); len(got) != 2 || got[0].ID != 7 || got[1].ID != 9 ||
+		got[0].Size != int64(len(data)) {
+		t.Fatalf("list: got %v, want ids [7 9] with sizes", got)
+	}
+	if n, err := s.Size(7); err != nil || n != int64(len(data)) {
+		t.Fatalf("size: got %d, %v", n, err)
+	}
+
+	if err := s.Delete(7); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := s.Delete(7); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("re-delete: got %v, want ErrNotFound", err)
+	}
+	if err := s.Get(7, 0, buf); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("get after delete: got %v, want ErrNotFound", err)
+	}
+}
+
+// Delete must wait out in-flight GET transfers: the reader gets clean
+// bytes even though the delete was issued mid-transfer.
+func TestDeleteWaitsForInflightGet(t *testing.T) {
+	s := New(clock.Realtime, Model{GetLatency: 30 * time.Millisecond})
+	data := bytes.Repeat([]byte{0x5a}, 4096)
+	if err := s.Put(1, data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	var wg sync.WaitGroup
+	buf := make([]byte, len(data))
+	var getErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		getErr = s.Get(1, 0, buf)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the GET enter its transfer
+	if err := s.Delete(1); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	wg.Wait()
+	if getErr != nil {
+		t.Fatalf("in-flight get failed: %v", getErr)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("in-flight get returned wrong bytes after racing delete")
+	}
+	if st := s.Stats(); st.DeletesWaitedReaders == 0 {
+		t.Fatal("delete did not record waiting for the in-flight reader")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	s := New(clock.Realtime, TestModel())
+	if err := s.Put(1, []byte("abcd")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	buf := make([]byte, 4)
+
+	s.FailGets()
+	if err := s.Get(1, 0, buf); !errors.Is(err, ErrFault) {
+		t.Fatalf("failed get: got %v, want ErrFault", err)
+	}
+	s.FailPuts()
+	if err := s.Put(2, []byte("x")); !errors.Is(err, ErrFault) {
+		t.Fatalf("failed put: got %v, want ErrFault", err)
+	}
+	s.Heal()
+	if err := s.Get(1, 0, buf); err != nil || !bytes.Equal(buf, []byte("abcd")) {
+		t.Fatalf("healed get: %q, %v", buf, err)
+	}
+
+	// Transient corruption: exactly one flipped read, then clean again.
+	s.CorruptReads(1)
+	if err := s.Get(1, 0, buf); err != nil {
+		t.Fatalf("corrupt get errored: %v", err)
+	}
+	if bytes.Equal(buf, []byte("abcd")) {
+		t.Fatal("armed corrupt read came back clean")
+	}
+	if err := s.Get(1, 0, buf); err != nil || !bytes.Equal(buf, []byte("abcd")) {
+		t.Fatalf("read after transient corruption: %q, %v", buf, err)
+	}
+	if st := s.Stats(); st.ReadsCorrupted != 1 {
+		t.Fatalf("ReadsCorrupted = %d, want 1", st.ReadsCorrupted)
+	}
+}
+
+func TestStallDelaysRequests(t *testing.T) {
+	s := New(clock.Realtime, TestModel())
+	if err := s.Put(1, []byte("abcd")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	s.Stall(50 * time.Millisecond)
+	buf := make([]byte, 4)
+	t0 := time.Now()
+	if err := s.Get(1, 0, buf); err != nil {
+		t.Fatalf("stalled get: %v", err)
+	}
+	if d := time.Since(t0); d < 40*time.Millisecond {
+		t.Fatalf("stalled get returned in %v, want >= ~50ms", d)
+	}
+	s.Heal()
+	t0 = time.Now()
+	if err := s.Get(1, 0, buf); err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+	if d := time.Since(t0); d > 30*time.Millisecond {
+		t.Fatalf("healed get still slow: %v", d)
+	}
+}

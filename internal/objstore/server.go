@@ -1,0 +1,83 @@
+package objstore
+
+import (
+	"encoding/json"
+	"errors"
+
+	"ursa/internal/bufpool"
+	"ursa/internal/proto"
+	"ursa/internal/util"
+)
+
+// Handler serves the object-store wire protocol over the shared transport.
+// The Chunk header field carries the object ID on every op.
+//
+//   - OpObjPut: payload is the object body; write-once.
+//   - OpObjGet: Off/Length select the range; the reply payload is leased
+//     from bufpool and settled by the transport on send.
+//   - OpObjDelete: drains in-flight GETs before the object disappears.
+//   - OpObjList: reply payload is a JSON []uint64 of object IDs.
+//
+// The handler copies or fully consumes the request payload before
+// returning, per the transport's ownership contract.
+func (s *Store) Handler(m *proto.Message) *proto.Message {
+	switch m.Op {
+	case proto.OpObjPut:
+		return m.Reply(putStatus(s.Put(uint64(m.Chunk), m.Payload)))
+
+	case proto.OpObjGet:
+		n := int(m.Length)
+		if n < 0 || n > proto.MaxPayload {
+			return m.Reply(proto.StatusError)
+		}
+		buf := bufpool.Get(n)
+		if err := s.Get(uint64(m.Chunk), m.Off, buf); err != nil {
+			bufpool.Put(buf)
+			return m.Reply(getStatus(err))
+		}
+		resp := m.Reply(proto.StatusOK)
+		resp.Payload = buf
+		return resp
+
+	case proto.OpObjDelete:
+		err := s.Delete(uint64(m.Chunk))
+		switch {
+		case err == nil:
+			return m.Reply(proto.StatusOK)
+		case errors.Is(err, util.ErrNotFound):
+			return m.Reply(proto.StatusNotFound)
+		default:
+			return m.Reply(proto.StatusError)
+		}
+
+	case proto.OpObjList:
+		body, err := json.Marshal(s.List())
+		if err != nil {
+			return m.Reply(proto.StatusError)
+		}
+		resp := m.Reply(proto.StatusOK)
+		resp.Payload = body
+		return resp
+
+	default:
+		return m.Reply(proto.StatusError)
+	}
+}
+
+func putStatus(err error) proto.Status {
+	switch {
+	case err == nil:
+		return proto.StatusOK
+	case errors.Is(err, util.ErrExists):
+		return proto.StatusExists
+	default:
+		return proto.StatusError
+	}
+}
+
+func getStatus(err error) proto.Status {
+	if errors.Is(err, util.ErrNotFound) {
+		return proto.StatusNotFound
+	}
+	return proto.StatusError
+}

@@ -73,6 +73,9 @@ const (
 	// StageReplWait is the primary's wait for backup acks (the §4.2.1
 	// commit-rule window).
 	StageReplWait
+	// StageColdFetch is time a read (or first write) on an object-backed
+	// chunk spends demand-fetching cold extents from the object store.
+	StageColdFetch
 
 	numStages
 )
@@ -88,6 +91,7 @@ var stageNames = [numStages]string{
 	"apply-wait",
 	"commit-wait",
 	"repl-wait",
+	"cold-fetch",
 }
 
 func (s Stage) String() string {

@@ -140,7 +140,7 @@ func TestBreadcrumbs(t *testing.T) {
 func TestStageNames(t *testing.T) {
 	want := []string{"queue", "net", "primary-ssd", "backup-journal",
 		"backup-jqueue", "backup-jflush", "replay", "apply-wait",
-		"commit-wait", "repl-wait"}
+		"commit-wait", "repl-wait", "cold-fetch"}
 	got := Stages()
 	if len(got) != len(want) {
 		t.Fatalf("stage count = %d", len(got))

@@ -76,6 +76,22 @@ const (
 	// data pieces are read from the local full chunk, parity pieces are
 	// encoded on the fly.
 	OpFetchSegment
+	// OpFlushChunks (master→primary) asks a chunkserver to flush a set of
+	// its chunks to the object store as immutable cold-tier segments
+	// (payload: chunkserver.FlushChunksReq JSON; reply: the extent refs).
+	OpFlushChunks
+
+	// Object-store operations. The Chunk field carries the 64-bit object
+	// (segment) ID; objects are immutable and write-once.
+	//
+	// OpObjPut stores the payload as object Chunk (StatusExists on reuse).
+	OpObjPut
+	// OpObjGet reads Length bytes at Off of object Chunk.
+	OpObjGet
+	// OpObjDelete removes object Chunk, draining in-flight GETs first.
+	OpObjDelete
+	// OpObjList returns all object IDs (payload: JSON []uint64).
+	OpObjList
 )
 
 // Flag bits qualifying how a replicate payload is applied.
@@ -108,6 +124,25 @@ const (
 	// MasterInfoResp JSON). Served by primaries and standbys alike; clients
 	// use it to discover the cluster after StatusNotPrimary.
 	MOpMasterInfo
+	// MOpSnapshot flushes a vdisk's current contents to the cold tier as an
+	// immutable, named snapshot (payload: SnapshotReq JSON).
+	MOpSnapshot
+	// MOpCloneFromSnapshot provisions a new vdisk whose chunks start as
+	// extent-map references into a snapshot — O(metadata), no data copy
+	// (payload: CloneReq JSON).
+	MOpCloneFromSnapshot
+	// MOpDeleteSnapshot drops a snapshot's metadata; its extent bytes
+	// become garbage for the cold-tier GC unless clones still reference
+	// them (payload: SnapshotReq JSON).
+	MOpDeleteSnapshot
+	// MOpChunkMaterialized reports that a cloned chunk's replicas hold all
+	// of its extents locally, releasing its cold references (payload:
+	// MaterializedReq JSON).
+	MOpChunkMaterialized
+	// MOpGetColdRefs re-reads a chunk's current cold extent references —
+	// the chunkserver's recovery path after GC moved an extent out from
+	// under a stale ref (payload: ColdRefsReq JSON).
+	MOpGetColdRefs
 )
 
 // Status codes carried in responses.
